@@ -1,0 +1,29 @@
+//! Criterion micro-benchmarks of the fabric acquire/transfer/release cycle
+//! for every design — the inner loop of the SSD simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use venice_interconnect::{build_fabric, FabricKind, FabricParams, NodeId};
+
+fn bench_fabric_cycle(c: &mut Criterion) {
+    for kind in FabricKind::ALL {
+        c.bench_function(&format!("acquire_transfer_release_{kind}"), |b| {
+            let mut fabric = build_fabric(kind, FabricParams::table1());
+            b.iter(|| {
+                let grant = fabric
+                    .try_acquire(black_box(NodeId(42)))
+                    .expect("idle fabric grants");
+                let d = fabric.transfer(&grant, black_box(4096));
+                fabric.release(grant);
+                black_box(d)
+            });
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_fabric_cycle
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Calibration harness: runs a subset of catalog workloads across all six
+//! systems and prints the metrics the paper's figures anchor on, so the
+//! workload-generator parameters can be tuned against Figure 4 / 9 / 13.
+
+use venice_interconnect::FabricKind;
+use venice_ssd::{all_systems, run_systems, SsdConfig};
+use venice_workloads::catalog;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let requests: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4000);
+    let names: Vec<&str> = if args.len() > 2 {
+        args[2..].iter().map(|s| s.as_str()).collect()
+    } else {
+        vec!["hm_0", "proj_3", "src1_0", "YCSB_B", "ssd-10", "LUN3", "prxy_0"]
+    };
+    let cfg = SsdConfig::performance_optimized();
+    println!(
+        "{:<10} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7} | conf%: {:>5} {:>6} {:>6}",
+        "workload", "base(ms)", "pSSD", "pnSSD", "NoSSD", "Venice", "Ideal", "base", "venice", "nossd"
+    );
+    for name in names {
+        let Some(spec) = catalog::by_name(name) else {
+            eprintln!("unknown workload {name}");
+            continue;
+        };
+        let trace = spec.generate(requests);
+        let results = run_systems(&cfg, &all_systems(), &trace);
+        let base = &results[0];
+        let s = |k: FabricKind| {
+            let m = results.iter().find(|m| m.system == k).unwrap();
+            m.speedup_over(base)
+        };
+        let c = |k: FabricKind| {
+            results
+                .iter()
+                .find(|m| m.system == k)
+                .unwrap()
+                .conflict_pct()
+        };
+        println!(
+            "{:<10} {:>9.3} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2} |        {:>5.1} {:>6.2} {:>6.1}",
+            name,
+            base.execution_time.as_secs_f64() * 1e3,
+            s(FabricKind::Pssd),
+            s(FabricKind::PnSsd),
+            s(FabricKind::NoSsd),
+            s(FabricKind::Venice),
+            s(FabricKind::Ideal),
+            c(FabricKind::Baseline),
+            c(FabricKind::Venice),
+            c(FabricKind::NoSsd),
+        );
+    }
+}

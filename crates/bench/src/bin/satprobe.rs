@@ -1,0 +1,29 @@
+//! Saturated-throughput probe: floods each fabric with back-to-back 4 KiB
+//! random reads and prints the sustained IOPS — the capacity calibration
+//! signal behind the figure harnesses.
+use venice_interconnect::FabricKind;
+use venice_ssd::{SsdConfig, SsdSim};
+use venice_workloads::WorkloadSpec;
+
+fn main() {
+    let trace = WorkloadSpec::new("flood", 100.0, 4.0, 0.05)
+        .footprint_mb(512)
+        .zipf_theta(std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.0))
+        .seq_fraction(0.0)
+        .size_sigma(0.0)
+        .burst_mean(1.0)
+        .generate(8000);
+    for kind in FabricKind::ALL {
+        let cfg = SsdConfig::performance_optimized().sized_for_footprint(trace.footprint_bytes());
+        let m = SsdSim::new(cfg, kind, &trace).run();
+        println!(
+            "{kind:<9} exec={:>9} kiops={:>8.0} conflicts%={:>5.1} noFc={:>7} acq={:>6} hops/acq={:.2}",
+            m.execution_time.to_string(),
+            m.iops() / 1e3,
+            m.conflict_pct(),
+            m.fabric.controller_unavailable,
+            m.fabric.acquisitions,
+            m.fabric.hops_total as f64 / m.fabric.acquisitions.max(1) as f64,
+        );
+    }
+}

@@ -1,0 +1,57 @@
+use venice_interconnect::mesh::MeshState;
+use venice_interconnect::{Mesh2D, NodeId, LinkId, Direction};
+use venice_sim::rng::{Lfsr2, Xorshift64Star};
+use std::collections::VecDeque;
+
+fn bfs_path_exists(m: &MeshState, src: NodeId, dst: NodeId) -> bool {
+    let t = m.topology();
+    let mut seen = vec![false; t.node_count()];
+    let mut q = VecDeque::new();
+    seen[src.0 as usize] = true;
+    q.push_back(src);
+    while let Some(n) = q.pop_front() {
+        if n == dst { return true; }
+        for d in Direction::ALL {
+            if let (Some(nb), Some(l)) = (t.neighbor(n, d), t.link(n, d)) {
+                if m.link_free(l) && !seen[nb.0 as usize] {
+                    seen[nb.0 as usize] = true;
+                    q.push_back(nb);
+                }
+            }
+        }
+    }
+    false
+}
+
+fn main() {
+    let t = Mesh2D::new(8, 8);
+    let mut rng = Xorshift64Star::new(7);
+    let mut lfsr = Lfsr2::new();
+    let mut fails_with_path = 0u32;
+    let mut fails_no_path = 0u32;
+    let mut ok = 0u32;
+    for _trial in 0..2000 {
+        let mut m = MeshState::new(t, 8);
+        // Reserve 5-7 random circuits from west-edge FCs.
+        let n_circ = 5 + rng.next_bounded(3) as u8;
+        let mut used_fc = vec![];
+        for fc in 0..n_circ {
+            let src = t.node_at(u16::from(fc), 0);
+            let dst = NodeId(rng.next_bounded(64) as u16);
+            if m.scout_walk(fc, src, dst, &mut lfsr).is_ok() { used_fc.push(fc); }
+        }
+        // Now attempt one more from the last FC.
+        let fc = 7u8;
+        let src = t.node_at(7, 0);
+        let dst = NodeId(rng.next_bounded(64) as u16);
+        let reachable = bfs_path_exists(&m, src, dst);
+        match m.scout_walk(fc, src, dst, &mut lfsr) {
+            Ok(_) => ok += 1,
+            Err(_) => {
+                if reachable { fails_with_path += 1; } else { fails_no_path += 1; }
+            }
+        }
+        let _ = LinkId(0);
+    }
+    println!("ok={ok} fails_with_path={fails_with_path} fails_no_path={fails_no_path}");
+}

@@ -1,0 +1,117 @@
+//! Shared harness code for the figure/table reproduction binaries.
+//!
+//! Every binary in this crate regenerates one table or figure of the Venice
+//! paper (see DESIGN.md §4 for the index). They all print a
+//! markdown rendering to stdout and write a CSV under `results/`.
+//!
+//! Knobs (environment variables):
+//!
+//! * `VENICE_REQUESTS` — requests per workload (default 3000; the paper-vs-
+//!   measured records in EXPERIMENTS.md use 4000),
+//! * `VENICE_RESULTS_DIR` — where CSVs land (default `./results`).
+
+use std::path::PathBuf;
+
+use venice_interconnect::FabricKind;
+use venice_ssd::{run_systems, RunMetrics, SsdConfig};
+use venice_workloads::{catalog, Trace};
+
+/// Requests per workload for harness runs.
+pub fn requests() -> usize {
+    std::env::var("VENICE_REQUESTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3000)
+}
+
+/// Directory CSV outputs are written to.
+pub fn results_dir() -> PathBuf {
+    std::env::var("VENICE_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"))
+}
+
+/// The five real systems of the main figures (Ideal added separately).
+pub fn real_systems() -> [FabricKind; 5] {
+    [
+        FabricKind::Baseline,
+        FabricKind::Pssd,
+        FabricKind::PnSsd,
+        FabricKind::NoSsd,
+        FabricKind::Venice,
+    ]
+}
+
+/// Runs every Table 2 workload across `systems` under `config`, returning
+/// `(workload name, per-system metrics)` in catalog order.
+pub fn run_catalog(
+    config: &SsdConfig,
+    systems: &[FabricKind],
+    requests: usize,
+) -> Vec<(String, Vec<RunMetrics>)> {
+    catalog::TABLE2
+        .iter()
+        .map(|entry| {
+            let trace = catalog::spec(entry).generate(requests);
+            (entry.name.to_string(), run_systems(config, systems, &trace))
+        })
+        .collect()
+}
+
+/// Runs one named workload across `systems`.
+pub fn run_workload(
+    config: &SsdConfig,
+    systems: &[FabricKind],
+    name: &str,
+    requests: usize,
+) -> Vec<RunMetrics> {
+    let trace = catalog::by_name(name)
+        .unwrap_or_else(|| panic!("unknown workload {name}"))
+        .generate(requests);
+    run_systems(config, systems, &trace)
+}
+
+/// Runs an arbitrary trace across `systems`.
+pub fn run_trace(config: &SsdConfig, systems: &[FabricKind], trace: &Trace) -> Vec<RunMetrics> {
+    run_systems(config, systems, trace)
+}
+
+/// Speedup of `system` over the baseline entry in the same result row.
+pub fn speedup(results: &[RunMetrics], system: FabricKind) -> f64 {
+    let base = results
+        .iter()
+        .find(|m| m.system == FabricKind::Baseline)
+        .expect("baseline present");
+    results
+        .iter()
+        .find(|m| m.system == system)
+        .expect("system present")
+        .speedup_over(base)
+}
+
+/// Metric lookup by system.
+pub fn metrics<'a>(results: &'a [RunMetrics], system: FabricKind) -> &'a RunMetrics {
+    results
+        .iter()
+        .find(|m| m.system == system)
+        .expect("system present")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_one_workload() {
+        let cfg = SsdConfig::performance_optimized();
+        let results = run_workload(
+            &cfg,
+            &[FabricKind::Baseline, FabricKind::Venice],
+            "hm_0",
+            150,
+        );
+        assert_eq!(results.len(), 2);
+        assert!(speedup(&results, FabricKind::Venice) > 0.0);
+        assert_eq!(metrics(&results, FabricKind::Venice).system, FabricKind::Venice);
+    }
+}

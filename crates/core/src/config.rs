@@ -1,0 +1,223 @@
+//! SSD configurations: the paper's Table 1 presets and scaling knobs.
+
+use venice_ftl::ArrayGeometry;
+use venice_hil::HilConfig;
+use venice_interconnect::FabricParams;
+use venice_nand::{ChipGeometry, NandTiming, OpEnergy};
+use venice_sim::SimDuration;
+
+/// Static (load-independent) power draw of the SSD, used by the Figure 14
+/// energy model: controller, DRAM, and per-chip standby power.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StaticPower {
+    /// SSD controller static power, mW.
+    pub controller_mw: f64,
+    /// DRAM static power, mW.
+    pub dram_mw: f64,
+}
+
+impl Default for StaticPower {
+    fn default() -> Self {
+        StaticPower {
+            controller_mw: 1_500.0,
+            dram_mw: 500.0,
+        }
+    }
+}
+
+/// A complete SSD configuration.
+///
+/// Use [`SsdConfig::performance_optimized`] / [`SsdConfig::cost_optimized`]
+/// for the paper's Table 1 presets, then [`SsdConfig::sized_for_footprint`]
+/// to scale the flash capacity to the workload (the reproduction scales both
+/// trace footprint and device capacity together, preserving the utilization
+/// pressure that drives garbage collection — see DESIGN.md).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SsdConfig {
+    /// Human-readable preset name.
+    pub name: &'static str,
+    /// Flash array geometry (chips × per-chip layout).
+    pub array: ArrayGeometry,
+    /// NAND operation latencies.
+    pub timing: NandTiming,
+    /// NAND per-operation energy.
+    pub energy: OpEnergy,
+    /// Interconnect parameters (shape, bandwidths, electrical model).
+    pub fabric: FabricParams,
+    /// Host interface parameters.
+    pub hil: HilConfig,
+    /// Fraction of physical capacity exposed as logical space.
+    pub utilization: f64,
+    /// Bytes of a command burst on the wire (opcode + address + CRC).
+    pub command_bytes: u64,
+    /// Firmware latency to process one flash transaction in the FTL.
+    pub ftl_latency: SimDuration,
+    /// Static power model.
+    pub static_power: StaticPower,
+}
+
+impl SsdConfig {
+    /// Table 1 performance-optimized configuration (Samsung Z-NAND-like):
+    /// 8 channels × 8 chips, 1.2 GB/s channels, 4 KiB pages, tR = 3 µs.
+    ///
+    /// The per-plane block count is simulation-scaled (fewer, shorter blocks
+    /// than the 240 GB device) — capacity is set per workload via
+    /// [`SsdConfig::sized_for_footprint`]; parallelism (channels, chips,
+    /// dies, planes) matches the paper exactly.
+    pub fn performance_optimized() -> Self {
+        let chip = ChipGeometry {
+            dies: 1,
+            planes_per_die: 2,
+            blocks_per_plane: 64,
+            pages_per_block: 256,
+            page_size: 4 * 1024,
+        };
+        SsdConfig {
+            name: "performance-optimized",
+            array: ArrayGeometry::new(64, chip),
+            timing: NandTiming::z_nand(),
+            energy: OpEnergy::z_nand(),
+            fabric: FabricParams::table1(),
+            hil: HilConfig::default(),
+            utilization: 0.75,
+            command_bytes: 8,
+            ftl_latency: SimDuration::from_nanos(250),
+            static_power: StaticPower::default(),
+        }
+    }
+
+    /// Table 1 cost-optimized configuration (PM9A3-like 3D TLC): same
+    /// channel layout, 16 KiB pages, tR = 45 µs.
+    pub fn cost_optimized() -> Self {
+        let chip = ChipGeometry {
+            dies: 1,
+            planes_per_die: 2,
+            blocks_per_plane: 64,
+            pages_per_block: 256,
+            page_size: 16 * 1024,
+        };
+        SsdConfig {
+            name: "cost-optimized",
+            array: ArrayGeometry::new(64, chip),
+            timing: NandTiming::tlc_3d(),
+            energy: OpEnergy::tlc_3d(),
+            fabric: FabricParams::table1(),
+            hil: HilConfig::default(),
+            utilization: 0.75,
+            command_bytes: 8,
+            ftl_latency: SimDuration::from_nanos(250),
+            static_power: StaticPower::default(),
+        }
+    }
+
+    /// Reshapes the flash array to `rows` controllers × `cols` chips per row
+    /// while keeping the chip count (Figure 15's 4×16 / 8×8 / 16×4 sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows × cols` differs from the current chip count.
+    pub fn with_shape(mut self, rows: u16, cols: u16) -> Self {
+        assert_eq!(
+            rows as u32 * cols as u32,
+            u32::from(self.array.chips),
+            "shape must preserve the chip count"
+        );
+        self.fabric = FabricParams {
+            rows,
+            cols,
+            ..self.fabric
+        };
+        self
+    }
+
+    /// Scales the per-plane block count so that the physical capacity is
+    /// `footprint_bytes / utilization`, rounding up to whole blocks per
+    /// plane. This keeps over-provisioning pressure constant across
+    /// workloads with different footprints.
+    pub fn sized_for_footprint(mut self, footprint_bytes: u64) -> Self {
+        let physical_bytes = footprint_bytes as f64 / self.utilization;
+        let planes = u64::from(self.array.total_planes());
+        let block_bytes =
+            u64::from(self.array.chip.pages_per_block) * u64::from(self.array.chip.page_size);
+        let blocks = (physical_bytes / (planes * block_bytes) as f64).ceil() as u32;
+        // Floor of 8 blocks/plane keeps GC hysteresis meaningful.
+        self.array.chip.blocks_per_plane = blocks.max(8);
+        self
+    }
+
+    /// Logical pages exposed for a given workload footprint.
+    pub fn logical_pages_for(&self, footprint_bytes: u64) -> u64 {
+        footprint_bytes.div_ceil(u64::from(self.array.chip.page_size))
+    }
+
+    /// Bytes per physical page.
+    pub fn page_bytes(&self) -> u64 {
+        u64::from(self.array.chip.page_size)
+    }
+
+    /// Consistency checks (chip count must equal the mesh node count).
+    pub fn validate(&self) {
+        assert_eq!(
+            usize::from(self.array.chips),
+            self.fabric.mesh().node_count(),
+            "chip array and interconnect mesh must agree"
+        );
+        assert!(
+            self.utilization > 0.0 && self.utilization < 1.0,
+            "utilization must be in (0,1)"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table1() {
+        let p = SsdConfig::performance_optimized();
+        assert_eq!(p.array.chips, 64);
+        assert_eq!(p.array.chip.page_size, 4 * 1024);
+        assert_eq!(p.timing, NandTiming::z_nand());
+        assert_eq!(p.fabric.rows, 8);
+        assert_eq!(p.fabric.cols, 8);
+        p.validate();
+        let c = SsdConfig::cost_optimized();
+        assert_eq!(c.array.chip.page_size, 16 * 1024);
+        assert_eq!(c.timing, NandTiming::tlc_3d());
+        c.validate();
+    }
+
+    #[test]
+    fn shape_sweep_preserves_chip_count() {
+        for (r, c) in [(4u16, 16u16), (8, 8), (16, 4)] {
+            let cfg = SsdConfig::performance_optimized().with_shape(r, c);
+            assert_eq!(cfg.fabric.rows, r);
+            assert_eq!(cfg.fabric.cols, c);
+            cfg.validate();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "preserve the chip count")]
+    fn bad_shape_rejected() {
+        SsdConfig::performance_optimized().with_shape(4, 4);
+    }
+
+    #[test]
+    fn sizing_tracks_footprint() {
+        let cfg = SsdConfig::performance_optimized().sized_for_footprint(2 << 30);
+        let physical = cfg.array.total_pages() * cfg.page_bytes();
+        let logical = 2u64 << 30;
+        let util = logical as f64 / physical as f64;
+        assert!(util <= cfg.utilization + 0.05, "util {util}");
+        assert!(util > 0.4, "device should not be vastly oversized: {util}");
+    }
+
+    #[test]
+    fn logical_pages_round_up() {
+        let cfg = SsdConfig::performance_optimized();
+        assert_eq!(cfg.logical_pages_for(4096), 1);
+        assert_eq!(cfg.logical_pages_for(4097), 2);
+    }
+}

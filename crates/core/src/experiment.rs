@@ -1,0 +1,149 @@
+//! One-call experiment running: the entry point the figure harnesses,
+//! examples, and tests use.
+
+use venice_interconnect::FabricKind;
+use venice_workloads::Trace;
+
+use crate::{RunMetrics, SsdConfig, SsdSim};
+
+/// Re-export: the systems under comparison are exactly the fabrics.
+pub type SystemKind = FabricKind;
+
+/// Builder for a single run or a sweep of runs.
+///
+/// # Example
+///
+/// ```
+/// use venice_ssd::{ExperimentBuilder, SystemKind};
+/// use venice_workloads::WorkloadSpec;
+///
+/// let trace = WorkloadSpec::new("demo", 60.0, 8.0, 50.0)
+///     .footprint_mb(64)
+///     .generate(300);
+/// let m = ExperimentBuilder::performance_optimized()
+///     .system(SystemKind::Venice)
+///     .run(&trace);
+/// assert_eq!(m.completed_requests, 300);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ExperimentBuilder {
+    config: SsdConfig,
+    system: SystemKind,
+}
+
+impl ExperimentBuilder {
+    /// Starts from the Table 1 performance-optimized configuration.
+    pub fn performance_optimized() -> Self {
+        ExperimentBuilder {
+            config: SsdConfig::performance_optimized(),
+            system: SystemKind::Baseline,
+        }
+    }
+
+    /// Starts from the Table 1 cost-optimized configuration.
+    pub fn cost_optimized() -> Self {
+        ExperimentBuilder {
+            config: SsdConfig::cost_optimized(),
+            system: SystemKind::Baseline,
+        }
+    }
+
+    /// Starts from an explicit configuration.
+    pub fn with_config(config: SsdConfig) -> Self {
+        ExperimentBuilder {
+            config,
+            system: SystemKind::Baseline,
+        }
+    }
+
+    /// Selects the fabric under test.
+    pub fn system(mut self, system: SystemKind) -> Self {
+        self.system = system;
+        self
+    }
+
+    /// Reshapes the array (Figure 15 sweep).
+    pub fn shape(mut self, rows: u16, cols: u16) -> Self {
+        self.config = self.config.with_shape(rows, cols);
+        self
+    }
+
+    /// Runs the trace on an SSD sized for its footprint.
+    pub fn run(&self, trace: &Trace) -> RunMetrics {
+        let config = self.config.clone().sized_for_footprint(trace.footprint_bytes());
+        SsdSim::new(config, self.system, trace).run()
+    }
+}
+
+/// Runs `trace` on every system in `systems`, in parallel threads, and
+/// returns the metrics in the same order.
+///
+/// Every run is fully independent (deterministic per `(config, system,
+/// trace)`), so thread-parallelism changes nothing but wall-clock time.
+pub fn run_systems(
+    config: &SsdConfig,
+    systems: &[SystemKind],
+    trace: &Trace,
+) -> Vec<RunMetrics> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = systems
+            .iter()
+            .map(|&system| {
+                let config = config.clone();
+                scope.spawn(move || {
+                    let sized = config.sized_for_footprint(trace.footprint_bytes());
+                    SsdSim::new(sized, system, trace).run()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("simulation thread panicked"))
+            .collect()
+    })
+}
+
+/// The comparison set of the paper's main figures, in presentation order:
+/// Baseline, pSSD, pnSSD, NoSSD, Venice, Ideal.
+pub fn all_systems() -> [SystemKind; 6] {
+    [
+        SystemKind::Baseline,
+        SystemKind::Pssd,
+        SystemKind::PnSsd,
+        SystemKind::NoSsd,
+        SystemKind::Venice,
+        SystemKind::Ideal,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use venice_workloads::WorkloadSpec;
+
+    #[test]
+    fn run_systems_matches_individual_runs() {
+        let trace = WorkloadSpec::new("par", 80.0, 8.0, 20.0)
+            .footprint_mb(32)
+            .generate(200);
+        let cfg = SsdConfig::performance_optimized();
+        let batch = run_systems(
+            &cfg,
+            &[SystemKind::Baseline, SystemKind::Venice],
+            &trace,
+        );
+        let solo = ExperimentBuilder::performance_optimized()
+            .system(SystemKind::Venice)
+            .run(&trace);
+        assert_eq!(batch[1].execution_time, solo.execution_time);
+        assert_eq!(batch[0].system, SystemKind::Baseline);
+    }
+
+    #[test]
+    fn all_systems_has_paper_order() {
+        let s = all_systems();
+        assert_eq!(s[0], SystemKind::Baseline);
+        assert_eq!(s[4], SystemKind::Venice);
+        assert_eq!(s[5], SystemKind::Ideal);
+    }
+}

@@ -1,0 +1,49 @@
+//! The Venice SSD simulator: full-system assembly of HIL, FTL, interconnect
+//! fabrics, and flash chips.
+//!
+//! This crate is the reproduction's equivalent of MQSim's front end: it
+//! wires together the substrates from the sibling crates and exposes a
+//! one-call experiment interface.
+//!
+//! * [`SsdConfig`] — the paper's Table 1 configurations
+//!   (performance-optimized Z-NAND, cost-optimized 3D TLC) plus shape and
+//!   sizing knobs,
+//! * [`SsdSim`] — the event-driven SSD model (request lifecycle per the
+//!   paper's Figure 3),
+//! * [`ExperimentBuilder`] / [`run_systems`] — run workloads across the six
+//!   systems (Baseline, pSSD, pnSSD, NoSSD, Venice, Ideal),
+//! * [`RunMetrics`] — execution time, IOPS, tail latency, conflict rate,
+//!   power/energy: every metric the paper's evaluation reports,
+//! * [`report`] — markdown/CSV table helpers for the figure harnesses.
+//!
+//! # Example
+//!
+//! ```
+//! use venice_ssd::{run_systems, SsdConfig, SystemKind};
+//! use venice_workloads::catalog;
+//!
+//! let trace = catalog::by_name("hm_0").unwrap().generate(500);
+//! let cfg = SsdConfig::performance_optimized();
+//! let results = run_systems(
+//!     &cfg,
+//!     &[SystemKind::Baseline, SystemKind::Venice],
+//!     &trace,
+//! );
+//! assert_eq!(results[1].completed_requests, 500);
+//! // Venice resolves far more requests without path conflicts.
+//! assert!(results[1].conflict_pct() < results[0].conflict_pct());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod experiment;
+mod metrics;
+pub mod report;
+mod ssd;
+
+pub use config::{SsdConfig, StaticPower};
+pub use experiment::{all_systems, run_systems, ExperimentBuilder, SystemKind};
+pub use metrics::RunMetrics;
+pub use ssd::SsdSim;

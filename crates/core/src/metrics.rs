@@ -1,0 +1,136 @@
+//! Run metrics: everything the paper's figures report.
+
+use venice_ftl::FtlStats;
+use venice_hil::HilStats;
+use venice_interconnect::FabricStats;
+use venice_sim::stats::LatencySamples;
+use venice_sim::{SimDuration, SimTime};
+
+/// Metrics of one simulated run (one workload × one system × one config).
+#[derive(Clone, Debug)]
+pub struct RunMetrics {
+    /// The fabric under test.
+    pub system: venice_interconnect::FabricKind,
+    /// Workload name.
+    pub workload: String,
+    /// Configuration name.
+    pub config: &'static str,
+    /// Requests completed.
+    pub completed_requests: u64,
+    /// Overall execution time: first arrival to last completion (the paper's
+    /// speedup metric is the ratio of these).
+    pub execution_time: SimDuration,
+    /// End-to-end request latencies.
+    pub latencies: LatencySamples,
+    /// Requests that experienced at least one path conflict (Figure 13).
+    pub conflicted_requests: u64,
+    /// Total SSD energy, millijoules.
+    pub energy_mj: f64,
+    /// Average SSD power, milliwatts.
+    pub avg_power_mw: f64,
+    /// Fabric-level statistics.
+    pub fabric: FabricStats,
+    /// FTL statistics (GC, wear leveling, write amplification).
+    pub ftl: FtlStats,
+    /// Host-interface statistics.
+    pub hil: HilStats,
+    /// Total flash transactions executed.
+    pub transactions: u64,
+    /// Simulation end time.
+    pub end_time: SimTime,
+}
+
+impl RunMetrics {
+    /// I/O operations per second.
+    pub fn iops(&self) -> f64 {
+        let secs = self.execution_time.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.completed_requests as f64 / secs
+        }
+    }
+
+    /// Speedup of this run over a baseline run of the same workload:
+    /// the ratio of overall execution times.
+    pub fn speedup_over(&self, baseline: &RunMetrics) -> f64 {
+        assert_eq!(self.workload, baseline.workload, "speedup across workloads");
+        baseline.execution_time.as_secs_f64() / self.execution_time.as_secs_f64().max(1e-12)
+    }
+
+    /// Fraction of requests that experienced path conflicts, in percent.
+    pub fn conflict_pct(&self) -> f64 {
+        if self.completed_requests == 0 {
+            0.0
+        } else {
+            self.conflicted_requests as f64 / self.completed_requests as f64 * 100.0
+        }
+    }
+
+    /// 99th-percentile end-to-end latency.
+    pub fn p99(&mut self) -> SimDuration {
+        self.latencies.percentile(0.99)
+    }
+
+    /// Mean end-to-end latency.
+    pub fn mean_latency(&self) -> SimDuration {
+        self.latencies.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use venice_interconnect::FabricKind;
+
+    fn metrics(exec_us: u64, requests: u64) -> RunMetrics {
+        let mut latencies = LatencySamples::new();
+        for i in 0..requests {
+            latencies.record(SimDuration::from_micros(i + 1));
+        }
+        RunMetrics {
+            system: FabricKind::Baseline,
+            workload: "t".into(),
+            config: "test",
+            completed_requests: requests,
+            execution_time: SimDuration::from_micros(exec_us),
+            latencies,
+            conflicted_requests: requests / 4,
+            energy_mj: 10.0,
+            avg_power_mw: 100.0,
+            fabric: FabricStats::default(),
+            ftl: FtlStats::default(),
+            hil: HilStats::default(),
+            transactions: requests,
+            end_time: SimTime::from_micros(exec_us),
+        }
+    }
+
+    #[test]
+    fn iops_and_speedup() {
+        let base = metrics(1_000, 100);
+        let fast = metrics(250, 100);
+        assert!((fast.speedup_over(&base) - 4.0).abs() < 1e-9);
+        // 100 requests in 1 ms = 100k IOPS.
+        assert!((base.iops() - 100_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn conflict_percentage() {
+        let m = metrics(1_000, 100);
+        assert!((m.conflict_pct() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p99_from_samples() {
+        let mut m = metrics(1_000, 100);
+        assert_eq!(m.p99(), SimDuration::from_micros(99));
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let m = metrics(0, 0);
+        assert_eq!(m.iops(), 0.0);
+        assert_eq!(m.conflict_pct(), 0.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Global physical page addressing over the whole flash array.
+
+use venice_nand::{ChipGeometry, ChipId, PageAddr, PhysicalPageAddr};
+
+/// Geometry of the whole flash array: `chips` identical chips.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ArrayGeometry {
+    /// Number of flash chips.
+    pub chips: u16,
+    /// Per-chip geometry.
+    pub chip: ChipGeometry,
+}
+
+impl ArrayGeometry {
+    /// Creates an array geometry.
+    pub fn new(chips: u16, chip: ChipGeometry) -> Self {
+        ArrayGeometry { chips, chip }
+    }
+
+    /// Total physical pages in the array.
+    pub fn total_pages(&self) -> u64 {
+        u64::from(self.chips) * self.chip.pages_per_chip()
+    }
+
+    /// Total planes in the array.
+    pub fn total_planes(&self) -> u32 {
+        u32::from(self.chips) * self.chip.planes_per_chip()
+    }
+
+    /// Total blocks in the array.
+    pub fn total_blocks(&self) -> u64 {
+        u64::from(self.total_planes()) * u64::from(self.chip.blocks_per_plane)
+    }
+
+    /// Packs a physical page address into a dense global index.
+    pub fn pack(&self, p: PhysicalPageAddr) -> Gppa {
+        debug_assert!(p.chip.0 < self.chips);
+        Gppa(u64::from(p.chip.0) * self.chip.pages_per_chip() + self.chip.page_index(p.addr))
+    }
+
+    /// Unpacks a dense global index into a physical page address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn unpack(&self, g: Gppa) -> PhysicalPageAddr {
+        assert!(g.0 < self.total_pages(), "gppa out of range");
+        let chip = ChipId((g.0 / self.chip.pages_per_chip()) as u16);
+        let addr = self.chip.page_from_index(g.0 % self.chip.pages_per_chip());
+        PhysicalPageAddr { chip, addr }
+    }
+
+    /// Dense plane index of a physical page (used by per-plane allocators).
+    pub fn plane_index(&self, p: PhysicalPageAddr) -> usize {
+        (u32::from(p.chip.0) * self.chip.planes_per_chip()
+            + p.addr.die * self.chip.planes_per_die
+            + p.addr.plane) as usize
+    }
+
+    /// Reconstructs `(chip, die, plane)` from a dense plane index.
+    pub fn plane_location(&self, plane_idx: usize) -> (ChipId, u32, u32) {
+        let ppc = self.chip.planes_per_chip() as usize;
+        let chip = ChipId((plane_idx / ppc) as u16);
+        let within = (plane_idx % ppc) as u32;
+        (
+            chip,
+            within / self.chip.planes_per_die,
+            within % self.chip.planes_per_die,
+        )
+    }
+
+    /// The physical page at `(plane_idx, block, page)`.
+    pub fn page_at(&self, plane_idx: usize, block: u32, page: u32) -> PhysicalPageAddr {
+        let (chip, die, plane) = self.plane_location(plane_idx);
+        PhysicalPageAddr {
+            chip,
+            addr: PageAddr {
+                die,
+                plane,
+                block,
+                page,
+            },
+        }
+    }
+}
+
+/// A packed global physical page address ("global PPA").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Gppa(pub u64);
+
+impl std::fmt::Display for Gppa {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "gppa:{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> ArrayGeometry {
+        ArrayGeometry::new(4, ChipGeometry::z_nand_small())
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let g = geom();
+        for idx in (0..g.total_pages()).step_by(7) {
+            let p = g.unpack(Gppa(idx));
+            assert_eq!(g.pack(p), Gppa(idx));
+        }
+    }
+
+    #[test]
+    fn plane_index_roundtrip() {
+        let g = geom();
+        for plane_idx in 0..g.total_planes() as usize {
+            let p = g.page_at(plane_idx, 1, 2);
+            assert_eq!(g.plane_index(p), plane_idx);
+            assert_eq!(p.addr.block, 1);
+            assert_eq!(p.addr.page, 2);
+        }
+    }
+
+    #[test]
+    fn totals_are_consistent() {
+        let g = geom();
+        assert_eq!(
+            g.total_pages(),
+            g.total_blocks() * u64::from(g.chip.pages_per_block)
+        );
+        assert_eq!(g.total_planes(), 4 * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unpack_rejects_out_of_range() {
+        let g = geom();
+        g.unpack(Gppa(g.total_pages()));
+    }
+}

@@ -1,0 +1,219 @@
+//! Cached mapping table (CMT): the DRAM-resident LRU cache of mapping-table
+//! translation pages, in the style of DFTL (the paper's §2.2 notes the FTL
+//! caches the L2P table in the SSD's DRAM).
+
+use std::collections::HashMap;
+
+/// Statistics of the mapping cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed (requiring a mapping-table flash read).
+    pub misses: u64,
+    /// Evictions of dirty translation pages (requiring a write-back).
+    pub dirty_evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]` (1.0 when no lookups happened).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// An LRU cache of mapping-table translation pages.
+///
+/// Each cached unit is a *translation page* covering
+/// `entries_per_page` consecutive logical pages. A lookup misses when the
+/// covering translation page is absent; the caller then issues a `MapRead`
+/// flash transaction and calls [`MappingCache::fill`]. Updates mark the
+/// translation page dirty; evicting a dirty page reports that a `MapWrite`
+/// is needed.
+///
+/// # Example
+///
+/// ```
+/// use venice_ftl::MappingCache;
+/// let mut c = MappingCache::new(2, 512);
+/// assert!(!c.lookup(0));        // cold miss on translation page 0
+/// c.fill(0);
+/// assert!(c.lookup(511));       // same translation page: hit
+/// assert!(!c.lookup(512));      // next translation page: miss
+/// ```
+#[derive(Clone, Debug)]
+pub struct MappingCache {
+    capacity: usize,
+    entries_per_page: u64,
+    /// translation-page id → (last-use stamp, dirty)
+    resident: HashMap<u64, (u64, bool)>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl MappingCache {
+    /// Creates a cache holding up to `capacity` translation pages, each
+    /// covering `entries_per_page` logical pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(capacity: usize, entries_per_page: u64) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        assert!(entries_per_page > 0, "entries per page must be positive");
+        MappingCache {
+            capacity,
+            entries_per_page,
+            resident: HashMap::with_capacity(capacity),
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// A cache sized to cover the whole logical space (no misses after
+    /// warm-up; the default for the paper-scale experiments, which assume a
+    /// fully cached mapping table).
+    pub fn covering(logical_pages: u64, entries_per_page: u64) -> Self {
+        let pages = logical_pages.div_ceil(entries_per_page).max(1);
+        Self::new(pages as usize, entries_per_page)
+    }
+
+    /// Translation page covering `lpa`.
+    pub fn translation_page(&self, lpa: u64) -> u64 {
+        lpa / self.entries_per_page
+    }
+
+    /// Number of resident translation pages.
+    pub fn len(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.resident.is_empty()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Checks whether the translation page covering `lpa` is resident,
+    /// updating recency and hit/miss statistics.
+    pub fn lookup(&mut self, lpa: u64) -> bool {
+        let tp = self.translation_page(lpa);
+        self.clock += 1;
+        match self.resident.get_mut(&tp) {
+            Some((stamp, _)) => {
+                *stamp = self.clock;
+                self.stats.hits += 1;
+                true
+            }
+            None => {
+                self.stats.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Inserts the translation page covering `lpa` (after a `MapRead`
+    /// completes). Returns the id of a dirty translation page that must be
+    /// written back, if the insertion evicted one.
+    pub fn fill(&mut self, lpa: u64) -> Option<u64> {
+        let tp = self.translation_page(lpa);
+        self.clock += 1;
+        let mut writeback = None;
+        if !self.resident.contains_key(&tp) && self.resident.len() >= self.capacity {
+            // Evict the least recently used resident page.
+            let (&victim, &(_, dirty)) = self
+                .resident
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .expect("cache non-empty at capacity");
+            self.resident.remove(&victim);
+            if dirty {
+                self.stats.dirty_evictions += 1;
+                writeback = Some(victim);
+            }
+        }
+        self.resident.entry(tp).or_insert((self.clock, false)).0 = self.clock;
+        writeback
+    }
+
+    /// Marks the translation page covering `lpa` dirty (after a mapping
+    /// update). No-op if it is not resident.
+    pub fn mark_dirty(&mut self, lpa: u64) {
+        let tp = self.translation_page(lpa);
+        if let Some((_, dirty)) = self.resident.get_mut(&tp) {
+            *dirty = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = MappingCache::new(2, 10);
+        c.fill(0); // tp 0
+        c.fill(10); // tp 1
+        assert!(c.lookup(5)); // touch tp 0 → tp 1 is now LRU
+        c.fill(20); // tp 2 evicts tp 1
+        assert!(c.lookup(0));
+        assert!(!c.lookup(10), "tp 1 must have been evicted");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = MappingCache::new(1, 10);
+        c.fill(0);
+        c.mark_dirty(3);
+        let wb = c.fill(10); // evicts dirty tp 0
+        assert_eq!(wb, Some(0));
+        assert_eq!(c.stats().dirty_evictions, 1);
+        // Clean eviction reports nothing.
+        let wb = c.fill(20);
+        assert_eq!(wb, None);
+    }
+
+    #[test]
+    fn covering_cache_never_misses_after_warmup() {
+        let mut c = MappingCache::covering(1000, 128);
+        for lpa in 0..1000 {
+            if !c.lookup(lpa) {
+                c.fill(lpa);
+            }
+        }
+        let misses_after_warmup = {
+            let before = c.stats().misses;
+            for lpa in 0..1000 {
+                assert!(c.lookup(lpa));
+            }
+            c.stats().misses - before
+        };
+        assert_eq!(misses_after_warmup, 0);
+        assert!(c.stats().hit_ratio() > 0.9);
+    }
+
+    #[test]
+    fn hit_ratio_of_idle_cache_is_one() {
+        let c = MappingCache::new(4, 4);
+        assert_eq!(c.stats().hit_ratio(), 1.0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn mark_dirty_nonresident_is_noop() {
+        let mut c = MappingCache::new(1, 4);
+        c.mark_dirty(0);
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! Flash translation layer for the Venice SSD reproduction.
+//!
+//! Implements the four FTL responsibilities the paper describes in §2.2:
+//!
+//! 1. **Logical-to-physical mapping** with out-of-place writes
+//!    ([`PageMap`], [`Ftl::allocate_write`]),
+//! 2. **Garbage collection** with greedy least-valid victim selection
+//!    ([`Ftl::start_gc`], [`MigrationJob`]),
+//! 3. **Wear leveling** via static cold-block migration
+//!    ([`Ftl::check_wear_leveling`]),
+//! 4. **Mapping caching** in controller DRAM ([`MappingCache`]).
+//!
+//! Physical pages are allocated with dynamic channel-way-die-plane striping
+//! so consecutive writes spread across the whole array — the allocation
+//! scheme the paper's baseline (MQSim) uses to maximize internal
+//! parallelism. The [`TransactionScheduler`] provides MQSim-style per-chip
+//! queues with read priority.
+//!
+//! The FTL is deliberately time-free: it is a deterministic state machine
+//! that the SSD core (crate `venice-ssd`) drives, converting the returned
+//! physical locations into timed flash transactions over the interconnect.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+mod cache;
+#[allow(clippy::module_inception)]
+mod ftl;
+mod mapping;
+mod transaction;
+mod tsu;
+
+pub use addr::{ArrayGeometry, Gppa};
+pub use cache::{CacheStats, MappingCache};
+pub use ftl::{Ftl, FtlConfig, FtlError, FtlStats, MigrationJob};
+pub use mapping::PageMap;
+pub use transaction::{RequestId, Transaction, TxnId, TxnKind};
+pub use tsu::TransactionScheduler;

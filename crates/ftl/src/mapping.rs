@@ -1,0 +1,134 @@
+//! Page-level logical-to-physical mapping table.
+
+use crate::Gppa;
+
+const UNMAPPED: u64 = u64::MAX;
+
+/// The L2P table: a dense array over the logical page space.
+///
+/// Real controllers keep this table in DRAM (cached via the CMT, see
+/// [`crate::MappingCache`]); the simulator keeps it fully resident and
+/// charges DRAM-access latency at the SSD level.
+///
+/// # Example
+///
+/// ```
+/// use venice_ftl::{Gppa, PageMap};
+/// let mut m = PageMap::new(100);
+/// assert_eq!(m.translate(5), None);
+/// assert_eq!(m.update(5, Gppa(42)), None);
+/// assert_eq!(m.translate(5), Some(Gppa(42)));
+/// assert_eq!(m.update(5, Gppa(77)), Some(Gppa(42))); // old page invalidated
+/// ```
+#[derive(Clone, Debug)]
+pub struct PageMap {
+    entries: Vec<u64>,
+    mapped: u64,
+}
+
+impl PageMap {
+    /// Creates an unmapped table covering `logical_pages` pages.
+    pub fn new(logical_pages: u64) -> Self {
+        PageMap {
+            entries: vec![UNMAPPED; logical_pages as usize],
+            mapped: 0,
+        }
+    }
+
+    /// Number of logical pages the table covers.
+    pub fn logical_pages(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// Number of currently mapped logical pages.
+    pub fn mapped_pages(&self) -> u64 {
+        self.mapped
+    }
+
+    /// Looks up the physical page of `lpa`, or `None` if never written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lpa` is outside the logical space.
+    pub fn translate(&self, lpa: u64) -> Option<Gppa> {
+        let e = self.entries[lpa as usize];
+        (e != UNMAPPED).then_some(Gppa(e))
+    }
+
+    /// Points `lpa` at a new physical page, returning the previous physical
+    /// page (now invalid) if there was one — the out-of-place write step of
+    /// §2.2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lpa` is outside the logical space.
+    pub fn update(&mut self, lpa: u64, gppa: Gppa) -> Option<Gppa> {
+        debug_assert_ne!(gppa.0, UNMAPPED);
+        let slot = &mut self.entries[lpa as usize];
+        let old = *slot;
+        *slot = gppa.0;
+        if old == UNMAPPED {
+            self.mapped += 1;
+            None
+        } else {
+            Some(Gppa(old))
+        }
+    }
+
+    /// Removes the mapping of `lpa` (e.g. TRIM), returning the old physical
+    /// page if there was one.
+    pub fn unmap(&mut self, lpa: u64) -> Option<Gppa> {
+        let slot = &mut self.entries[lpa as usize];
+        let old = *slot;
+        *slot = UNMAPPED;
+        if old == UNMAPPED {
+            None
+        } else {
+            self.mapped -= 1;
+            Some(Gppa(old))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_table_is_unmapped() {
+        let m = PageMap::new(10);
+        for lpa in 0..10 {
+            assert_eq!(m.translate(lpa), None);
+        }
+        assert_eq!(m.mapped_pages(), 0);
+        assert_eq!(m.logical_pages(), 10);
+    }
+
+    #[test]
+    fn update_tracks_mapped_count() {
+        let mut m = PageMap::new(4);
+        assert_eq!(m.update(0, Gppa(1)), None);
+        assert_eq!(m.update(1, Gppa(2)), None);
+        assert_eq!(m.mapped_pages(), 2);
+        // Overwrite does not change the count but reports the stale page.
+        assert_eq!(m.update(0, Gppa(9)), Some(Gppa(1)));
+        assert_eq!(m.mapped_pages(), 2);
+    }
+
+    #[test]
+    fn unmap_roundtrip() {
+        let mut m = PageMap::new(4);
+        m.update(2, Gppa(5));
+        assert_eq!(m.unmap(2), Some(Gppa(5)));
+        assert_eq!(m.unmap(2), None);
+        assert_eq!(m.translate(2), None);
+        assert_eq!(m.mapped_pages(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_lpa_panics() {
+        let m = PageMap::new(4);
+        m.translate(4);
+    }
+}

@@ -1,0 +1,103 @@
+//! Flash transactions: the unit of work the FTL submits to the flash array.
+
+use venice_nand::PhysicalPageAddr;
+
+/// Identifier of a host I/O request (assigned by the host interface layer).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u64);
+
+/// Identifier of a flash transaction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId(pub u64);
+
+/// What a transaction does and on whose behalf.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TxnKind {
+    /// Page read for a host request.
+    UserRead,
+    /// Page program for a host request.
+    UserWrite,
+    /// Page read issued by the garbage collector (valid-page migration).
+    GcRead,
+    /// Page program issued by the garbage collector.
+    GcWrite,
+    /// Block erase issued by the garbage collector.
+    GcErase,
+    /// Page read issued by the wear leveler.
+    WearRead,
+    /// Page program issued by the wear leveler.
+    WearWrite,
+    /// Block erase issued by the wear leveler.
+    WearErase,
+    /// Mapping-table read (cached-mapping-table miss).
+    MapRead,
+    /// Mapping-table write-back.
+    MapWrite,
+}
+
+impl TxnKind {
+    /// True for reads of any origin (read-priority scheduling classes).
+    pub fn is_read(&self) -> bool {
+        matches!(
+            self,
+            TxnKind::UserRead | TxnKind::GcRead | TxnKind::WearRead | TxnKind::MapRead
+        )
+    }
+
+    /// True for programs of any origin.
+    pub fn is_write(&self) -> bool {
+        matches!(
+            self,
+            TxnKind::UserWrite | TxnKind::GcWrite | TxnKind::WearWrite | TxnKind::MapWrite
+        )
+    }
+
+    /// True for erases.
+    pub fn is_erase(&self) -> bool {
+        matches!(self, TxnKind::GcErase | TxnKind::WearErase)
+    }
+
+    /// True when the transaction serves internal maintenance rather than a
+    /// host request.
+    pub fn is_background(&self) -> bool {
+        !matches!(self, TxnKind::UserRead | TxnKind::UserWrite)
+    }
+}
+
+/// One flash transaction: a page-granularity operation bound to a physical
+/// location.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Transaction {
+    /// Unique id.
+    pub id: TxnId,
+    /// Operation class.
+    pub kind: TxnKind,
+    /// Target physical page (for erases: any page in the victim block).
+    pub target: PhysicalPageAddr,
+    /// Logical page, when the transaction maps to one.
+    pub lpa: Option<u64>,
+    /// Host request this transaction belongs to, if any.
+    pub request: Option<RequestId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_classification_is_partitioned() {
+        use TxnKind::*;
+        for k in [
+            UserRead, UserWrite, GcRead, GcWrite, GcErase, WearRead, WearWrite, WearErase,
+            MapRead, MapWrite,
+        ] {
+            let classes =
+                u8::from(k.is_read()) + u8::from(k.is_write()) + u8::from(k.is_erase());
+            assert_eq!(classes, 1, "{k:?} must be exactly one class");
+        }
+        assert!(!UserRead.is_background());
+        assert!(!UserWrite.is_background());
+        assert!(GcRead.is_background());
+        assert!(MapWrite.is_background());
+    }
+}

@@ -1,0 +1,219 @@
+//! Transaction scheduling unit (TSU): per-chip queues with read priority.
+//!
+//! MQSim's TSU keeps separate read/write/erase queues per chip and serves
+//! reads first (reads are latency-critical; the paper's §3.1 notes path
+//! conflicts hurt reads the most). Writes and erases to the same plane must
+//! additionally issue in FIFO order to respect NAND program-order rules, so
+//! only the *head* write of a chip's write queue is eligible for dispatch.
+
+use std::collections::VecDeque;
+
+use crate::Transaction;
+#[cfg(test)]
+use crate::TxnKind;
+
+/// Per-chip transaction queues with read priority.
+#[derive(Clone, Debug)]
+pub struct ChipQueues {
+    reads: VecDeque<Transaction>,
+    writes: VecDeque<Transaction>,
+    erases: VecDeque<Transaction>,
+}
+
+impl ChipQueues {
+    fn new() -> Self {
+        ChipQueues {
+            reads: VecDeque::new(),
+            writes: VecDeque::new(),
+            erases: VecDeque::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.reads.len() + self.writes.len() + self.erases.len()
+    }
+}
+
+/// The transaction scheduling unit over all chips.
+///
+/// # Example
+///
+/// ```
+/// use venice_ftl::{Transaction, TransactionScheduler, TxnId, TxnKind};
+/// use venice_nand::{ChipId, PageAddr, PhysicalPageAddr};
+///
+/// let mut tsu = TransactionScheduler::new(4);
+/// let target = PhysicalPageAddr { chip: ChipId(2), addr: PageAddr::default() };
+/// tsu.enqueue(Transaction {
+///     id: TxnId(1), kind: TxnKind::UserRead, target, lpa: Some(0), request: None,
+/// });
+/// assert_eq!(tsu.pending(), 1);
+/// let next = tsu.peek(2).unwrap();
+/// assert_eq!(next.id, TxnId(1));
+/// tsu.pop(2);
+/// assert_eq!(tsu.pending(), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TransactionScheduler {
+    chips: Vec<ChipQueues>,
+    pending: usize,
+}
+
+impl TransactionScheduler {
+    /// Creates a scheduler for `chips` flash chips.
+    pub fn new(chips: usize) -> Self {
+        TransactionScheduler {
+            chips: (0..chips).map(|_| ChipQueues::new()).collect(),
+            pending: 0,
+        }
+    }
+
+    /// Number of chips covered.
+    pub fn chip_count(&self) -> usize {
+        self.chips.len()
+    }
+
+    /// Total queued transactions.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Queued transactions for one chip.
+    pub fn pending_for(&self, chip: u16) -> usize {
+        self.chips[usize::from(chip)].len()
+    }
+
+    /// True when nothing is queued anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.pending == 0
+    }
+
+    /// Enqueues a transaction on its target chip's class queue.
+    pub fn enqueue(&mut self, txn: Transaction) {
+        let q = &mut self.chips[usize::from(txn.target.chip.0)];
+        if txn.kind.is_read() {
+            q.reads.push_back(txn);
+        } else if txn.kind.is_write() {
+            q.writes.push_back(txn);
+        } else {
+            q.erases.push_back(txn);
+        }
+        self.pending += 1;
+    }
+
+    /// The next transaction that would dispatch on `chip`: the oldest read
+    /// if any (read priority), else the head write, else the head erase.
+    pub fn peek(&self, chip: u16) -> Option<&Transaction> {
+        let q = &self.chips[usize::from(chip)];
+        q.reads
+            .front()
+            .or_else(|| q.writes.front())
+            .or_else(|| q.erases.front())
+    }
+
+    /// Removes and returns what [`TransactionScheduler::peek`] returned.
+    pub fn pop(&mut self, chip: u16) -> Option<Transaction> {
+        let q = &mut self.chips[usize::from(chip)];
+        let t = q
+            .reads
+            .pop_front()
+            .or_else(|| q.writes.pop_front())
+            .or_else(|| q.erases.pop_front());
+        if t.is_some() {
+            self.pending -= 1;
+        }
+        t
+    }
+
+    /// Iterates over chips that have at least one queued transaction.
+    pub fn busy_chips(&self) -> impl Iterator<Item = u16> + '_ {
+        self.chips
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| q.len() > 0)
+            .map(|(i, _)| i as u16)
+    }
+
+    /// Requeues a transaction at the *front* of its class queue (used when a
+    /// dispatch attempt fails to acquire a path and must be retried without
+    /// losing its position).
+    pub fn requeue_front(&mut self, txn: Transaction) {
+        let q = &mut self.chips[usize::from(txn.target.chip.0)];
+        if txn.kind.is_read() {
+            q.reads.push_front(txn);
+        } else if txn.kind.is_write() {
+            q.writes.push_front(txn);
+        } else {
+            q.erases.push_front(txn);
+        }
+        self.pending += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TxnId;
+    use venice_nand::{ChipId, PageAddr, PhysicalPageAddr};
+
+    fn txn(id: u64, kind: TxnKind, chip: u16) -> Transaction {
+        Transaction {
+            id: TxnId(id),
+            kind,
+            target: PhysicalPageAddr {
+                chip: ChipId(chip),
+                addr: PageAddr::default(),
+            },
+            lpa: None,
+            request: None,
+        }
+    }
+
+    #[test]
+    fn reads_have_priority_over_writes() {
+        let mut tsu = TransactionScheduler::new(1);
+        tsu.enqueue(txn(1, TxnKind::UserWrite, 0));
+        tsu.enqueue(txn(2, TxnKind::UserRead, 0));
+        tsu.enqueue(txn(3, TxnKind::GcErase, 0));
+        assert_eq!(tsu.pop(0).unwrap().id, TxnId(2));
+        assert_eq!(tsu.pop(0).unwrap().id, TxnId(1));
+        assert_eq!(tsu.pop(0).unwrap().id, TxnId(3));
+        assert!(tsu.pop(0).is_none());
+    }
+
+    #[test]
+    fn fifo_within_class() {
+        let mut tsu = TransactionScheduler::new(1);
+        for id in 0..5 {
+            tsu.enqueue(txn(id, TxnKind::UserWrite, 0));
+        }
+        for id in 0..5 {
+            assert_eq!(tsu.pop(0).unwrap().id, TxnId(id));
+        }
+    }
+
+    #[test]
+    fn requeue_front_preserves_position() {
+        let mut tsu = TransactionScheduler::new(1);
+        tsu.enqueue(txn(1, TxnKind::UserRead, 0));
+        tsu.enqueue(txn(2, TxnKind::UserRead, 0));
+        let head = tsu.pop(0).unwrap();
+        tsu.requeue_front(head);
+        assert_eq!(tsu.pop(0).unwrap().id, TxnId(1));
+        assert_eq!(tsu.pop(0).unwrap().id, TxnId(2));
+    }
+
+    #[test]
+    fn busy_chips_lists_nonempty_queues() {
+        let mut tsu = TransactionScheduler::new(4);
+        tsu.enqueue(txn(1, TxnKind::UserRead, 1));
+        tsu.enqueue(txn(2, TxnKind::UserWrite, 3));
+        let busy: Vec<u16> = tsu.busy_chips().collect();
+        assert_eq!(busy, vec![1, 3]);
+        assert_eq!(tsu.pending_for(1), 1);
+        assert_eq!(tsu.pending_for(0), 0);
+        assert_eq!(tsu.pending(), 2);
+        assert!(!tsu.is_empty());
+        assert_eq!(tsu.chip_count(), 4);
+    }
+}

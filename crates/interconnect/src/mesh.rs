@@ -1,0 +1,639 @@
+//! Shared mesh state: link reservations, router reservation tables, and the
+//! two routing algorithms (Venice's non-minimal fully-adaptive scout walk,
+//! and dimension-order XY used by NoSSD).
+
+use venice_sim::rng::Lfsr2;
+
+use crate::router::{Port, ReservationTable};
+use crate::{Direction, LinkId, Mesh2D, NodeId};
+
+/// A reserved circuit through the mesh: the ordered nodes and links from the
+/// source (controller attach) node to the destination flash node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReservedPath {
+    /// Packet ID (= source controller ID) holding the reservation.
+    pub packet_id: u8,
+    /// Nodes visited, source first, destination last.
+    pub nodes: Vec<NodeId>,
+    /// Links reserved, in traversal order (`nodes.len() - 1` of them).
+    pub links: Vec<LinkId>,
+}
+
+impl ReservedPath {
+    /// Number of router-to-router hops.
+    pub fn hops(&self) -> u32 {
+        self.links.len() as u32
+    }
+}
+
+/// Why a scout walk failed to reserve a path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScoutFailure {
+    /// Total forward/backtrack steps taken before giving up.
+    pub steps: u32,
+}
+
+/// Outcome statistics of a successful scout walk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScoutOutcome {
+    /// Steps taken, counting forward moves and backtracks.
+    pub steps: u32,
+    /// True if the walk ever had to misroute (take a non-minimal port) or
+    /// backtrack — i.e. a minimal path was not cleanly available.
+    pub detoured: bool,
+}
+
+/// Mutable reservation state of a 2D-mesh interconnect: per-link owner and
+/// per-router reservation tables.
+///
+/// Used by both the Venice fabric (scout walks + circuit switching) and the
+/// NoSSD fabric (XY paths). All mutation is instantaneous from the
+/// simulation's perspective; the caller charges the appropriate wire
+/// latencies.
+#[derive(Clone, Debug)]
+pub struct MeshState {
+    topo: Mesh2D,
+    /// `Some(packet_id)` when reserved.
+    links: Vec<Option<u8>>,
+    routers: Vec<ReservationTable>,
+    controllers: usize,
+}
+
+impl MeshState {
+    /// Creates an idle mesh with `controllers` packet IDs per router table.
+    pub fn new(topo: Mesh2D, controllers: usize) -> Self {
+        MeshState {
+            topo,
+            links: vec![None; topo.link_count()],
+            routers: (0..topo.node_count())
+                .map(|_| ReservationTable::new(controllers))
+                .collect(),
+            controllers,
+        }
+    }
+
+    /// The mesh topology.
+    pub fn topology(&self) -> Mesh2D {
+        self.topo
+    }
+
+    /// Number of controllers (packet ID space).
+    pub fn controllers(&self) -> usize {
+        self.controllers
+    }
+
+    /// True if the link is currently unreserved.
+    pub fn link_free(&self, l: LinkId) -> bool {
+        self.links[l.0 as usize].is_none()
+    }
+
+    /// Which packet holds a link, if any.
+    pub fn link_owner(&self, l: LinkId) -> Option<u8> {
+        self.links[l.0 as usize]
+    }
+
+    /// Number of currently reserved links.
+    pub fn reserved_link_count(&self) -> usize {
+        self.links.iter().filter(|l| l.is_some()).count()
+    }
+
+    /// Read access to a router's reservation table (for diagnostics/tests).
+    pub fn router(&self, n: NodeId) -> &ReservationTable {
+        &self.routers[n.0 as usize]
+    }
+
+    /// Reserves an explicit node path for `packet_id` (test/scenario setup;
+    /// the Venice fabric itself reserves via [`MeshState::scout_walk`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if consecutive nodes are not adjacent, a link is already
+    /// reserved, or a router already holds a row for this packet.
+    pub fn reserve_explicit(&mut self, packet_id: u8, nodes: &[NodeId]) -> ReservedPath {
+        assert!(!nodes.is_empty(), "path must contain at least one node");
+        let mut links = Vec::with_capacity(nodes.len().saturating_sub(1));
+        let mut entry = Port::Injection;
+        for w in nodes.windows(2) {
+            let dir = Direction::ALL
+                .into_iter()
+                .find(|&d| self.topo.neighbor(w[0], d) == Some(w[1]))
+                .expect("consecutive nodes must be adjacent");
+            let link = self.topo.link(w[0], dir).expect("adjacent nodes share a link");
+            assert!(self.link_free(link), "link {link} already reserved");
+            self.links[link.0 as usize] = Some(packet_id);
+            self.routers[w[0].0 as usize]
+                .insert(packet_id, entry, Port::Mesh(dir))
+                .expect("router row free");
+            entry = Port::Mesh(dir.opposite());
+            links.push(link);
+        }
+        let last = *nodes.last().expect("non-empty");
+        self.routers[last.0 as usize]
+            .insert(packet_id, entry, Port::Ejection)
+            .expect("router row free");
+        ReservedPath {
+            packet_id,
+            nodes: nodes.to_vec(),
+            links,
+        }
+    }
+
+    /// Releases a circuit: frees its links and clears its router rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the path's links were not owned by its packet —
+    /// that would indicate reservation bookkeeping corruption.
+    pub fn release(&mut self, path: &ReservedPath) {
+        for &l in &path.links {
+            debug_assert_eq!(self.links[l.0 as usize], Some(path.packet_id));
+            self.links[l.0 as usize] = None;
+        }
+        for &n in &path.nodes {
+            self.routers[n.0 as usize].remove(path.packet_id);
+        }
+    }
+
+    /// The dimension-order (XY) path from `src` to `dst`: X (columns) first,
+    /// then Y (rows) — NoSSD's deterministic minimal route.
+    pub fn xy_path(&self, src: NodeId, dst: NodeId) -> ReservedPath {
+        let mut nodes = vec![src];
+        let mut links = Vec::new();
+        let mut cur = src;
+        loop {
+            let dc = i32::from(self.topo.col(dst)) - i32::from(self.topo.col(cur));
+            let dr = i32::from(self.topo.row(dst)) - i32::from(self.topo.row(cur));
+            let dir = if dc > 0 {
+                Direction::Right
+            } else if dc < 0 {
+                Direction::Left
+            } else if dr > 0 {
+                Direction::Down
+            } else if dr < 0 {
+                Direction::Up
+            } else {
+                break;
+            };
+            links.push(self.topo.link(cur, dir).expect("in-mesh step"));
+            cur = self.topo.neighbor(cur, dir).expect("in-mesh step");
+            nodes.push(cur);
+        }
+        ReservedPath {
+            packet_id: 0,
+            nodes,
+            links,
+        }
+    }
+
+    /// Attempts to atomically reserve an explicit path (used by the NoSSD
+    /// fabric for its XY circuits). Returns `false` — reserving nothing —
+    /// if any link on the path is busy.
+    pub fn try_reserve_path(&mut self, packet_id: u8, path: &ReservedPath) -> bool {
+        if !path.links.iter().all(|&l| self.link_free(l)) {
+            return false;
+        }
+        for &l in &path.links {
+            self.links[l.0 as usize] = Some(packet_id);
+        }
+        // NoSSD routers are buffered and have no reservation table; rows are
+        // only maintained for the Venice walk, so nothing to record here.
+        true
+    }
+
+    /// Venice's path reservation: routes a scout packet from `src` to `dst`
+    /// with the non-minimal fully-adaptive algorithm (Algorithm 1), reserving
+    /// links as it goes, backtracking in cancel mode when stuck, and bounding
+    /// revisits per router (livelock rule: at most 3 revisits, i.e. 4 entries).
+    ///
+    /// On success the path's links are left reserved for `packet_id` and the
+    /// corresponding router-reservation-table rows are installed; the caller
+    /// later frees them with [`MeshState::release`]. On failure all tentative
+    /// reservations have been cancelled and the mesh is unchanged.
+    ///
+    /// `lfsr` provides the 2-bit hardware tie-break between two minimal
+    /// candidate ports.
+    ///
+    /// # Errors
+    ///
+    /// [`ScoutFailure`] when every feasible port assignment was exhausted
+    /// (the scout returned to the source controller in cancel mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` are out of the mesh or `packet_id` exceeds
+    /// the controller count.
+    pub fn scout_walk(
+        &mut self,
+        packet_id: u8,
+        src: NodeId,
+        dst: NodeId,
+        lfsr: &mut Lfsr2,
+    ) -> Result<(ReservedPath, ScoutOutcome), ScoutFailure> {
+        self.scout_walk_opts(packet_id, src, dst, lfsr, true)
+    }
+
+    /// [`MeshState::scout_walk`] with the non-minimal misrouting stage made
+    /// optional (`allow_misroute = false` restricts the scout to minimal
+    /// ports plus backtracking — the ablation of §4.3's key technique).
+    pub fn scout_walk_opts(
+        &mut self,
+        packet_id: u8,
+        src: NodeId,
+        dst: NodeId,
+        lfsr: &mut Lfsr2,
+        allow_misroute: bool,
+    ) -> Result<(ReservedPath, ScoutOutcome), ScoutFailure> {
+        assert!((src.0 as usize) < self.topo.node_count(), "src out of mesh");
+        assert!((dst.0 as usize) < self.topo.node_count(), "dst out of mesh");
+        assert!(
+            usize::from(packet_id) < self.controllers,
+            "packet id out of range"
+        );
+
+        struct Frame {
+            node: NodeId,
+            entry: Port,
+            /// Output directions already attempted from this frame.
+            tried: [bool; 4],
+        }
+
+        // Livelock bound: a scout may enter a router at most `1 + 3` times
+        // (ports minus the entry port, per the paper's §4.3 footnote).
+        const MAX_ENTRIES_PER_ROUTER: u8 = 4;
+        let mut entries = vec![0u8; self.topo.node_count()];
+        entries[src.0 as usize] = 1;
+
+        let mut stack = vec![Frame {
+            node: src,
+            entry: Port::Injection,
+            tried: [false; 4],
+        }];
+        let mut steps: u32 = 0;
+        let mut detoured = false;
+        // Hard safety net: the DFS tries each (router, port) pair at most
+        // once per episode, so steps are bounded; guard against logic bugs.
+        let step_cap = (self.topo.node_count() as u32) * 16 + 64;
+
+        loop {
+            steps += 1;
+            assert!(steps <= step_cap, "scout walk exceeded step bound");
+            let frame = stack.last().expect("stack never empties before return");
+            let cur = frame.node;
+
+            if cur == dst {
+                // Destination reached: install the ejection row and return.
+                self.routers[cur.0 as usize]
+                    .insert(packet_id, frame.entry, Port::Ejection)
+                    .expect("destination router row must be free");
+                let nodes: Vec<NodeId> = stack.iter().map(|f| f.node).collect();
+                let mut links = Vec::with_capacity(nodes.len().saturating_sub(1));
+                for w in nodes.windows(2) {
+                    let dir = Direction::ALL
+                        .into_iter()
+                        .find(|&d| self.topo.neighbor(w[0], d) == Some(w[1]))
+                        .expect("path steps are adjacent");
+                    links.push(self.topo.link(w[0], dir).expect("adjacent"));
+                }
+                return Ok((
+                    ReservedPath {
+                        packet_id,
+                        nodes,
+                        links,
+                    },
+                    ScoutOutcome { steps, detoured },
+                ));
+            }
+
+            // Candidate output ports, Algorithm 1: minimal first.
+            let diff_x = i32::from(self.topo.col(dst)) - i32::from(self.topo.col(cur));
+            let diff_y = i32::from(self.topo.row(dst)) - i32::from(self.topo.row(cur));
+            let mut minimal: [Option<Direction>; 2] = [None, None];
+            let mut n_min = 0;
+            // Row index grows downward, so positive diff_y means Down.
+            let mut push_min = |d: Direction| {
+                minimal[n_min] = Some(d);
+                n_min += 1;
+            };
+            if diff_x > 0 {
+                push_min(Direction::Right);
+            } else if diff_x < 0 {
+                push_min(Direction::Left);
+            }
+            if diff_y > 0 {
+                push_min(Direction::Down);
+            } else if diff_y < 0 {
+                push_min(Direction::Up);
+            }
+
+            let usable = |state: &Self,
+                          frame: &Frame,
+                          entries: &[u8],
+                          d: Direction|
+             -> bool {
+                if frame.tried[d.index()] {
+                    return false;
+                }
+                let Some(link) = state.topo.link(cur, d) else {
+                    return false;
+                };
+                if !state.link_free(link) {
+                    return false; // includes links held by our own partial path
+                }
+                let nb = state.topo.neighbor(cur, d).expect("link implies neighbor");
+                // A circuit may cross a router only once (one table row per
+                // packet), and the livelock rule bounds re-entries.
+                if state.routers[nb.0 as usize].entry(packet_id).is_some() {
+                    return false;
+                }
+                if entries[nb.0 as usize] >= MAX_ENTRIES_PER_ROUTER {
+                    return false;
+                }
+                true
+            };
+
+            let mut candidates: [Option<Direction>; 2] = [None, None];
+            let mut n_cand = 0;
+            for d in minimal.iter().flatten().copied() {
+                if usable(self, frame, &entries, d) {
+                    candidates[n_cand] = Some(d);
+                    n_cand += 1;
+                }
+            }
+
+            let choice = match n_cand {
+                2 => {
+                    // Two minimal candidates: LFSR tie-break (Alg. 1 line 28).
+                    let pick = usize::from(lfsr.next_bit());
+                    Some(candidates[pick].expect("two candidates present"))
+                }
+                1 => Some(candidates[0].expect("one candidate present")),
+                _ => {
+                    // No minimal port: misroute through any free port
+                    // (Alg. 1 lines 34–45). Gather and pick pseudo-randomly.
+                    let mut non_min: Vec<Direction> = Vec::with_capacity(4);
+                    if allow_misroute {
+                        for d in Direction::ALL {
+                            if usable(self, frame, &entries, d) {
+                                non_min.push(d);
+                            }
+                        }
+                    }
+                    if non_min.is_empty() {
+                        None
+                    } else {
+                        detoured = true;
+                        // Select with successive LFSR bits: cheap hardware
+                        // equivalent of a uniform pick among ≤ 4 options.
+                        let mut idx = usize::from(lfsr.next_bit()) * 2
+                            + usize::from(lfsr.next_bit());
+                        idx %= non_min.len();
+                        Some(non_min[idx])
+                    }
+                }
+            };
+
+            match choice {
+                Some(dir) => {
+                    let frame = stack.last_mut().expect("nonempty");
+                    frame.tried[dir.index()] = true;
+                    let link = self.topo.link(cur, dir).expect("usable link exists");
+                    let nb = self.topo.neighbor(cur, dir).expect("usable neighbor");
+                    self.links[link.0 as usize] = Some(packet_id);
+                    self.routers[cur.0 as usize]
+                        .insert(packet_id, frame.entry, Port::Mesh(dir))
+                        .expect("row free: circuit visits a router once");
+                    entries[nb.0 as usize] += 1;
+                    stack.push(Frame {
+                        node: nb,
+                        entry: Port::Mesh(dir.opposite()),
+                        tried: [false; 4],
+                    });
+                }
+                None => {
+                    // Dead end: backtrack in cancel mode (Alg. 1 line 47).
+                    detoured = true;
+                    let dead = stack.pop().expect("nonempty");
+                    if stack.is_empty() {
+                        // Scout arrived back at the controller: failure.
+                        return Err(ScoutFailure { steps });
+                    }
+                    let parent = stack.last().expect("nonempty after pop");
+                    // Cancel the parent's row and free the link we came over.
+                    let dir = Direction::ALL
+                        .into_iter()
+                        .find(|&d| self.topo.neighbor(parent.node, d) == Some(dead.node))
+                        .expect("parent adjacent to dead end");
+                    let link = self.topo.link(parent.node, dir).expect("adjacent");
+                    debug_assert_eq!(self.links[link.0 as usize], Some(packet_id));
+                    self.links[link.0 as usize] = None;
+                    self.routers[parent.node.0 as usize].remove(packet_id);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh(rows: u16, cols: u16) -> MeshState {
+        MeshState::new(Mesh2D::new(rows, cols), rows as usize)
+    }
+
+    fn assert_path_valid(m: &MeshState, p: &ReservedPath, src: NodeId, dst: NodeId) {
+        assert_eq!(*p.nodes.first().unwrap(), src);
+        assert_eq!(*p.nodes.last().unwrap(), dst);
+        assert_eq!(p.links.len() + 1, p.nodes.len());
+        // Simple path: no repeated routers.
+        let set: std::collections::HashSet<_> = p.nodes.iter().collect();
+        assert_eq!(set.len(), p.nodes.len(), "circuit must not cross itself");
+        // Every link owned by the packet.
+        for &l in &p.links {
+            assert_eq!(m.link_owner(l), Some(p.packet_id));
+        }
+    }
+
+    #[test]
+    fn scout_finds_minimal_path_in_idle_mesh() {
+        let mut m = mesh(8, 8);
+        let mut lfsr = Lfsr2::new();
+        let src = m.topology().node_at(2, 0);
+        let dst = m.topology().node_at(5, 6);
+        let (p, out) = m.scout_walk(1, src, dst, &mut lfsr).unwrap();
+        assert_path_valid(&m, &p, src, dst);
+        assert_eq!(p.hops(), m.topology().manhattan(src, dst));
+        assert!(!out.detoured);
+        m.release(&p);
+        assert_eq!(m.reserved_link_count(), 0);
+    }
+
+    #[test]
+    fn scout_to_self_is_zero_hops() {
+        let mut m = mesh(4, 4);
+        let mut lfsr = Lfsr2::new();
+        let n = m.topology().node_at(1, 0);
+        let (p, _) = m.scout_walk(0, n, n, &mut lfsr).unwrap();
+        assert_eq!(p.hops(), 0);
+        // Ejection row installed even for the trivial path.
+        assert!(m.router(n).entry(0).is_some());
+        m.release(&p);
+        assert!(m.router(n).entry(0).is_none());
+    }
+
+    #[test]
+    fn figure8_scenario_non_minimal_route() {
+        // The paper's Figure 8: 4×5 mesh, three circuits already reserved,
+        // request R from FC3 to F2 must find a non-minimal conflict-free path.
+        let m2 = Mesh2D::new(4, 5);
+        let mut m = MeshState::new(m2, 4);
+        let n = |i: u16| NodeId(i);
+        // FC0 → F0 → F1 → F6
+        m.reserve_explicit(0, &[n(0), n(1), n(6)]);
+        // FC1 → F5 → F6 → F7 → F8
+        m.reserve_explicit(1, &[n(5), n(6), n(7), n(8)]);
+        // FC2 → F10 → F11 → F12 → F7
+        m.reserve_explicit(2, &[n(10), n(11), n(12), n(7)]);
+
+        let mut lfsr = Lfsr2::new();
+        let src = n(15); // FC3 attaches at row 3, col 0 = F15
+        let dst = n(2);
+        let before = m.reserved_link_count();
+        let (p, out) = m.scout_walk(3, src, dst, &mut lfsr).expect("a free path exists");
+        assert_path_valid(&m, &p, src, dst);
+        // Minimal distance is 5 but every minimal path is blocked, so the
+        // scout must detour.
+        assert!(p.hops() > m.topology().manhattan(src, dst));
+        assert!(out.detoured);
+        // Other circuits untouched.
+        assert_eq!(m.reserved_link_count(), before + p.links.len());
+        m.release(&p);
+        assert_eq!(m.reserved_link_count(), before);
+    }
+
+    #[test]
+    fn scout_fails_when_source_is_walled_in() {
+        // Reserve every link around the source so no output port is free.
+        let m2 = Mesh2D::new(3, 3);
+        let mut m = MeshState::new(m2, 3);
+        let src = m2.node_at(1, 0);
+        // Wall: circuits that consume all three links incident to src.
+        m.reserve_explicit(0, &[m2.node_at(0, 0), src, m2.node_at(2, 0)]);
+        m.reserve_explicit(1, &[m2.node_at(1, 1), src]);
+        let mut lfsr = Lfsr2::new();
+        let err = m.scout_walk(2, src, m2.node_at(1, 2), &mut lfsr).unwrap_err();
+        assert!(err.steps >= 1);
+        // Failure must leave no residue for packet 2.
+        assert!(m.router(src).entry(2).is_none());
+        for l in 0..m2.link_count() as u32 {
+            assert_ne!(m.link_owner(LinkId(l)), Some(2));
+        }
+    }
+
+    #[test]
+    fn concurrent_circuits_do_not_share_links() {
+        let mut m = mesh(8, 8);
+        let mut lfsr = Lfsr2::new();
+        let t = m.topology();
+        let mut paths = Vec::new();
+        for fc in 0..8u8 {
+            let src = t.fc_node(crate::FcId(fc));
+            // Eight simultaneous full-row circuits: the mesh must sustain one
+            // circuit per controller with zero link sharing.
+            let dst = t.node_at(u16::from(fc), 7);
+            let (p, _) = m.scout_walk(fc, src, dst, &mut lfsr).expect("mesh has capacity");
+            paths.push(p);
+        }
+        let mut all_links = std::collections::HashSet::new();
+        for p in &paths {
+            for &l in &p.links {
+                assert!(all_links.insert(l), "link {l} reserved by two circuits");
+            }
+        }
+        for p in &paths {
+            m.release(p);
+        }
+        assert_eq!(m.reserved_link_count(), 0);
+    }
+
+    #[test]
+    fn xy_path_goes_x_then_y() {
+        let m = mesh(8, 8);
+        let t = m.topology();
+        let p = m.xy_path(t.node_at(2, 0), t.node_at(5, 3));
+        assert_eq!(p.hops(), 6);
+        // First three steps move along the row (X), then down the column (Y).
+        for i in 0..3 {
+            assert_eq!(t.row(p.nodes[i]), 2);
+        }
+        for i in 3..p.nodes.len() {
+            assert_eq!(t.col(p.nodes[i]), 3);
+        }
+    }
+
+    #[test]
+    fn try_reserve_path_is_atomic() {
+        let mut m = mesh(4, 4);
+        let t = m.topology();
+        let p1 = m.xy_path(t.node_at(0, 0), t.node_at(0, 3));
+        assert!(m.try_reserve_path(0, &p1));
+        // Overlapping XY path cannot be reserved...
+        let p2 = m.xy_path(t.node_at(0, 1), t.node_at(0, 2));
+        assert!(!m.try_reserve_path(1, &p2));
+        // ...and the failed attempt reserved nothing.
+        let before: Vec<_> = (0..t.link_count() as u32)
+            .map(|l| m.link_owner(LinkId(l)))
+            .collect();
+        assert!(!before.contains(&Some(1)));
+        m.release(&ReservedPath { packet_id: 0, ..p1 });
+        assert_eq!(m.reserved_link_count(), 0);
+    }
+
+    #[test]
+    fn release_clears_router_rows() {
+        let mut m = mesh(4, 4);
+        let mut lfsr = Lfsr2::new();
+        let t = m.topology();
+        let (p, _) = m
+            .scout_walk(2, t.node_at(2, 0), t.node_at(0, 3), &mut lfsr)
+            .unwrap();
+        for &n in &p.nodes {
+            assert!(m.router(n).entry(2).is_some());
+        }
+        m.release(&p);
+        for &n in &p.nodes {
+            assert!(m.router(n).entry(2).is_none());
+        }
+    }
+
+    #[test]
+    fn scout_respects_livelock_bound_and_terminates() {
+        // Dense random traffic on a small mesh: every walk must terminate
+        // (the step-cap assert inside scout_walk enforces the bound).
+        let mut m = mesh(4, 4);
+        let t = m.topology();
+        let mut lfsr = Lfsr2::new();
+        let mut rng = venice_sim::rng::Xorshift64Star::new(99);
+        let mut live: Vec<ReservedPath> = Vec::new();
+        for round in 0..500 {
+            if !live.is_empty() && rng.next_bool(0.4) {
+                let idx = rng.next_bounded(live.len() as u64) as usize;
+                let p = live.swap_remove(idx);
+                m.release(&p);
+            }
+            let fc = (round % 4) as u8;
+            if live.iter().any(|p| p.packet_id == fc) {
+                continue; // one in-flight circuit per controller
+            }
+            let src = t.fc_node(crate::FcId(fc));
+            let dst = NodeId(rng.next_bounded(16) as u16);
+            if let Ok((p, _)) = m.scout_walk(fc, src, dst, &mut lfsr) {
+                live.push(p);
+            }
+        }
+        for p in &live {
+            m.release(p);
+        }
+        assert_eq!(m.reserved_link_count(), 0);
+    }
+}

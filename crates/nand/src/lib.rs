@@ -1,0 +1,49 @@
+//! NAND flash chip model for the Venice SSD reproduction.
+//!
+//! Models the flash-chip array of §2.1 of the paper: each **chip** contains
+//! one or more **dies** (the unit of operation concurrency), each die has
+//! several **planes** (which can only operate together via multi-plane
+//! commands at the same block/page offset), planes contain **blocks** (the
+//! erase unit), and blocks contain **pages** (the read/program unit).
+//!
+//! The model enforces real NAND constraints:
+//!
+//! * pages within a block must be programmed strictly in order,
+//! * a page cannot be reprogrammed before its block is erased
+//!   (erase-before-write),
+//! * a die executes one operation at a time; multi-plane operations must
+//!   address distinct planes at identical block/page offsets,
+//! * erases count against block endurance.
+//!
+//! Timing ([`NandTiming`]) and per-operation energy ([`OpEnergy`]) presets
+//! correspond to the paper's Table 1 configurations: `z_nand()`
+//! (performance-optimized, Samsung Z-NAND-like) and `tlc_3d()`
+//! (cost-optimized, 3D TLC like the PM9A3).
+//!
+//! # Example
+//!
+//! ```
+//! use venice_nand::{ChipGeometry, FlashChip, NandCommandKind, NandTiming, PageAddr};
+//! use venice_sim::SimTime;
+//!
+//! let geom = ChipGeometry::z_nand_small();
+//! let mut chip = FlashChip::new(geom, NandTiming::z_nand());
+//! let page = PageAddr { die: 0, plane: 0, block: 0, page: 0 };
+//! let done = chip
+//!     .start(NandCommandKind::Program, &[page], SimTime::ZERO)
+//!     .expect("die idle, page fresh");
+//! assert_eq!(done, SimTime::ZERO + NandTiming::z_nand().t_prog);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chip;
+mod geometry;
+mod power;
+mod timing;
+
+pub use chip::{ChipError, ChipStats, FlashChip, NandCommandKind};
+pub use geometry::{ChipGeometry, ChipId, PageAddr, PhysicalPageAddr};
+pub use power::OpEnergy;
+pub use timing::NandTiming;

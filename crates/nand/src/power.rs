@@ -1,0 +1,107 @@
+//! Per-operation energy model for flash array operations.
+//!
+//! The paper takes flash-operation power from the Samsung Z-SSD SZ985
+//! brochure (§5); those numbers are not published in machine-readable form,
+//! so this module encodes plausible per-operation energies with the right
+//! *structure*: program ≫ read per operation, erase largest per operation
+//! but amortized over a whole block. Absolute joules only matter for the
+//! normalized power/energy plots (Fig. 14), which depend on ratios.
+
+use venice_sim::SimDuration;
+
+/// Energy consumed by one flash array operation, in nanojoules.
+///
+/// The presets assume an active-power draw of roughly 25 mW during a read,
+/// 30 mW during a program, and 35 mW during an erase; energy scales with the
+/// preset's operation latency, which is why the cost-optimized TLC preset has
+/// larger per-op energies than Z-NAND.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OpEnergy {
+    /// Energy of one page read (array access only, not transfer).
+    pub read_nj: f64,
+    /// Energy of one page program.
+    pub program_nj: f64,
+    /// Energy of one block erase.
+    pub erase_nj: f64,
+    /// Standby power of one idle chip, in milliwatts (drawn continuously).
+    pub standby_mw: f64,
+}
+
+impl OpEnergy {
+    /// Derives an energy preset from operation latencies and active powers.
+    pub fn from_timing(
+        t_r: SimDuration,
+        t_prog: SimDuration,
+        t_bers: SimDuration,
+        read_mw: f64,
+        program_mw: f64,
+        erase_mw: f64,
+        standby_mw: f64,
+    ) -> Self {
+        // mW * ns = picojoules; divide by 1e3 for nanojoules.
+        let nj = |mw: f64, d: SimDuration| mw * d.as_nanos() as f64 / 1e3;
+        OpEnergy {
+            read_nj: nj(read_mw, t_r),
+            program_nj: nj(program_mw, t_prog),
+            erase_nj: nj(erase_mw, t_bers),
+            standby_mw,
+        }
+    }
+
+    /// Energy preset matching [`crate::NandTiming::z_nand`].
+    pub fn z_nand() -> Self {
+        let t = crate::NandTiming::z_nand();
+        Self::from_timing(t.t_r, t.t_prog, t.t_bers, 25.0, 30.0, 35.0, 2.0)
+    }
+
+    /// Energy preset matching [`crate::NandTiming::tlc_3d`].
+    pub fn tlc_3d() -> Self {
+        let t = crate::NandTiming::tlc_3d();
+        Self::from_timing(t.t_r, t.t_prog, t.t_bers, 25.0, 30.0, 35.0, 2.0)
+    }
+
+    /// Energy of one operation of the given kind, in nanojoules.
+    pub fn energy_nj(&self, kind: crate::NandCommandKind) -> f64 {
+        match kind {
+            crate::NandCommandKind::Read => self.read_nj,
+            crate::NandCommandKind::Program => self.program_nj,
+            crate::NandCommandKind::Erase => self.erase_nj,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NandCommandKind;
+
+    #[test]
+    fn energies_scale_with_latency() {
+        let z = OpEnergy::z_nand();
+        let t = OpEnergy::tlc_3d();
+        // TLC ops are slower, hence more energy per op at similar power.
+        assert!(t.read_nj > z.read_nj);
+        assert!(t.program_nj > z.program_nj);
+        assert!(t.erase_nj > z.erase_nj);
+        // Program energy dominates read energy.
+        assert!(z.program_nj > z.read_nj);
+    }
+
+    #[test]
+    fn from_timing_units() {
+        // 10 mW for 1 us = 10 nJ.
+        let e = OpEnergy::from_timing(
+            SimDuration::from_micros(1),
+            SimDuration::from_micros(1),
+            SimDuration::from_micros(1),
+            10.0,
+            10.0,
+            10.0,
+            1.0,
+        );
+        assert!((e.read_nj - 10.0).abs() < 1e-9);
+        assert_eq!(e.energy_nj(NandCommandKind::Read), e.read_nj);
+        assert_eq!(e.energy_nj(NandCommandKind::Program), e.program_nj);
+        assert_eq!(e.energy_nj(NandCommandKind::Erase), e.erase_nj);
+    }
+}

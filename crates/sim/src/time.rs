@@ -1,0 +1,335 @@
+//! Simulated time: nanosecond-resolution instants and durations.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant on the simulated clock, in nanoseconds since simulation start.
+///
+/// `SimTime` is a transparent `u64` newtype: cheap to copy, totally ordered,
+/// and hashable so it can key event calendars. Arithmetic with
+/// [`SimDuration`] is checked in debug builds (overflow panics) and follows
+/// the usual instant/duration algebra: `SimTime + SimDuration -> SimTime`,
+/// `SimTime - SimTime -> SimDuration`.
+///
+/// # Example
+///
+/// ```
+/// use venice_sim::{SimTime, SimDuration};
+/// let t = SimTime::ZERO + SimDuration::from_micros(3);
+/// assert_eq!(t.as_nanos(), 3_000);
+/// assert_eq!(t - SimTime::ZERO, SimDuration::from_nanos(3_000));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in nanoseconds.
+///
+/// # Example
+///
+/// ```
+/// use venice_sim::SimDuration;
+/// let d = SimDuration::from_micros(4) + SimDuration::from_nanos(10);
+/// assert_eq!(d.as_nanos(), 4_010);
+/// assert_eq!(d * 2, SimDuration::from_nanos(8_020));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The maximum representable instant (used as an "infinitely far" sentinel).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant `nanos` nanoseconds after simulation start.
+    #[inline]
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Creates an instant `micros` microseconds after simulation start.
+    #[inline]
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros * 1_000)
+    }
+
+    /// Nanoseconds since simulation start.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start, as a float (for reporting only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Microseconds since simulation start, as a float (for reporting only).
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// The later of `self` and `other`.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// The earlier of `self` and `other`.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+
+    /// Duration since `earlier`, saturating to zero if `earlier` is later.
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration of `nanos` nanoseconds.
+    #[inline]
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimDuration(nanos)
+    }
+
+    /// Creates a duration of `micros` microseconds.
+    #[inline]
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros * 1_000)
+    }
+
+    /// Creates a duration of `millis` milliseconds.
+    #[inline]
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000_000)
+    }
+
+    /// Creates a duration from a float number of nanoseconds, rounding to the
+    /// nearest integer nanosecond and clamping negatives to zero.
+    #[inline]
+    pub fn from_nanos_f64(nanos: f64) -> Self {
+        if nanos <= 0.0 {
+            SimDuration(0)
+        } else {
+            SimDuration(nanos.round() as u64)
+        }
+    }
+
+    /// Length in nanoseconds.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Length in microseconds, as a float (for reporting only).
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Length in seconds, as a float (for reporting only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// True if this is the zero duration.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The longer of `self` and `other`.
+    #[inline]
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    /// Instant `rhs` earlier than `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on underflow.
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// Duration between two instants.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`SimTime::saturating_since`] when the ordering is not guaranteed.
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&SimDuration(self.0), f)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    /// Human-friendly rendering with an auto-selected unit, e.g. `3.500us`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", ns as f64 / 1e9)
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", ns as f64 / 1e6)
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", ns as f64 / 1e3)
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_roundtrips() {
+        let t = SimTime::from_nanos(100);
+        let d = SimDuration::from_nanos(40);
+        assert_eq!((t + d) - t, d);
+        assert_eq!(t + SimDuration::ZERO, t);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let a = SimTime::from_nanos(10);
+        let b = SimTime::from_nanos(30);
+        assert_eq!(a.saturating_since(b), SimDuration::ZERO);
+        assert_eq!(b.saturating_since(a), SimDuration::from_nanos(20));
+    }
+
+    #[test]
+    fn unit_constructors_scale() {
+        assert_eq!(SimDuration::from_micros(3).as_nanos(), 3_000);
+        assert_eq!(SimDuration::from_millis(2).as_nanos(), 2_000_000);
+        assert_eq!(SimTime::from_micros(1).as_nanos(), 1_000);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(SimDuration::from_nanos(17).to_string(), "17ns");
+        assert_eq!(SimDuration::from_nanos(3_500).to_string(), "3.500us");
+        assert_eq!(SimDuration::from_millis(1).to_string(), "1.000ms");
+        assert_eq!(SimDuration::from_nanos(2_500_000_000).to_string(), "2.500s");
+    }
+
+    #[test]
+    fn duration_scalar_ops() {
+        let d = SimDuration::from_nanos(10);
+        assert_eq!(d * 3, SimDuration::from_nanos(30));
+        assert_eq!((d * 3) / 3, d);
+        let total: SimDuration = [d, d, d].into_iter().sum();
+        assert_eq!(total, d * 3);
+    }
+
+    #[test]
+    fn from_nanos_f64_rounds_and_clamps() {
+        assert_eq!(SimDuration::from_nanos_f64(2.6).as_nanos(), 3);
+        assert_eq!(SimDuration::from_nanos_f64(-5.0).as_nanos(), 0);
+    }
+
+    #[test]
+    fn min_max_orderings() {
+        let a = SimTime::from_nanos(5);
+        let b = SimTime::from_nanos(9);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(
+            SimDuration::from_nanos(3).max(SimDuration::from_nanos(7)),
+            SimDuration::from_nanos(7)
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! Mixed workloads: Table 3's six combinations of concurrent traces.
+//!
+//! Each mix runs two or three catalog workloads against the same SSD. The
+//! constituents share the device but address disjoint partitions of the
+//! logical space (as separate tenants would), and the merged arrival stream
+//! is time-compressed to the paper's published mix intensity — mixes are
+//! much more intense than their constituents (Table 3's inter-arrival
+//! column), which is what exacerbates path conflicts in §6.2.
+
+use venice_sim::{SimDuration, SimTime};
+
+use crate::{catalog, Trace, TraceEvent};
+
+/// One Table 3 mix definition.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MixEntry {
+    /// Mix name ("mix1".."mix6").
+    pub name: &'static str,
+    /// Constituent catalog workload names.
+    pub constituents: &'static [&'static str],
+    /// The paper's description of the mix.
+    pub description: &'static str,
+    /// Target average inter-arrival time of the merged stream, µs.
+    pub avg_interarrival_us: f64,
+}
+
+/// The six mixed workloads (Table 3).
+pub const TABLE3: [MixEntry; 6] = [
+    MixEntry {
+        name: "mix1",
+        constituents: &["src2_1", "proj_3"],
+        description: "Both workloads are read-intensive",
+        avg_interarrival_us: 5.8,
+    },
+    MixEntry {
+        name: "mix2",
+        constituents: &["src2_1", "proj_3", "YCSB_D"],
+        description: "All three workloads are read-intensive",
+        avg_interarrival_us: 8.4,
+    },
+    MixEntry {
+        name: "mix3",
+        constituents: &["prxy_0", "rsrch_0"],
+        description: "Both workloads are write-intensive",
+        avg_interarrival_us: 93.0,
+    },
+    MixEntry {
+        name: "mix4",
+        constituents: &["prxy_0", "rsrch_0", "mds_0"],
+        description: "All three workloads are write-intensive",
+        avg_interarrival_us: 56.0,
+    },
+    MixEntry {
+        name: "mix5",
+        constituents: &["prxy_0", "src2_1"],
+        description: "prxy_0 is write-intensive and src2_1 is read-intensive",
+        avg_interarrival_us: 5.0,
+    },
+    MixEntry {
+        name: "mix6",
+        constituents: &["prxy_0", "src2_1", "usr_0"],
+        description: "write-intensive + read-intensive + 60/40 mixed",
+        avg_interarrival_us: 3.0,
+    },
+];
+
+/// All mix names in Table 3 order.
+pub fn names() -> Vec<&'static str> {
+    TABLE3.iter().map(|m| m.name).collect()
+}
+
+/// Looks up a mix by name.
+pub fn by_name(name: &str) -> Option<&'static MixEntry> {
+    TABLE3.iter().find(|m| m.name == name)
+}
+
+/// Builds the merged trace of a mix with `requests_per_stream` requests from
+/// each constituent.
+///
+/// Constituents are generated from their calibrated catalog specs, assigned
+/// disjoint address partitions, merged by arrival time, and uniformly
+/// time-compressed so the merged mean inter-arrival equals Table 3's value.
+///
+/// # Panics
+///
+/// Panics if a constituent name is missing from the catalog.
+///
+/// # Example
+///
+/// ```
+/// use venice_workloads::mix;
+/// let m = mix::by_name("mix1").unwrap();
+/// let t = mix::generate(m, 500);
+/// assert_eq!(t.len(), 1000);
+/// let s = t.stats();
+/// assert!((s.avg_interarrival_us - 5.8).abs() / 5.8 < 0.05);
+/// ```
+pub fn generate(mix: &MixEntry, requests_per_stream: usize) -> Trace {
+    let traces: Vec<Trace> = mix
+        .constituents
+        .iter()
+        .map(|name| {
+            catalog::by_name(name)
+                .unwrap_or_else(|| panic!("unknown constituent {name}"))
+                .generate(requests_per_stream)
+        })
+        .collect();
+
+    // Disjoint partitions: constituent i occupies [base_i, base_i + fp_i).
+    let mut merged: Vec<TraceEvent> = Vec::with_capacity(traces.len() * requests_per_stream);
+    let mut base = 0u64;
+    for t in &traces {
+        for e in t.events() {
+            merged.push(TraceEvent {
+                offset: base + e.offset,
+                ..*e
+            });
+        }
+        base += t.footprint_bytes();
+    }
+    merged.sort_by_key(|e| e.arrival);
+
+    // Compress time to the published mix intensity.
+    if merged.len() > 1 {
+        let span = merged
+            .last()
+            .expect("non-empty")
+            .arrival
+            .saturating_since(merged[0].arrival)
+            .as_nanos() as f64;
+        let target_span = mix.avg_interarrival_us * 1_000.0 * (merged.len() - 1) as f64;
+        let scale = target_span / span.max(1.0);
+        let t0 = merged[0].arrival.as_nanos() as f64;
+        for e in &mut merged {
+            let rel = e.arrival.as_nanos() as f64 - t0;
+            e.arrival = SimTime::ZERO + SimDuration::from_nanos_f64(rel * scale);
+        }
+        // Compression can collapse equal timestamps; keep ordering stable.
+        merged.sort_by_key(|e| e.arrival);
+    }
+
+    Trace::new(mix.name, base, merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IoOp;
+
+    #[test]
+    fn six_mixes_with_known_constituents() {
+        assert_eq!(TABLE3.len(), 6);
+        for m in &TABLE3 {
+            for c in m.constituents {
+                assert!(
+                    catalog::by_name(c).is_some(),
+                    "constituent {c} of {} missing",
+                    m.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merged_intensity_matches_table3() {
+        for m in &TABLE3 {
+            let t = generate(m, 400);
+            let s = t.stats();
+            assert!(
+                (s.avg_interarrival_us - m.avg_interarrival_us).abs() / m.avg_interarrival_us
+                    < 0.05,
+                "{}: inter-arrival {} vs {}",
+                m.name,
+                s.avg_interarrival_us,
+                m.avg_interarrival_us
+            );
+        }
+    }
+
+    #[test]
+    fn partitions_do_not_overlap() {
+        let m = by_name("mix5").unwrap();
+        let t = generate(m, 300);
+        // prxy_0 writes land in the low partition; src2_1 reads high. Check
+        // that both partitions are touched and no event crosses the end.
+        let boundary = 2048u64 * 1024 * 1024; // prxy_0 footprint (MSR: 2 GiB)
+        let low = t.events().iter().filter(|e| e.offset < boundary).count();
+        let high = t.events().iter().filter(|e| e.offset >= boundary).count();
+        assert!(low > 0 && high > 0);
+        for e in t.events() {
+            assert!(e.offset + u64::from(e.bytes) <= t.footprint_bytes());
+        }
+    }
+
+    #[test]
+    fn read_write_mix_reflects_constituents() {
+        // mix3 is write-heavy (prxy_0 3% + rsrch_0 9% reads).
+        let t = generate(by_name("mix3").unwrap(), 500);
+        let reads = t.events().iter().filter(|e| e.op == IoOp::Read).count();
+        let pct = reads as f64 / t.len() as f64 * 100.0;
+        assert!(pct < 20.0, "mix3 read% {pct}");
+        // mix1 is read-heavy.
+        let t = generate(by_name("mix1").unwrap(), 500);
+        let reads = t.events().iter().filter(|e| e.op == IoOp::Read).count();
+        let pct = reads as f64 / t.len() as f64 * 100.0;
+        assert!(pct > 90.0, "mix1 read% {pct}");
+    }
+
+    #[test]
+    fn names_lookup() {
+        assert_eq!(names().len(), 6);
+        assert!(by_name("mix7").is_none());
+    }
+}

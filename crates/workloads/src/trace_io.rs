@@ -1,0 +1,231 @@
+//! MQSim ASCII trace interchange.
+//!
+//! MQSim (the simulator the paper builds on) replays whitespace-separated
+//! ASCII traces with one request per line:
+//!
+//! ```text
+//! <arrival-time-ns> <device> <start-sector-lba> <sectors> <type>
+//! ```
+//!
+//! where sectors are 512 bytes and `type` is `1` for reads, `0` for writes
+//! (the MSR Cambridge convention MQSim adopts). This module converts between
+//! that format and [`Trace`], so real trace files can be replayed on this
+//! simulator and our synthetic traces can be replayed on MQSim for
+//! cross-validation.
+
+use std::fmt::Write as _;
+
+use venice_sim::SimTime;
+
+use crate::{IoOp, Trace, TraceEvent};
+
+/// Sector size of the MQSim/MSR trace format.
+pub const TRACE_SECTOR_BYTES: u64 = 512;
+
+/// Errors from parsing an MQSim ASCII trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceParseError {
+    /// A line did not have the five expected fields.
+    WrongFieldCount {
+        /// 1-based line number.
+        line: usize,
+        /// Fields found.
+        found: usize,
+    },
+    /// A numeric field failed to parse.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// Field index (0-based).
+        field: usize,
+    },
+    /// The request type was neither `0` nor `1`.
+    BadType {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// Arrival times were not non-decreasing.
+    OutOfOrder {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceParseError::WrongFieldCount { line, found } => {
+                write!(f, "line {line}: expected 5 fields, found {found}")
+            }
+            TraceParseError::BadNumber { line, field } => {
+                write!(f, "line {line}: field {field} is not a number")
+            }
+            TraceParseError::BadType { line } => {
+                write!(f, "line {line}: request type must be 0 (write) or 1 (read)")
+            }
+            TraceParseError::OutOfOrder { line } => {
+                write!(f, "line {line}: arrival times must be non-decreasing")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// Parses an MQSim ASCII trace. Empty lines and `#` comments are skipped.
+///
+/// The trace footprint is derived from the highest sector touched.
+///
+/// # Errors
+///
+/// Returns a [`TraceParseError`] describing the first malformed line.
+///
+/// # Example
+///
+/// ```
+/// use venice_workloads::trace_io::parse_mqsim;
+/// let text = "0 0 8 16 1\n1000 0 0 8 0\n";
+/// let trace = parse_mqsim("t", text).unwrap();
+/// assert_eq!(trace.len(), 2);
+/// assert_eq!(trace.events()[0].bytes, 16 * 512);
+/// ```
+pub fn parse_mqsim(name: &str, text: &str) -> Result<Trace, TraceParseError> {
+    let mut events = Vec::new();
+    let mut max_end = 0u64;
+    let mut last_arrival = SimTime::ZERO;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split_whitespace().collect();
+        if fields.len() != 5 {
+            return Err(TraceParseError::WrongFieldCount {
+                line,
+                found: fields.len(),
+            });
+        }
+        let num = |i: usize| -> Result<u64, TraceParseError> {
+            fields[i]
+                .parse::<u64>()
+                .map_err(|_| TraceParseError::BadNumber { line, field: i })
+        };
+        let arrival = SimTime::from_nanos(num(0)?);
+        let _device = num(1)?;
+        let lba = num(2)?;
+        let sectors = num(3)?.max(1);
+        let op = match fields[4] {
+            "1" => IoOp::Read,
+            "0" => IoOp::Write,
+            _ => return Err(TraceParseError::BadType { line }),
+        };
+        if arrival < last_arrival {
+            return Err(TraceParseError::OutOfOrder { line });
+        }
+        last_arrival = arrival;
+        let offset = lba * TRACE_SECTOR_BYTES;
+        let bytes = (sectors * TRACE_SECTOR_BYTES) as u32;
+        max_end = max_end.max(offset + u64::from(bytes));
+        events.push(TraceEvent {
+            arrival,
+            op,
+            offset,
+            bytes,
+        });
+    }
+    Ok(Trace::new(name, max_end, events))
+}
+
+/// Renders a [`Trace`] in MQSim's ASCII format (device id 0).
+///
+/// # Example
+///
+/// ```
+/// use venice_workloads::trace_io::{format_mqsim, parse_mqsim};
+/// use venice_workloads::WorkloadSpec;
+/// let t = WorkloadSpec::new("x", 50.0, 8.0, 100.0).footprint_mb(16).generate(10);
+/// let text = format_mqsim(&t);
+/// let back = parse_mqsim("x", &text).unwrap();
+/// assert_eq!(back.events(), t.events());
+/// ```
+pub fn format_mqsim(trace: &Trace) -> String {
+    let mut out = String::new();
+    for e in trace.events() {
+        let ty = match e.op {
+            IoOp::Read => 1,
+            IoOp::Write => 0,
+        };
+        let _ = writeln!(
+            out,
+            "{} 0 {} {} {}",
+            e.arrival.as_nanos(),
+            e.offset / TRACE_SECTOR_BYTES,
+            u64::from(e.bytes) / TRACE_SECTOR_BYTES,
+            ty
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic_trace() {
+        let t = parse_mqsim("x", "0 0 0 8 1\n500 0 128 16 0\n").unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.events()[0].op, IoOp::Read);
+        assert_eq!(t.events()[1].op, IoOp::Write);
+        assert_eq!(t.events()[1].offset, 128 * 512);
+        assert_eq!(t.footprint_bytes(), (128 + 16) * 512);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let t = parse_mqsim("x", "# header\n\n0 0 0 8 1\n").unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn errors_are_located() {
+        assert_eq!(
+            parse_mqsim("x", "0 0 0 8\n").unwrap_err(),
+            TraceParseError::WrongFieldCount { line: 1, found: 4 }
+        );
+        assert_eq!(
+            parse_mqsim("x", "0 0 zz 8 1\n").unwrap_err(),
+            TraceParseError::BadNumber { line: 1, field: 2 }
+        );
+        assert_eq!(
+            parse_mqsim("x", "0 0 0 8 7\n").unwrap_err(),
+            TraceParseError::BadType { line: 1 }
+        );
+        assert_eq!(
+            parse_mqsim("x", "100 0 0 8 1\n0 0 0 8 1\n").unwrap_err(),
+            TraceParseError::OutOfOrder { line: 2 }
+        );
+    }
+
+    #[test]
+    fn roundtrip_preserves_events() {
+        let t = crate::WorkloadSpec::new("rt", 70.0, 16.0, 30.0)
+            .footprint_mb(64)
+            .generate(200);
+        let back = parse_mqsim("rt", &format_mqsim(&t)).unwrap();
+        assert_eq!(back.events(), t.events());
+    }
+
+    #[test]
+    fn zero_sector_request_clamped_to_one() {
+        let t = parse_mqsim("x", "0 0 0 0 1\n").unwrap();
+        assert_eq!(t.events()[0].bytes, 512);
+    }
+
+    #[test]
+    fn display_of_errors() {
+        let e = TraceParseError::BadType { line: 3 };
+        assert!(e.to_string().contains("line 3"));
+    }
+}

@@ -1,0 +1,44 @@
+//! Design-space exploration: sweep the flash-array shape (the paper's
+//! Figure 15 study) and a custom workload's intensity, printing how each
+//! fabric's advantage moves.
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use venice::interconnect::FabricKind;
+use venice::ssd::{run_systems, SsdConfig};
+use venice::workloads::WorkloadSpec;
+
+fn main() {
+    // A read-heavy bursty workload whose intensity we sweep.
+    for interarrival_us in [2.0, 8.0, 32.0] {
+        println!("\n== mean inter-arrival {interarrival_us} µs ==");
+        println!("{:<7} {:>8} {:>8} {:>8}", "shape", "NoSSD", "Venice", "Ideal");
+        let trace = WorkloadSpec::new("sweep", 95.0, 16.0, interarrival_us)
+            .footprint_mb(1024)
+            .burst_mean(32.0)
+            .generate(1_500);
+        for (rows, cols) in [(4u16, 16u16), (8, 8), (16, 4)] {
+            let cfg = SsdConfig::performance_optimized().with_shape(rows, cols);
+            let results = run_systems(
+                &cfg,
+                &[
+                    FabricKind::Baseline,
+                    FabricKind::NoSsd,
+                    FabricKind::Venice,
+                    FabricKind::Ideal,
+                ],
+                &trace,
+            );
+            let base = &results[0];
+            println!(
+                "{:<7} {:>7.2}x {:>7.2}x {:>7.2}x",
+                format!("{rows}x{cols}"),
+                results[1].speedup_over(base),
+                results[2].speedup_over(base),
+                results[3].speedup_over(base),
+            );
+        }
+    }
+}

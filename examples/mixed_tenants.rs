@@ -1,0 +1,34 @@
+//! Multi-tenant scenario: the paper's §6.2 mixed workloads. Two or three
+//! independent applications share the SSD; the merged stream is far more
+//! intense than any constituent, exacerbating path conflicts.
+//!
+//! ```sh
+//! cargo run --release --example mixed_tenants
+//! ```
+
+use venice::interconnect::FabricKind;
+use venice::ssd::{run_systems, SsdConfig};
+use venice::workloads::mix;
+
+fn main() {
+    let cfg = SsdConfig::performance_optimized();
+    println!("{:<6} {:>12} {:>9} {:>9} {:>9}", "mix", "interarrival", "Base", "Venice", "Ideal");
+    for m in &mix::TABLE3 {
+        let trace = mix::generate(m, 600);
+        let results = run_systems(
+            &cfg,
+            &[FabricKind::Baseline, FabricKind::Venice, FabricKind::Ideal],
+            &trace,
+        );
+        let base = &results[0];
+        println!(
+            "{:<6} {:>10.1}µs {:>9} {:>8.2}x {:>8.2}x   ({})",
+            m.name,
+            trace.stats().avg_interarrival_us,
+            base.execution_time.to_string(),
+            results[1].speedup_over(base),
+            results[2].speedup_over(base),
+            m.description,
+        );
+    }
+}

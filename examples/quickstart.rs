@@ -1,0 +1,44 @@
+//! Quickstart: simulate one workload on the Baseline SSD and on Venice,
+//! and print the headline comparison.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use venice::interconnect::FabricKind;
+use venice::ssd::{run_systems, SsdConfig};
+use venice::workloads::catalog;
+
+fn main() {
+    // 1. Pick a workload from the paper's Table 2 catalog and generate a
+    //    deterministic synthetic trace with its published statistics.
+    let spec = catalog::by_name("hm_0").expect("hm_0 is in the catalog");
+    let trace = spec.generate(2_000);
+    let stats = trace.stats();
+    println!(
+        "workload hm_0: {} requests, {:.0}% reads, {:.1} KiB avg, {:.0} µs inter-arrival",
+        stats.requests, stats.read_pct, stats.avg_request_kb, stats.avg_interarrival_us
+    );
+
+    // 2. Run it on the Table 1 performance-optimized SSD with two fabrics.
+    let cfg = SsdConfig::performance_optimized();
+    let results = run_systems(
+        &cfg,
+        &[FabricKind::Baseline, FabricKind::Venice, FabricKind::Ideal],
+        &trace,
+    );
+
+    // 3. Compare.
+    let base = &results[0];
+    for m in &results {
+        println!(
+            "{:<9} exec={:<10} IOPS={:<9.0} p99={:<10} conflicts={:.2}% speedup={:.2}x",
+            m.system.label(),
+            m.execution_time.to_string(),
+            m.iops(),
+            m.latencies.clone().percentile(0.99).to_string(),
+            m.conflict_pct(),
+            m.speedup_over(base),
+        );
+    }
+}

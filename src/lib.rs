@@ -1,0 +1,34 @@
+//! # Venice: conflict-free SSD accesses — reproduction facade
+//!
+//! This crate re-exports the whole Venice reproduction workspace under one
+//! roof so examples and downstream users can write `venice::ssd::...`.
+//!
+//! The workspace reproduces *Nadig & Sadrosadati et al., "Venice: Improving
+//! Solid-State Drive Parallelism at Low Cost via Conflict-Free Accesses",
+//! ISCA 2023*: a cycle-approximate multi-queue SSD simulator with five
+//! intra-SSD communication fabrics (Baseline shared bus, pSSD, pnSSD, NoSSD,
+//! Venice) plus an ideal path-conflict-free fabric.
+//!
+//! See [`ssd::experiment`](venice_ssd::experiment) for the one-call entry
+//! point used by the figure harnesses.
+//!
+//! # Example
+//!
+//! ```
+//! use venice::ssd::{ExperimentBuilder, SystemKind};
+//! use venice::workloads::catalog;
+//!
+//! let trace = catalog::by_name("hm_0").unwrap().generate(2_000);
+//! let metrics = ExperimentBuilder::performance_optimized()
+//!     .system(SystemKind::Venice)
+//!     .run(&trace);
+//! assert!(metrics.completed_requests > 0);
+//! ```
+
+pub use venice_ftl as ftl;
+pub use venice_hil as hil;
+pub use venice_interconnect as interconnect;
+pub use venice_nand as nand;
+pub use venice_sim as sim;
+pub use venice_ssd as ssd;
+pub use venice_workloads as workloads;

@@ -1,0 +1,150 @@
+//! Cross-crate integration tests: full simulations exercising HIL + FTL +
+//! fabric + NAND together, checking paper-level behavioral claims.
+
+use venice::interconnect::FabricKind;
+use venice::ssd::{all_systems, run_systems, ExperimentBuilder, SsdConfig, SystemKind};
+use venice::workloads::{catalog, mix, WorkloadSpec};
+
+fn quick(name: &str, requests: usize) -> venice::workloads::Trace {
+    catalog::by_name(name).expect("catalog workload").generate(requests)
+}
+
+#[test]
+fn catalog_workload_completes_on_all_systems() {
+    let trace = quick("hm_0", 400);
+    let cfg = SsdConfig::performance_optimized();
+    let results = run_systems(&cfg, &all_systems(), &trace);
+    for m in &results {
+        assert_eq!(m.completed_requests, 400, "{}", m.system);
+        assert_eq!(m.hil.completed, 400, "{}", m.system);
+        assert!(m.energy_mj > 0.0);
+    }
+}
+
+#[test]
+fn venice_at_least_ties_baseline_and_always_conflicts_less() {
+    // Fully transfer-saturated episodes can slightly favor the baseline's
+    // 1.2 GB/s buses over Venice's 1 GB/s links — a structural ceiling
+    // documented in EXPERIMENTS.md — so Venice may tie within a few percent
+    // on execution time, but it must always resolve more requests
+    // conflict-free.
+    let cfg = SsdConfig::performance_optimized();
+    for name in ["proj_3", "src2_1"] {
+        let trace = quick(name, 800);
+        let results = run_systems(&cfg, &[SystemKind::Baseline, SystemKind::Venice], &trace);
+        let speedup = results[1].speedup_over(&results[0]);
+        assert!(speedup >= 0.96, "{name}: venice speedup {speedup}");
+        assert!(
+            results[1].conflict_pct() < results[0].conflict_pct(),
+            "{name}: conflicts must improve"
+        );
+    }
+}
+
+#[test]
+fn ideal_upper_bounds_every_system() {
+    let trace = quick("ssd-10", 600);
+    let cfg = SsdConfig::performance_optimized();
+    let results = run_systems(&cfg, &all_systems(), &trace);
+    let ideal = results
+        .iter()
+        .find(|m| m.system == FabricKind::Ideal)
+        .unwrap()
+        .execution_time;
+    for m in &results {
+        assert!(
+            m.execution_time >= ideal,
+            "{} finished before the ideal SSD",
+            m.system
+        );
+    }
+}
+
+#[test]
+fn conflict_ordering_matches_figure13() {
+    // Baseline suffers the most conflicts; the ideal SSD has none.
+    let trace = quick("src2_1", 600);
+    let cfg = SsdConfig::performance_optimized();
+    let results = run_systems(
+        &cfg,
+        &[SystemKind::Baseline, SystemKind::Venice, SystemKind::Ideal],
+        &trace,
+    );
+    let base = results[0].conflict_pct();
+    let venice = results[1].conflict_pct();
+    let ideal = results[2].conflict_pct();
+    assert_eq!(ideal, 0.0);
+    assert!(venice < base, "venice {venice}% vs baseline {base}%");
+}
+
+#[test]
+fn cost_optimized_gains_are_smaller_than_performance_optimized() {
+    // §6.1's second key observation: faster flash makes the interconnect
+    // matter more.
+    let trace = quick("ssd-10", 800);
+    let perf = run_systems(
+        &SsdConfig::performance_optimized(),
+        &[SystemKind::Baseline, SystemKind::Ideal],
+        &trace,
+    );
+    let cost = run_systems(
+        &SsdConfig::cost_optimized(),
+        &[SystemKind::Baseline, SystemKind::Ideal],
+        &trace,
+    );
+    let perf_gain = perf[1].speedup_over(&perf[0]);
+    let cost_gain = cost[1].speedup_over(&cost[0]);
+    assert!(
+        perf_gain >= cost_gain * 0.95,
+        "perf-opt ideal gain {perf_gain} vs cost-opt {cost_gain}"
+    );
+}
+
+#[test]
+fn mixes_run_end_to_end() {
+    let m = mix::by_name("mix5").expect("table 3 mix");
+    let trace = mix::generate(m, 250);
+    let metrics = ExperimentBuilder::performance_optimized()
+        .system(SystemKind::Venice)
+        .run(&trace);
+    assert_eq!(metrics.completed_requests, trace.len() as u64);
+}
+
+#[test]
+fn write_heavy_workload_garbage_collects_on_every_fabric() {
+    let trace = WorkloadSpec::new("churn-it", 10.0, 16.0, 6.0)
+        .footprint_mb(64)
+        .generate(2_500);
+    for kind in [SystemKind::Baseline, SystemKind::Venice] {
+        let mut cfg = SsdConfig::performance_optimized();
+        cfg.array.chip.blocks_per_plane = 8;
+        cfg.array.chip.pages_per_block = 32;
+        let m = venice::ssd::SsdSim::new(cfg, kind, &trace).run();
+        assert!(m.ftl.gc_erases > 0, "{kind}: GC never ran");
+        assert!(m.ftl.write_amplification() >= 1.0);
+        assert_eq!(m.completed_requests, 2_500);
+    }
+}
+
+#[test]
+fn figure15_shapes_all_simulate() {
+    let trace = quick("usr_0", 300);
+    for (r, c) in [(4u16, 16u16), (8, 8), (16, 4)] {
+        let m = ExperimentBuilder::performance_optimized()
+            .shape(r, c)
+            .system(SystemKind::Venice)
+            .run(&trace);
+        assert_eq!(m.completed_requests, 300, "{r}x{c}");
+    }
+}
+
+#[test]
+fn runs_are_deterministic_across_threads() {
+    let trace = quick("web_1", 300);
+    let cfg = SsdConfig::performance_optimized();
+    let a = run_systems(&cfg, &[SystemKind::Venice], &trace);
+    let b = run_systems(&cfg, &[SystemKind::Venice], &trace);
+    assert_eq!(a[0].execution_time, b[0].execution_time);
+    assert_eq!(a[0].conflicted_requests, b[0].conflicted_requests);
+    assert_eq!(a[0].energy_mj, b[0].energy_mj);
+}

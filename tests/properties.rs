@@ -1,0 +1,140 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants that the simulator's correctness rests on.
+
+use proptest::prelude::*;
+
+use venice::ftl::{ArrayGeometry, Ftl, FtlConfig};
+use venice::interconnect::mesh::MeshState;
+use venice::interconnect::{Mesh2D, NodeId};
+use venice::nand::ChipGeometry;
+use venice::sim::rng::Lfsr2;
+use venice::workloads::WorkloadSpec;
+
+proptest! {
+    /// A scout walk either reserves a valid simple path or leaves the mesh
+    /// exactly as it was — never a partial reservation.
+    #[test]
+    fn scout_walk_is_atomic(
+        rows in 2u16..=8,
+        cols in 2u16..=8,
+        dst_seed in any::<u16>(),
+        pre in proptest::collection::vec((0u16..64, 0u16..64), 0..6),
+    ) {
+        let topo = Mesh2D::new(rows, cols);
+        let mut mesh = MeshState::new(topo, usize::from(rows));
+        let mut lfsr = Lfsr2::new();
+        // Pre-reserve a few circuits on distinct packet ids (1..rows),
+        // keeping packet 0 free for the walk under test.
+        for (i, (a, b)) in pre.iter().enumerate().take(usize::from(rows) - 1) {
+            let src = NodeId(a % topo.node_count() as u16);
+            let dst = NodeId(b % topo.node_count() as u16);
+            let _ = mesh.scout_walk((i + 1) as u8, src, dst, &mut lfsr);
+        }
+        let busy_before = mesh.reserved_link_count();
+        let src = topo.fc_node(venice::interconnect::FcId(0));
+        let dst = NodeId(dst_seed % topo.node_count() as u16);
+        match mesh.scout_walk(0, src, dst, &mut lfsr) {
+            Ok((path, _)) => {
+                // Valid simple path, every link owned by packet 0.
+                prop_assert_eq!(*path.nodes.first().unwrap(), src);
+                prop_assert_eq!(*path.nodes.last().unwrap(), dst);
+                let uniq: std::collections::HashSet<_> = path.nodes.iter().collect();
+                prop_assert_eq!(uniq.len(), path.nodes.len());
+                for &l in &path.links {
+                    prop_assert_eq!(mesh.link_owner(l), Some(0));
+                }
+                mesh.release(&path);
+            }
+            Err(_) => {}
+        }
+        prop_assert_eq!(mesh.reserved_link_count(), busy_before);
+    }
+
+    /// FTL mapping and valid-count invariants survive arbitrary write/GC
+    /// interleavings.
+    #[test]
+    fn ftl_invariants_under_random_traffic(
+        ops in proptest::collection::vec((0u64..256, any::<bool>()), 1..400),
+    ) {
+        let array = ArrayGeometry::new(4, ChipGeometry::z_nand_small());
+        let mut ftl = Ftl::new(FtlConfig {
+            array,
+            logical_pages: 256,
+            gc_threshold_blocks: 2,
+            wear_delta_threshold: 1_000,
+        });
+        for (lpa, do_gc) in ops {
+            if ftl.allocate_write(lpa).is_err() {
+                // Out of unreserved space: drive GC to completion.
+                for plane in ftl.planes_needing_gc() {
+                    if let Some(job) = ftl.start_gc(plane) {
+                        for &(l, old) in &job.pages {
+                            ftl.relocate(l, old, false).unwrap();
+                        }
+                        ftl.finish_erase(&job, false);
+                    }
+                }
+                continue;
+            }
+            if do_gc {
+                if let Some(plane) = ftl.planes_needing_gc().first().copied() {
+                    if let Some(job) = ftl.start_gc(plane) {
+                        for &(l, old) in &job.pages {
+                            ftl.relocate(l, old, false).unwrap();
+                        }
+                        ftl.finish_erase(&job, false);
+                    }
+                }
+            }
+        }
+        ftl.check_invariants();
+    }
+
+    /// Generated traces always honor their own declared constraints.
+    #[test]
+    fn traces_are_well_formed(
+        read_pct in 0.0f64..=100.0,
+        kb in 4.0f64..128.0,
+        us in 1.0f64..500.0,
+        n in 1usize..300,
+        burst in 1.0f64..64.0,
+    ) {
+        let t = WorkloadSpec::new("prop", read_pct, kb, us)
+            .footprint_mb(128)
+            .burst_mean(burst)
+            .generate(n);
+        prop_assert_eq!(t.len(), n);
+        let mut last = None;
+        for e in t.events() {
+            prop_assert!(e.bytes > 0);
+            prop_assert!(e.offset + u64::from(e.bytes) <= t.footprint_bytes());
+            if let Some(prev) = last {
+                prop_assert!(e.arrival >= prev);
+            }
+            last = Some(e.arrival);
+        }
+    }
+
+    /// Page-address packing over arbitrary geometry is a bijection.
+    #[test]
+    fn gppa_roundtrip(
+        chips in 1u16..16,
+        dies in 1u32..3,
+        planes in 1u32..3,
+        blocks in 1u32..16,
+        pages in 1u32..32,
+        probe in any::<u64>(),
+    ) {
+        let chip = ChipGeometry {
+            dies,
+            planes_per_die: planes,
+            blocks_per_plane: blocks,
+            pages_per_block: pages,
+            page_size: 4096,
+        };
+        let array = ArrayGeometry::new(chips, chip);
+        let idx = probe % array.total_pages();
+        let addr = array.unpack(venice::ftl::Gppa(idx));
+        prop_assert_eq!(array.pack(addr), venice::ftl::Gppa(idx));
+    }
+}
