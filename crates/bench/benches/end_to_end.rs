@@ -1,32 +1,27 @@
-//! Criterion macro-benchmark: a full small SSD simulation per fabric. This
-//! measures the simulator's own performance (events per second), which
-//! bounds how large the figure reproductions can be.
+//! Macro-benchmark: a full small SSD simulation per fabric. This measures
+//! the simulator's own performance (events per second), which bounds how
+//! large the figure reproductions can be. Uses the in-tree
+//! [`venice_bench::microbench`] harness (no registry access for criterion).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Duration;
+use venice_bench::microbench::Runner;
 use venice_interconnect::FabricKind;
 use venice_ssd::{SsdConfig, SsdSim};
 use venice_workloads::WorkloadSpec;
 
-fn bench_end_to_end(c: &mut Criterion) {
+fn main() {
+    let mut r = Runner::new("end_to_end").sample_budget(Duration::from_millis(400));
     let trace = WorkloadSpec::new("bench", 70.0, 8.0, 10.0)
         .footprint_mb(64)
         .generate(300);
     for kind in [FabricKind::Baseline, FabricKind::Venice, FabricKind::Ideal] {
-        c.bench_function(&format!("simulate_300_requests_{kind}"), |b| {
-            b.iter(|| {
-                let cfg = SsdConfig::performance_optimized()
-                    .sized_for_footprint(trace.footprint_bytes());
-                let m = SsdSim::new(cfg, kind, black_box(&trace)).run();
-                black_box(m.completed_requests)
-            });
+        r.bench(&format!("simulate_300_requests_{kind}"), || {
+            let cfg =
+                SsdConfig::performance_optimized().sized_for_footprint(trace.footprint_bytes());
+            let m = SsdSim::new(cfg, kind, black_box(&trace)).run();
+            black_box(m.completed_requests);
         });
     }
+    r.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_end_to_end
-}
-criterion_main!(benches);

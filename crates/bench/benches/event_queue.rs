@@ -1,0 +1,85 @@
+//! Micro-benchmarks of the event calendar: the bucketed time-wheel
+//! [`EventQueue`] against the original binary-heap calendar
+//! ([`ReferenceHeapQueue`]), under the classic hold model (steady pending
+//! population, pop one / schedule one) and under burst workloads (many
+//! events at one timestamp — the simulator's same-instant dispatch storms).
+
+use std::hint::black_box;
+use venice_bench::microbench::Runner;
+use venice_sim::rng::Xorshift64Star;
+use venice_sim::{EventQueue, ReferenceHeapQueue, SimDuration, SimTime};
+
+/// Mixed event-horizon delta stream mimicking the SSD simulation: mostly
+/// short wire/firmware latencies, some array-operation latencies, a tail of
+/// erase-scale far-future events.
+fn next_delta(rng: &mut Xorshift64Star) -> SimDuration {
+    SimDuration::from_nanos(match rng.next_bounded(10) {
+        0 => 0,                              // same-instant dispatch
+        1..=6 => rng.next_bounded(4_000),    // bursts + firmware
+        7 | 8 => 3_000 + rng.next_bounded(100_000), // tR / tPROG
+        _ => 1_000_000 + rng.next_bounded(2_000_000), // tBERS
+    })
+}
+
+fn main() {
+    let mut r = Runner::new("event_queue");
+
+    for &population in &[64usize, 1024] {
+        // Hold model: steady-state pending population; each iteration pops
+        // the earliest event and schedules a replacement.
+        r.bench(&format!("hold_model_wheel_{population}"), {
+            let mut q = EventQueue::new();
+            let mut rng = Xorshift64Star::new(42);
+            for i in 0..population {
+                q.schedule(SimTime::ZERO + next_delta(&mut rng), i as u64);
+            }
+            move || {
+                let (t, e) = q.pop().expect("population stays constant");
+                q.schedule(t + next_delta(&mut rng), black_box(e));
+            }
+        });
+        r.bench(&format!("hold_model_heap_{population}"), {
+            let mut q = ReferenceHeapQueue::new();
+            let mut rng = Xorshift64Star::new(42);
+            for i in 0..population {
+                q.schedule(SimTime::ZERO + next_delta(&mut rng), i as u64);
+            }
+            move || {
+                let (t, e) = q.pop().expect("population stays constant");
+                q.schedule(t + next_delta(&mut rng), black_box(e));
+            }
+        });
+    }
+
+    // Burst: schedule many events at one instant, then drain them all —
+    // the shape of coalesced dispatch rounds. The wheel drains bursts with
+    // pop_batch; the heap pays a log-n pop per event.
+    const BURST: u64 = 256;
+    r.bench("burst_same_timestamp_wheel", {
+        let mut q = EventQueue::new();
+        let mut out = Vec::with_capacity(BURST as usize);
+        move || {
+            let t = q.now() + SimDuration::from_nanos(10);
+            for i in 0..BURST {
+                q.schedule(t, i);
+            }
+            out.clear();
+            let at = q.pop_batch(&mut out).expect("burst pending");
+            black_box((at, out.len()));
+        }
+    });
+    r.bench("burst_same_timestamp_heap", {
+        let mut q = ReferenceHeapQueue::new();
+        move || {
+            let t = q.now() + SimDuration::from_nanos(10);
+            for i in 0..BURST {
+                q.schedule(t, i);
+            }
+            for _ in 0..BURST {
+                black_box(q.pop());
+            }
+        }
+    });
+
+    r.finish();
+}

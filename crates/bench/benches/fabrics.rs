@@ -1,29 +1,23 @@
-//! Criterion micro-benchmarks of the fabric acquire/transfer/release cycle
-//! for every design — the inner loop of the SSD simulation.
+//! Micro-benchmarks of the fabric acquire/transfer/release cycle for every
+//! design — the inner loop of the SSD simulation. Uses the in-tree
+//! [`venice_bench::microbench`] harness (no registry access for criterion).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use venice_bench::microbench::Runner;
 use venice_interconnect::{build_fabric, FabricKind, FabricParams, NodeId};
 
-fn bench_fabric_cycle(c: &mut Criterion) {
+fn main() {
+    let mut r = Runner::new("fabrics");
     for kind in FabricKind::ALL {
-        c.bench_function(&format!("acquire_transfer_release_{kind}"), |b| {
-            let mut fabric = build_fabric(kind, FabricParams::table1());
-            b.iter(|| {
-                let grant = fabric
-                    .try_acquire(black_box(NodeId(42)))
-                    .expect("idle fabric grants");
-                let d = fabric.transfer(&grant, black_box(4096));
-                fabric.release(grant);
-                black_box(d)
-            });
+        let mut fabric = build_fabric(kind, FabricParams::table1());
+        r.bench(&format!("acquire_transfer_release_{kind}"), || {
+            let grant = fabric
+                .try_acquire(black_box(NodeId(42)))
+                .expect("idle fabric grants");
+            let d = fabric.transfer(&grant, black_box(4096));
+            fabric.release(grant);
+            black_box(d);
         });
     }
+    r.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_fabric_cycle
-}
-criterion_main!(benches);

@@ -1,29 +1,29 @@
-//! Criterion micro-benchmarks of the Venice routing machinery: scout walks
-//! on idle and congested meshes, and XY path construction.
+//! Micro-benchmarks of the Venice routing machinery: scout walks on idle and
+//! congested meshes, and XY path construction. Uses the in-tree
+//! [`venice_bench::microbench`] harness (no registry access for criterion).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use venice_bench::microbench::Runner;
 use venice_interconnect::mesh::MeshState;
 use venice_interconnect::{Mesh2D, NodeId};
 use venice_sim::rng::Lfsr2;
 
-fn bench_scout_idle(c: &mut Criterion) {
+fn main() {
+    let mut r = Runner::new("routing");
     let topo = Mesh2D::new(8, 8);
-    c.bench_function("scout_walk_idle_corner_to_corner", |b| {
+
+    {
         let mut mesh = MeshState::new(topo, 8);
         let mut lfsr = Lfsr2::new();
-        b.iter(|| {
+        r.bench("scout_walk_idle_corner_to_corner", || {
             let (p, _) = mesh
                 .scout_walk(0, NodeId(0), black_box(NodeId(63)), &mut lfsr)
                 .expect("idle mesh routes");
-            mesh.release(&p);
+            mesh.release_owned(p);
         });
-    });
-}
+    }
 
-fn bench_scout_congested(c: &mut Criterion) {
-    let topo = Mesh2D::new(8, 8);
-    c.bench_function("scout_walk_with_6_circuits", |b| {
+    {
         let mut mesh = MeshState::new(topo, 8);
         let mut lfsr = Lfsr2::new();
         // Six long-lived circuits criss-crossing the mesh.
@@ -35,28 +35,24 @@ fn bench_scout_congested(c: &mut Criterion) {
                 held.push(p);
             }
         }
-        b.iter(|| {
+        r.bench("scout_walk_with_6_circuits", || {
             match mesh.scout_walk(7, NodeId(7 * 8), black_box(NodeId(31)), &mut lfsr) {
-                Ok((p, _)) => mesh.release(&p),
+                Ok((p, _)) => mesh.release_owned(p),
                 Err(f) => {
                     black_box(f.steps);
                 }
             }
         });
-    });
-}
+    }
 
-fn bench_xy(c: &mut Criterion) {
-    let topo = Mesh2D::new(8, 8);
-    let mesh = MeshState::new(topo, 8);
-    c.bench_function("xy_path_corner_to_corner", |b| {
-        b.iter(|| black_box(mesh.xy_path(NodeId(0), black_box(NodeId(63)))));
-    });
-}
+    {
+        let mut mesh = MeshState::new(topo, 8);
+        r.bench("xy_path_corner_to_corner", || {
+            let p = mesh.xy_path(NodeId(0), black_box(NodeId(63)));
+            black_box(p.hops());
+            mesh.recycle(p);
+        });
+    }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_scout_idle, bench_scout_congested, bench_xy
+    r.finish();
 }
-criterion_main!(benches);

@@ -4,31 +4,87 @@
 //! paper (see DESIGN.md §4 for the index). They all print a
 //! markdown rendering to stdout and write a CSV under `results/`.
 //!
-//! Knobs (environment variables):
+//! Knobs (environment variables; invalid values warn on stderr and fall
+//! back to the default):
 //!
 //! * `VENICE_REQUESTS` — requests per workload (default 3000; the paper-vs-
 //!   measured records in EXPERIMENTS.md use 4000),
-//! * `VENICE_RESULTS_DIR` — where CSVs land (default `./results`).
+//! * `VENICE_RESULTS_DIR` — where CSVs land (default `./results`),
+//! * `VENICE_PAR` — worker threads for catalog sweeps (default: available
+//!   cores). Each worker replays whole workloads, and each workload still
+//!   fans its systems out via [`run_systems`]; results are returned in
+//!   catalog order and are bit-identical for every `VENICE_PAR` value.
+//!
+//! Catalog sweeps print a one-line throughput summary to stderr (wall-clock
+//! seconds plus simulator events/sec, see [`SweepSummary`]); together with
+//! the `results/bench_*.json` files written by [`microbench`] this keeps the
+//! engine's performance trajectory measurable run over run.
+
+pub mod microbench;
 
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 use venice_interconnect::FabricKind;
 use venice_ssd::{run_systems, RunMetrics, SsdConfig};
 use venice_workloads::{catalog, Trace};
 
-/// Requests per workload for harness runs.
-pub fn requests() -> usize {
-    std::env::var("VENICE_REQUESTS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(3000)
+/// Parses `name` from the environment, warning on stderr (and falling back
+/// to `default`) when the value is set but unparsable.
+fn parsed_env<T: std::str::FromStr>(name: &str, default: T) -> T {
+    match std::env::var(name) {
+        Err(_) => default,
+        Ok(raw) => match raw.trim().parse() {
+            Ok(v) => v,
+            Err(_) => {
+                eprintln!(
+                    "warning: ignoring invalid {name}={raw:?}; using the default"
+                );
+                default
+            }
+        },
+    }
 }
 
-/// Directory CSV outputs are written to.
+/// Requests per workload for harness runs (`VENICE_REQUESTS`, default 3000).
+pub fn requests() -> usize {
+    parsed_env("VENICE_REQUESTS", 3000)
+}
+
+/// Directory CSV outputs are written to (`VENICE_RESULTS_DIR`, default
+/// `./results`). Warns and falls back when the override names an existing
+/// non-directory.
 pub fn results_dir() -> PathBuf {
-    std::env::var("VENICE_RESULTS_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|_| PathBuf::from("results"))
+    match std::env::var("VENICE_RESULTS_DIR") {
+        Err(_) => PathBuf::from("results"),
+        Ok(raw) => {
+            let p = PathBuf::from(&raw);
+            if p.exists() && !p.is_dir() {
+                eprintln!(
+                    "warning: VENICE_RESULTS_DIR={raw:?} is not a directory; \
+                     using the default ./results"
+                );
+                PathBuf::from("results")
+            } else {
+                p
+            }
+        }
+    }
+}
+
+/// Catalog-sweep worker threads (`VENICE_PAR`, default: available cores).
+/// Zero is invalid and warns like an unparsable value.
+pub fn venice_par() -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let par: usize = parsed_env("VENICE_PAR", cores);
+    if par == 0 {
+        eprintln!("warning: ignoring invalid VENICE_PAR=0; using the default");
+        cores
+    } else {
+        par
+    }
 }
 
 /// The five real systems of the main figures (Ideal added separately).
@@ -42,20 +98,112 @@ pub fn real_systems() -> [FabricKind; 5] {
     ]
 }
 
+/// Throughput summary of one catalog sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepSummary {
+    /// Workloads replayed.
+    pub workloads: usize,
+    /// Systems per workload.
+    pub systems: usize,
+    /// Worker threads used.
+    pub par: usize,
+    /// Wall-clock seconds for the whole sweep.
+    pub wall_seconds: f64,
+    /// Total simulator events processed across all runs.
+    pub events: u64,
+}
+
+impl SweepSummary {
+    /// Simulator events per wall-clock second (the sweep's throughput).
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_seconds.max(1e-9)
+    }
+}
+
+impl std::fmt::Display for SweepSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "catalog sweep: {} workloads x {} systems in {:.2}s wall, \
+             {:.2}M events, {:.2}M events/s (VENICE_PAR={})",
+            self.workloads,
+            self.systems,
+            self.wall_seconds,
+            self.events as f64 / 1e6,
+            self.events_per_sec() / 1e6,
+            self.par,
+        )
+    }
+}
+
+/// One catalog sweep row: a workload name and its per-system metrics.
+pub type CatalogRow = (String, Vec<RunMetrics>);
+
 /// Runs every Table 2 workload across `systems` under `config`, returning
 /// `(workload name, per-system metrics)` in catalog order.
+///
+/// Workloads are fanned out over [`venice_par`] scoped worker threads and a
+/// throughput summary is printed to stderr; use [`sweep_catalog`] for
+/// explicit parallelism control or to consume the [`SweepSummary`].
 pub fn run_catalog(
     config: &SsdConfig,
     systems: &[FabricKind],
     requests: usize,
-) -> Vec<(String, Vec<RunMetrics>)> {
-    catalog::TABLE2
-        .iter()
-        .map(|entry| {
-            let trace = catalog::spec(entry).generate(requests);
-            (entry.name.to_string(), run_systems(config, systems, &trace))
+) -> Vec<CatalogRow> {
+    let (rows, summary) = sweep_catalog(config, systems, requests, venice_par());
+    eprintln!("[venice-bench] {summary}");
+    rows
+}
+
+/// [`run_catalog`] with explicit worker-thread count and no summary print.
+///
+/// Every run is fully independent and deterministic per `(config, system,
+/// trace)`, so the returned metrics are identical for every `par`; only
+/// wall-clock time changes.
+pub fn sweep_catalog(
+    config: &SsdConfig,
+    systems: &[FabricKind],
+    requests: usize,
+    par: usize,
+) -> (Vec<CatalogRow>, SweepSummary) {
+    let entries = &catalog::TABLE2;
+    let par = par.clamp(1, entries.len().max(1));
+    let start = Instant::now();
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<CatalogRow>>> =
+        (0..entries.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..par {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(entry) = entries.get(i) else { break };
+                let trace = catalog::spec(entry).generate(requests);
+                let row = (entry.name.to_string(), run_systems(config, systems, &trace));
+                *slots[i].lock().expect("result slot poisoned") = Some(row);
+            });
+        }
+    });
+    let rows: Vec<CatalogRow> = slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("result slot poisoned")
+                .expect("every catalog entry computed")
         })
-        .collect()
+        .collect();
+    let events: u64 = rows
+        .iter()
+        .flat_map(|(_, ms)| ms.iter())
+        .map(|m| m.events)
+        .sum();
+    let summary = SweepSummary {
+        workloads: rows.len(),
+        systems: systems.len(),
+        par,
+        wall_seconds: start.elapsed().as_secs_f64(),
+        events,
+    };
+    (rows, summary)
 }
 
 /// Runs one named workload across `systems`.
@@ -90,7 +238,7 @@ pub fn speedup(results: &[RunMetrics], system: FabricKind) -> f64 {
 }
 
 /// Metric lookup by system.
-pub fn metrics<'a>(results: &'a [RunMetrics], system: FabricKind) -> &'a RunMetrics {
+pub fn metrics(results: &[RunMetrics], system: FabricKind) -> &RunMetrics {
     results
         .iter()
         .find(|m| m.system == system)
@@ -113,5 +261,21 @@ mod tests {
         assert_eq!(results.len(), 2);
         assert!(speedup(&results, FabricKind::Venice) > 0.0);
         assert_eq!(metrics(&results, FabricKind::Venice).system, FabricKind::Venice);
+    }
+
+    #[test]
+    fn sweep_summary_accounts_events() {
+        let cfg = SsdConfig::performance_optimized();
+        let (rows, summary) = sweep_catalog(&cfg, &[FabricKind::Ideal], 60, 4);
+        assert_eq!(rows.len(), catalog::TABLE2.len());
+        assert_eq!(summary.workloads, rows.len());
+        assert_eq!(summary.systems, 1);
+        let total: u64 = rows.iter().map(|(_, ms)| ms[0].events).sum();
+        assert_eq!(summary.events, total);
+        assert!(summary.events_per_sec() > 0.0);
+        // Catalog order is preserved regardless of which worker ran what.
+        for (row, entry) in rows.iter().zip(catalog::TABLE2.iter()) {
+            assert_eq!(row.0, entry.name);
+        }
     }
 }

@@ -1,0 +1,139 @@
+//! A tiny self-contained benchmark harness.
+//!
+//! The build environment for this workspace has no access to a crates
+//! registry, so the `benches/` targets cannot use criterion. This module
+//! provides the small subset we need: warmup, automatic iteration-count
+//! calibration, median-of-samples timing, and machine-readable output.
+//!
+//! Every [`Runner`] prints one `ns/iter` line per benchmark to stdout and, on
+//! [`Runner::finish`], writes `results/bench_<name>.json` (honoring
+//! `VENICE_RESULTS_DIR`) so successive runs leave a comparable perf
+//! trajectory on disk.
+
+use std::time::{Duration, Instant};
+
+/// One measured benchmark result.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Benchmark name.
+    pub name: String,
+    /// Median wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations per timed sample.
+    pub iters_per_sample: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// Collects measurements for one bench target and writes them out as JSON.
+pub struct Runner {
+    target: String,
+    measurements: Vec<Measurement>,
+    /// Target wall-clock budget for one sample.
+    sample_budget: Duration,
+    /// Timed samples per benchmark (the median is reported).
+    samples: usize,
+}
+
+impl Runner {
+    /// Creates a runner for the bench target `target` (used in the output
+    /// file name `bench_<target>.json`).
+    pub fn new(target: &str) -> Self {
+        Runner {
+            target: target.to_string(),
+            measurements: Vec::new(),
+            sample_budget: Duration::from_millis(50),
+            samples: 7,
+        }
+    }
+
+    /// Overrides the per-sample time budget (larger = steadier numbers).
+    pub fn sample_budget(mut self, budget: Duration) -> Self {
+        self.sample_budget = budget;
+        self
+    }
+
+    /// Times `f`, printing a `ns/iter` line and recording the measurement.
+    ///
+    /// Calibration: `f` is run repeatedly, doubling the iteration count until
+    /// one batch exceeds ~1/5 of the sample budget; that count is then used
+    /// for `self.samples` timed samples and the median is reported.
+    pub fn bench<F: FnMut()>(&mut self, name: &str, mut f: F) {
+        // Warmup + calibration.
+        let mut iters: u64 = 1;
+        let calib_floor = self.sample_budget / 5;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= calib_floor || iters >= 1 << 30 {
+                break;
+            }
+            // Aim straight for the budget once we have a usable estimate.
+            iters = if elapsed.is_zero() {
+                iters * 2
+            } else {
+                let scale = self.sample_budget.as_secs_f64() / elapsed.as_secs_f64();
+                (iters as f64 * scale.clamp(1.5, 16.0)) as u64
+            }
+            .max(iters + 1);
+        }
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    f();
+                }
+                t.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        println!(
+            "bench {:<44} {:>14.1} ns/iter  ({} iters x {} samples)",
+            format!("{}::{}", self.target, name),
+            median,
+            iters,
+            self.samples
+        );
+        self.measurements.push(Measurement {
+            name: name.to_string(),
+            ns_per_iter: median,
+            iters_per_sample: iters,
+            samples: self.samples,
+        });
+    }
+
+    /// Writes `results/bench_<target>.json` and returns the measurements.
+    ///
+    /// JSON is emitted by hand (no serde in this workspace); the schema is
+    /// `[{"name": ..., "ns_per_iter": ..., "iters": ..., "samples": ...}]`.
+    pub fn finish(self) -> Vec<Measurement> {
+        let dir = crate::results_dir();
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+            return self.measurements;
+        }
+        let path = dir.join(format!("bench_{}.json", self.target));
+        let mut json = String::from("[\n");
+        for (i, m) in self.measurements.iter().enumerate() {
+            json.push_str(&format!(
+                "  {{\"name\": \"{}\", \"ns_per_iter\": {:.1}, \"iters\": {}, \"samples\": {}}}{}\n",
+                m.name.replace('"', "'"),
+                m.ns_per_iter,
+                m.iters_per_sample,
+                m.samples,
+                if i + 1 == self.measurements.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("]\n");
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+        } else {
+            println!("bench results -> {}", path.display());
+        }
+        self.measurements
+    }
+}

@@ -7,7 +7,11 @@ use venice_sim::stats::LatencySamples;
 use venice_sim::{SimDuration, SimTime};
 
 /// Metrics of one simulated run (one workload × one system × one config).
-#[derive(Clone, Debug)]
+///
+/// Derives `PartialEq` so determinism tests can compare whole runs (the
+/// engine is bit-for-bit reproducible for a `(config, system, trace)`
+/// triple, regardless of sweep parallelism).
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunMetrics {
     /// The fabric under test.
     pub system: venice_interconnect::FabricKind,
@@ -36,6 +40,10 @@ pub struct RunMetrics {
     pub hil: HilStats,
     /// Total flash transactions executed.
     pub transactions: u64,
+    /// Total simulator events scheduled on the calendar. A finished run
+    /// drains its queue, so this also equals the events processed — the
+    /// numerator of the harness's events/sec throughput summary.
+    pub events: u64,
     /// Simulation end time.
     pub end_time: SimTime,
 }
@@ -102,6 +110,7 @@ mod tests {
             ftl: FtlStats::default(),
             hil: HilStats::default(),
             transactions: requests,
+            events: requests * 4,
             end_time: SimTime::from_micros(exec_us),
         }
     }

@@ -13,12 +13,24 @@
 //! The communication fabric is pluggable ([`FabricKind`]); everything else
 //! is identical across systems, so execution-time ratios isolate the fabric
 //! — the paper's experimental design.
+//!
+//! # Hot-path storage
+//!
+//! All per-request / per-transaction / per-block bookkeeping lives in
+//! slab- or dense-`Vec` storage keyed by small integer ids instead of hash
+//! containers: transaction ids index a free-list slab of [`TxnSlot`]s,
+//! request ids (trace indices) index a dense `Vec<ReqState>`, global block
+//! keys index a dense in-flight-user count array, and physical pages with
+//! in-flight programs live in a bitset. Steady-state simulation therefore
+//! performs no hashing and no per-event allocation; scratch buffers
+//! (same-instant event batches, busy-chip lists, migration partitions) are
+//! reused across events.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
 use venice_ftl::{
-    Ftl, FtlConfig, MappingCache, MigrationJob, RequestId, Transaction, TransactionScheduler,
-    TxnId, TxnKind,
+    Ftl, FtlConfig, Gppa, MappingCache, MigrationJob, RequestId, Transaction,
+    TransactionScheduler, TxnId, TxnKind,
 };
 use venice_hil::{HostInterface, HostRequest};
 use venice_interconnect::{build_fabric, AcquireError, Fabric, FabricKind, NodeId, PathGrant};
@@ -51,21 +63,36 @@ enum Event {
 /// Which wire/array phase an in-flight transaction is in.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Phase {
+    Queued,
     Command,
     ArrayOp,
     DataOut,
 }
 
-struct InFlight {
+/// Sentinel for "transaction does not belong to a migration".
+const NO_MIGRATION: usize = usize::MAX;
+
+/// One slab slot of per-transaction state. The slot index *is* the
+/// transaction id; slots are recycled through a free list when the
+/// transaction completes.
+struct TxnSlot {
     txn: Transaction,
     phase: Phase,
     grant: Option<PathGrant>,
+    /// Owning migration slot, or [`NO_MIGRATION`].
+    migration: usize,
+    /// The transaction already charged a first-attempt path conflict.
+    conflict_flagged: bool,
+    live: bool,
 }
 
+/// Dense per-request state, indexed by request id (= trace record index).
+#[derive(Clone, Default)]
 struct ReqState {
     arrival: SimTime,
     remaining: u32,
     conflicted: bool,
+    live: bool,
 }
 
 struct MigrationState {
@@ -74,6 +101,34 @@ struct MigrationState {
     reads_pending: u32,
     writes_pending: u32,
     erase_issued: bool,
+}
+
+/// A fixed-capacity bitset over dense ids (physical page indices).
+struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    fn with_capacity(bits: u64) -> Self {
+        BitSet {
+            words: vec![0; bits.div_ceil(64) as usize],
+        }
+    }
+
+    #[inline]
+    fn contains(&self, i: u64) -> bool {
+        self.words[(i / 64) as usize] & (1 << (i % 64)) != 0
+    }
+
+    #[inline]
+    fn insert(&mut self, i: u64) {
+        self.words[(i / 64) as usize] |= 1 << (i % 64);
+    }
+
+    #[inline]
+    fn remove(&mut self, i: u64) {
+        self.words[(i / 64) as usize] &= !(1 << (i % 64));
+    }
 }
 
 /// The SSD simulator. Construct with [`SsdSim::new`], run a whole trace with
@@ -106,31 +161,38 @@ pub struct SsdSim {
     hil: HostInterface,
     queue: EventQueue<Event>,
 
-    requests: HashMap<u64, ReqState>,
+    /// Per-request state, indexed by request id (= trace record index).
+    requests: Vec<ReqState>,
     /// An arrival blocked on a full submission queue: the host stalls and
     /// the remainder of the trace shifts in time (MQSim-style dependent
     /// replay — applications do not issue independently of completions).
     stalled_arrival: Option<(HostRequest, usize)>,
-    inflight: HashMap<u64, InFlight>,
-    conflict_flagged: HashSet<u64>,
-    next_txn: u64,
+    /// Transaction slab: slot index = transaction id, recycled on completion.
+    txns: Vec<TxnSlot>,
+    free_txns: Vec<u32>,
+    live_txns: usize,
+    /// Total transactions ever spawned (the `transactions` metric).
+    spawned_txns: u64,
     /// Per-chip FIFO of read transactions whose data awaits a path out.
     data_pending: Vec<VecDeque<TxnId>>,
-    /// Dies claimed by an in-flight operation, `(chip, die)`.
-    die_busy: HashSet<(u16, u32)>,
+    /// Dies claimed by an in-flight operation, indexed `chip * dies + die`.
+    die_busy: Vec<bool>,
     migrations: Vec<Option<MigrationState>>,
-    txn_migration: HashMap<u64, usize>,
-    active_gc_planes: HashSet<usize>,
+    free_migrations: Vec<usize>,
+    /// Per-plane "GC in progress" flags, indexed by dense plane index.
+    active_gc_planes: Vec<bool>,
     /// In-flight reads/programs per global block: an erase must wait until
     /// every operation targeting its block has drained (a stale read may
     /// legally target an invalidated page until the block is erased, and a
     /// program allocated into the block must land before the erase).
-    block_users: HashMap<u64, u32>,
-    /// Migration slots whose erase waits for a block's users to drain.
-    blocked_erases: HashMap<u64, Vec<usize>>,
+    /// Indexed by global block key.
+    block_users: Vec<u32>,
+    /// Migration slots whose erase waits for a block's users to drain, as
+    /// `(block key, migration slot)` pairs (rare; scanned linearly).
+    blocked_erases: Vec<(usize, usize)>,
     /// Physical pages allocated but not yet programmed: reads of these are
     /// served from the controller's write buffer without touching flash.
-    pending_programs: HashSet<u64>,
+    pending_programs: BitSet,
     /// Reads served from the write buffer.
     buffer_hits: u64,
     /// Host-write pages deferred because every plane is down to its GC
@@ -140,6 +202,13 @@ pub struct SsdSim {
     erases_since_wear_check: u32,
     dispatch_pending: bool,
     dispatch_cursor: usize,
+
+    /// Reusable scratch: busy-chip list for dispatch rounds.
+    busy_scratch: Vec<u16>,
+    /// Reusable scratch: migration pages served from the write buffer.
+    mig_buffered: Vec<(u64, Gppa)>,
+    /// Reusable scratch: migration pages needing a flash read.
+    mig_flash: Vec<(u64, Gppa)>,
 
     latencies: LatencySamples,
     completed: u64,
@@ -188,6 +257,9 @@ impl SsdSim {
         }
         let entries_per_tp = config.page_bytes() / 8; // 8-byte mapping entries
         let chip_count = usize::from(config.array.chips);
+        let dies_per_chip = config.array.chip.dies as usize;
+        let total_blocks = config.array.total_blocks() as usize;
+        let total_planes = config.array.total_planes() as usize;
         SsdSim {
             fabric: build_fabric(kind, config.fabric),
             chips,
@@ -195,25 +267,29 @@ impl SsdSim {
             tsu: TransactionScheduler::new(chip_count),
             hil: HostInterface::new(config.hil),
             queue: EventQueue::new(),
-            requests: HashMap::new(),
+            requests: vec![ReqState::default(); trace.len()],
             stalled_arrival: None,
-            inflight: HashMap::new(),
-            conflict_flagged: HashSet::new(),
-            next_txn: 0,
+            txns: Vec::new(),
+            free_txns: Vec::new(),
+            live_txns: 0,
+            spawned_txns: 0,
             data_pending: (0..chip_count).map(|_| VecDeque::new()).collect(),
-            die_busy: HashSet::new(),
+            die_busy: vec![false; chip_count * dies_per_chip],
             migrations: Vec::new(),
-            txn_migration: HashMap::new(),
-            active_gc_planes: HashSet::new(),
-            block_users: HashMap::new(),
-            blocked_erases: HashMap::new(),
-            pending_programs: HashSet::new(),
+            free_migrations: Vec::new(),
+            active_gc_planes: vec![false; total_planes],
+            block_users: vec![0; total_blocks],
+            blocked_erases: Vec::new(),
+            pending_programs: BitSet::with_capacity(physical),
             buffer_hits: 0,
             throttled_writes: VecDeque::new(),
             wear_job_active: false,
             erases_since_wear_check: 0,
             dispatch_pending: false,
             dispatch_cursor: 0,
+            busy_scratch: Vec::new(),
+            mig_buffered: Vec::new(),
+            mig_flash: Vec::new(),
             latencies: LatencySamples::new(),
             completed: 0,
             conflicted_requests: 0,
@@ -229,6 +305,11 @@ impl SsdSim {
 
     /// Runs the whole trace to completion and returns the metrics.
     ///
+    /// The main loop drains the calendar in same-instant batches
+    /// ([`EventQueue::pop_batch`]); handler-scheduled events at the same
+    /// instant form follow-up batches, so delivery order is identical to
+    /// one-at-a-time popping.
+    ///
     /// # Panics
     ///
     /// Panics if the simulation stalls (queued work with no pending events),
@@ -238,12 +319,15 @@ impl SsdSim {
             self.queue
                 .schedule(self.trace.events()[0].arrival, Event::Arrival(0));
         }
-        while let Some((now, ev)) = self.queue.pop() {
-            self.handle(now, ev);
+        let mut batch: Vec<Event> = Vec::new();
+        while let Some(now) = self.queue.pop_batch(&mut batch) {
+            for ev in batch.drain(..) {
+                self.handle(now, ev);
+            }
         }
         assert!(
             self.tsu.is_empty()
-                && self.inflight.is_empty()
+                && self.live_txns == 0
                 && self.stalled_arrival.is_none()
                 && self.throttled_writes.is_empty(),
             "simulation drained its event queue with work still outstanding"
@@ -273,6 +357,38 @@ impl SsdSim {
             self.dispatch_pending = true;
             self.queue.schedule(now, Event::Dispatch);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Transaction slab
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn slot(&self, id: TxnId) -> &TxnSlot {
+        let s = &self.txns[id.0 as usize];
+        debug_assert!(s.live, "transaction {id:?} not live");
+        s
+    }
+
+    #[inline]
+    fn slot_mut(&mut self, id: TxnId) -> &mut TxnSlot {
+        let s = &mut self.txns[id.0 as usize];
+        debug_assert!(s.live, "transaction {id:?} not live");
+        s
+    }
+
+    /// Frees a transaction slot, returning its transaction and owning
+    /// migration slot (if any).
+    fn free_txn(&mut self, id: TxnId) -> (Transaction, usize) {
+        let s = &mut self.txns[id.0 as usize];
+        debug_assert!(s.live, "double free of transaction {id:?}");
+        s.live = false;
+        s.grant = None;
+        let migration = s.migration;
+        let txn = s.txn;
+        self.free_txns.push(id.0 as u32);
+        self.live_txns -= 1;
+        (txn, migration)
     }
 
     // ------------------------------------------------------------------
@@ -324,14 +440,21 @@ impl SsdSim {
             self.charge_mapping_lookup(now, lpa);
             match req.op {
                 IoOp::Read => match self.ftl.translate_read(lpa).expect("lpa in range") {
-                    Some(gppa) if self.pending_programs.contains(&gppa.0) => {
+                    Some(gppa) if self.pending_programs.contains(gppa.0) => {
                         // The page's program is still in flight: the data is
                         // in the controller's write buffer — serve it there.
                         self.buffer_hits += 1;
                     }
                     Some(gppa) => {
                         let target = self.ftl.config().array.unpack(gppa);
-                        self.spawn_txn(now, TxnKind::UserRead, target, Some(lpa), Some(req.id));
+                        self.spawn_txn(
+                            now,
+                            TxnKind::UserRead,
+                            target,
+                            Some(lpa),
+                            Some(req.id),
+                            NO_MIGRATION,
+                        );
                         txns += 1;
                     }
                     None => self.zero_reads += 1,
@@ -348,14 +471,12 @@ impl SsdSim {
                 }
             }
         }
-        self.requests.insert(
-            req.id,
-            ReqState {
-                arrival: req.arrival,
-                remaining: txns,
-                conflicted: false,
-            },
-        );
+        self.requests[req.id as usize] = ReqState {
+            arrival: req.arrival,
+            remaining: txns,
+            conflicted: false,
+            live: true,
+        };
         if txns == 0 {
             // Nothing touches flash (e.g. read of never-written data).
             self.queue.schedule(
@@ -375,7 +496,14 @@ impl SsdSim {
                 self.cmt.mark_dirty(lpa);
                 self.pending_programs.insert(gppa.0);
                 let target = self.ftl.config().array.unpack(gppa);
-                self.spawn_txn(now, TxnKind::UserWrite, target, Some(lpa), Some(req_id));
+                self.spawn_txn(
+                    now,
+                    TxnKind::UserWrite,
+                    target,
+                    Some(lpa),
+                    Some(req_id),
+                    NO_MIGRATION,
+                );
                 true
             }
             Err(venice_ftl::FtlError::OutOfSpace) => false,
@@ -391,9 +519,9 @@ impl SsdSim {
             return;
         }
         if let Some(gppa) = self.ftl.translate(lpa) {
-            if !self.pending_programs.contains(&gppa.0) {
+            if !self.pending_programs.contains(gppa.0) {
                 let target = self.ftl.config().array.unpack(gppa);
-                self.spawn_txn(now, TxnKind::MapRead, target, Some(lpa), None);
+                self.spawn_txn(now, TxnKind::MapRead, target, Some(lpa), None, NO_MIGRATION);
             }
         }
         // Dirty write-backs are absorbed by the controller DRAM buffer; the
@@ -402,10 +530,13 @@ impl SsdSim {
     }
 
     fn on_request_done(&mut self, now: SimTime, req_id: u64) {
-        let st = self.requests.remove(&req_id).expect("request tracked");
+        let st = &mut self.requests[req_id as usize];
+        debug_assert!(st.live, "request {req_id} not tracked");
+        st.live = false;
+        let (arrival, conflicted) = (st.arrival, st.conflicted);
         self.hil.complete(req_id, now);
-        self.latencies.record(now.saturating_since(st.arrival));
-        if st.conflicted {
+        self.latencies.record(now.saturating_since(arrival));
+        if conflicted {
             self.conflicted_requests += 1;
         }
         self.completed += 1;
@@ -434,9 +565,13 @@ impl SsdSim {
         target: PhysicalPageAddr,
         lpa: Option<u64>,
         request: Option<u64>,
+        migration: usize,
     ) -> TxnId {
-        let id = TxnId(self.next_txn);
-        self.next_txn += 1;
+        let idx = self
+            .free_txns
+            .pop()
+            .map_or(self.txns.len(), |i| i as usize);
+        let id = TxnId(idx as u64);
         let txn = Transaction {
             id,
             kind,
@@ -444,32 +579,59 @@ impl SsdSim {
             lpa,
             request: request.map(RequestId),
         };
+        let slot = TxnSlot {
+            txn,
+            phase: Phase::Queued,
+            grant: None,
+            migration,
+            conflict_flagged: false,
+            live: true,
+        };
+        if idx == self.txns.len() {
+            self.txns.push(slot);
+        } else {
+            debug_assert!(!self.txns[idx].live, "free list returned a live slot");
+            self.txns[idx] = slot;
+        }
+        self.live_txns += 1;
+        self.spawned_txns += 1;
         if kind.is_read() || kind.is_write() {
-            *self.block_users.entry(self.block_key(target)).or_insert(0) += 1;
+            let key = self.block_key(target);
+            self.block_users[key] += 1;
         }
         self.tsu.enqueue(txn);
         self.schedule_dispatch(now);
         id
     }
 
-    /// Global block key of a physical page.
-    fn block_key(&self, p: PhysicalPageAddr) -> u64 {
+    /// Global block key of a physical page (dense index into
+    /// [`SsdSim::block_users`]).
+    fn block_key(&self, p: PhysicalPageAddr) -> usize {
         let array = &self.ftl.config().array;
-        array.plane_index(p) as u64 * u64::from(array.chip.blocks_per_plane)
-            + u64::from(p.addr.block)
+        array.plane_index(p) * array.chip.blocks_per_plane as usize + p.addr.block as usize
+    }
+
+    /// Dense die index of a physical page (into [`SsdSim::die_busy`]).
+    #[inline]
+    fn die_key(&self, p: PhysicalPageAddr) -> usize {
+        usize::from(p.chip.0) * self.config.array.chip.dies as usize + p.addr.die as usize
     }
 
     /// Marks one user of `target`'s block as drained, releasing any erase
     /// waiting on that block.
     fn release_block_user(&mut self, now: SimTime, target: PhysicalPageAddr) {
         let key = self.block_key(target);
-        let count = self.block_users.get_mut(&key).expect("user count tracked");
-        *count -= 1;
-        if *count == 0 {
-            self.block_users.remove(&key);
-            if let Some(slots) = self.blocked_erases.remove(&key) {
-                for slot in slots {
+        debug_assert!(self.block_users[key] > 0, "user count tracked");
+        self.block_users[key] -= 1;
+        if self.block_users[key] == 0 && !self.blocked_erases.is_empty() {
+            // Release erases blocked on this block, preserving queue order.
+            let mut i = 0;
+            while i < self.blocked_erases.len() {
+                if self.blocked_erases[i].0 == key {
+                    let (_, slot) = self.blocked_erases.remove(i);
                     self.spawn_migration_erase(now, slot);
+                } else {
+                    i += 1;
                 }
             }
         }
@@ -510,13 +672,13 @@ impl SsdSim {
                         self.data_pending[c].pop_front();
                         let bytes = self.config.page_bytes();
                         let d = self.fabric.transfer(&grant, bytes);
-                        let inf = self.inflight.get_mut(&txn_id.0).expect("tracked");
+                        let inf = self.slot_mut(txn_id);
                         inf.phase = Phase::DataOut;
                         inf.grant = Some(grant);
                         self.queue.schedule(now + d, Event::DataSent(txn_id));
                     }
                     Err(e) => {
-                        let req = self.inflight.get(&txn_id.0).and_then(|i| i.txn.request);
+                        let req = self.slot(txn_id).txn.request;
                         self.note_acquire_failure(txn_id, req, e);
                         if e == AcquireError::NoFreeController {
                             return true;
@@ -532,75 +694,79 @@ impl SsdSim {
     /// Command (and command+data) bursts for queued transactions. Returns
     /// true when the fabric ran out of controllers.
     fn dispatch_command_bursts(&mut self, now: SimTime, home_only: bool) -> bool {
-        let busy: Vec<u16> = self.tsu.busy_chips().collect();
-        if busy.is_empty() {
-            return false;
-        }
-        let start = self.dispatch_cursor % busy.len();
-        for off in 0..busy.len() {
-            let c = busy[(start + off) % busy.len()];
-            if home_only && !self.fabric.home_controller_free(NodeId(c)) {
-                continue;
+        let mut busy = std::mem::take(&mut self.busy_scratch);
+        self.tsu.busy_chips_into(&mut busy);
+        let ran_out = 'out: {
+            if busy.is_empty() {
+                break 'out false;
             }
-            loop {
-                let Some(txn) = self.tsu.peek(c) else { break };
-                let die = (c, txn.target.addr.die);
-                if self.die_busy.contains(&die) {
-                    break; // die occupied: nothing on this chip can start
+            let start = self.dispatch_cursor % busy.len();
+            for off in 0..busy.len() {
+                let c = busy[(start + off) % busy.len()];
+                if home_only && !self.fabric.home_controller_free(NodeId(c)) {
+                    continue;
                 }
-                let txn_kind = txn.kind;
-                let txn_id = txn.id;
-                let txn_req = txn.request;
-                match self.fabric.try_acquire(NodeId(c)) {
-                    Ok(grant) => {
-                        let txn = self.tsu.pop(c).expect("peeked");
-                        self.die_busy.insert(die);
-                        // Writes ship command + page data in one forward
-                        // burst; reads and erases ship the command only.
-                        let bytes = if txn_kind.is_write() {
-                            self.config.command_bytes + self.config.page_bytes()
-                        } else {
-                            self.config.command_bytes
-                        };
-                        let d = self.fabric.transfer(&grant, bytes) + self.config.ftl_latency;
-                        self.inflight.insert(
-                            txn_id.0,
-                            InFlight {
-                                txn,
-                                phase: Phase::Command,
-                                grant: Some(grant),
-                            },
-                        );
-                        self.queue.schedule(now + d, Event::CommandSent(txn_id));
+                while let Some(txn) = self.tsu.peek(c) {
+                    let die = self.die_key(txn.target);
+                    let (txn_kind, txn_id, txn_req) = (txn.kind, txn.id, txn.request);
+                    if self.die_busy[die] {
+                        break; // die occupied: nothing on this chip can start
                     }
-                    Err(e) => {
-                        self.note_acquire_failure(txn_id, txn_req, e);
-                        if e == AcquireError::NoFreeController {
-                            return true;
+                    match self.fabric.try_acquire(NodeId(c)) {
+                        Ok(grant) => {
+                            let txn = self.tsu.pop(c).expect("peeked");
+                            debug_assert_eq!(txn.id, txn_id);
+                            self.die_busy[die] = true;
+                            // Writes ship command + page data in one forward
+                            // burst; reads and erases ship the command only.
+                            let bytes = if txn_kind.is_write() {
+                                self.config.command_bytes + self.config.page_bytes()
+                            } else {
+                                self.config.command_bytes
+                            };
+                            let d = self.fabric.transfer(&grant, bytes) + self.config.ftl_latency;
+                            let inf = self.slot_mut(txn_id);
+                            inf.phase = Phase::Command;
+                            inf.grant = Some(grant);
+                            self.queue.schedule(now + d, Event::CommandSent(txn_id));
                         }
-                        break;
+                        Err(e) => {
+                            self.note_acquire_failure(txn_id, txn_req, e);
+                            if e == AcquireError::NoFreeController {
+                                break 'out true;
+                            }
+                            break;
+                        }
                     }
                 }
             }
-        }
-        false
+            false
+        };
+        self.busy_scratch = busy;
+        ran_out
     }
 
     /// Records a first-attempt path conflict against the owning request
     /// (Figure 13 counts requests whose service hit ≥ 1 conflict).
     fn note_acquire_failure(&mut self, txn_id: TxnId, req: Option<RequestId>, e: AcquireError) {
-        if !e.is_path_conflict() || !self.conflict_flagged.insert(txn_id.0) {
+        if !e.is_path_conflict() {
             return;
         }
+        let slot = self.slot_mut(txn_id);
+        if slot.conflict_flagged {
+            return;
+        }
+        slot.conflict_flagged = true;
         if let Some(r) = req {
-            if let Some(st) = self.requests.get_mut(&r.0) {
+            let st = &mut self.requests[r.0 as usize];
+            if st.live {
                 st.conflicted = true;
             }
         }
     }
 
     fn on_command_sent(&mut self, now: SimTime, txn_id: TxnId) {
-        let inf = self.inflight.get_mut(&txn_id.0).expect("tracked");
+        let inf = self.slot_mut(txn_id);
         debug_assert_eq!(inf.phase, Phase::Command);
         inf.phase = Phase::ArrayOp;
         let grant = inf.grant.take().expect("command held a grant");
@@ -621,35 +787,37 @@ impl SsdSim {
     }
 
     fn on_chip_op_done(&mut self, now: SimTime, txn_id: TxnId) {
-        let inf = self.inflight.get_mut(&txn_id.0).expect("tracked");
+        let inf = self.slot(txn_id);
         let txn = inf.txn;
         if txn.kind.is_read() {
             // Data waits in the page register for a path out; the die stays
             // claimed until the burst drains.
             self.data_pending[usize::from(txn.target.chip.0)].push_back(txn_id);
         } else {
-            self.die_busy.remove(&(txn.target.chip.0, txn.target.addr.die));
-            self.inflight.remove(&txn_id.0);
-            self.complete_txn(now, txn);
+            let die = self.die_key(txn.target);
+            self.die_busy[die] = false;
+            let (txn, migration) = self.free_txn(txn_id);
+            self.complete_txn(now, txn, migration);
         }
         self.schedule_dispatch(now);
     }
 
     fn on_data_sent(&mut self, now: SimTime, txn_id: TxnId) {
-        let inf = self.inflight.remove(&txn_id.0).expect("tracked");
+        let inf = self.slot_mut(txn_id);
         debug_assert_eq!(inf.phase, Phase::DataOut);
-        self.fabric.release(inf.grant.expect("data burst held a grant"));
-        self.die_busy
-            .remove(&(inf.txn.target.chip.0, inf.txn.target.addr.die));
-        self.complete_txn(now, inf.txn);
+        let grant = inf.grant.take().expect("data burst held a grant");
+        self.fabric.release(grant);
+        let (txn, migration) = self.free_txn(txn_id);
+        let die = self.die_key(txn.target);
+        self.die_busy[die] = false;
+        self.complete_txn(now, txn, migration);
         self.schedule_dispatch(now);
     }
 
-    fn complete_txn(&mut self, now: SimTime, txn: Transaction) {
-        self.conflict_flagged.remove(&txn.id.0);
+    fn complete_txn(&mut self, now: SimTime, txn: Transaction, migration: usize) {
         if txn.kind.is_write() {
             let gppa = self.ftl.config().array.pack(txn.target);
-            self.pending_programs.remove(&gppa.0);
+            self.pending_programs.remove(gppa.0);
         }
         if txn.kind.is_read() || txn.kind.is_write() {
             self.release_block_user(now, txn.target);
@@ -657,7 +825,8 @@ impl SsdSim {
         match txn.kind {
             TxnKind::UserRead | TxnKind::UserWrite => {
                 let req = txn.request.expect("user txn has a request");
-                let st = self.requests.get_mut(&req.0).expect("request tracked");
+                let st = &mut self.requests[req.0 as usize];
+                debug_assert!(st.live, "request tracked");
                 st.remaining -= 1;
                 if st.remaining == 0 {
                     self.queue.schedule(
@@ -669,9 +838,9 @@ impl SsdSim {
                     self.check_gc(now);
                 }
             }
-            TxnKind::GcRead | TxnKind::WearRead => self.on_migration_read_done(now, txn),
-            TxnKind::GcWrite | TxnKind::WearWrite => self.on_migration_write_done(now, txn),
-            TxnKind::GcErase | TxnKind::WearErase => self.on_migration_erase_done(now, txn),
+            TxnKind::GcRead | TxnKind::WearRead => self.on_migration_read_done(now, txn, migration),
+            TxnKind::GcWrite | TxnKind::WearWrite => self.on_migration_write_done(now, migration),
+            TxnKind::GcErase | TxnKind::WearErase => self.on_migration_erase_done(now, migration),
             TxnKind::MapRead | TxnKind::MapWrite => {}
         }
     }
@@ -682,11 +851,11 @@ impl SsdSim {
 
     fn check_gc(&mut self, now: SimTime) {
         for plane in self.ftl.planes_needing_gc() {
-            if self.active_gc_planes.contains(&plane) {
+            if self.active_gc_planes[plane] {
                 continue;
             }
             if let Some(job) = self.ftl.start_gc(plane) {
-                self.active_gc_planes.insert(plane);
+                self.active_gc_planes[plane] = true;
                 self.start_migration(now, job, false);
             }
         }
@@ -702,36 +871,59 @@ impl SsdSim {
         }
     }
 
+    fn alloc_migration(&mut self, state: MigrationState) -> usize {
+        match self.free_migrations.pop() {
+            Some(slot) => {
+                debug_assert!(self.migrations[slot].is_none());
+                self.migrations[slot] = Some(state);
+                slot
+            }
+            None => {
+                self.migrations.push(Some(state));
+                self.migrations.len() - 1
+            }
+        }
+    }
+
     fn start_migration(&mut self, now: SimTime, job: MigrationJob, wear: bool) {
         let read_kind = if wear { TxnKind::WearRead } else { TxnKind::GcRead };
-        let pages = job.pages.clone();
         // Pages whose program is still in flight are copied straight from
-        // the write buffer; the rest need a flash read first.
-        let (buffered, flash): (Vec<_>, Vec<_>) = pages
-            .into_iter()
-            .partition(|(_, old)| self.pending_programs.contains(&old.0));
-        let slot = self.migrations.len();
-        self.migrations.push(Some(MigrationState {
+        // the write buffer; the rest need a flash read first. Partition into
+        // the reusable scratch buffers (no clone of `job.pages`).
+        let mut buffered = std::mem::take(&mut self.mig_buffered);
+        let mut flash = std::mem::take(&mut self.mig_flash);
+        debug_assert!(buffered.is_empty() && flash.is_empty());
+        for &(lpa, old) in &job.pages {
+            if self.pending_programs.contains(old.0) {
+                buffered.push((lpa, old));
+            } else {
+                flash.push((lpa, old));
+            }
+        }
+        let slot = self.alloc_migration(MigrationState {
             reads_pending: flash.len() as u32,
             writes_pending: 0,
             erase_issued: false,
             job,
             wear,
-        }));
-        for (lpa, old) in buffered {
+        });
+        for &(lpa, old) in &buffered {
             self.relocate_page(now, slot, lpa, old);
         }
-        for (lpa, old) in flash {
+        for &(lpa, old) in &flash {
             let target = self.ftl.config().array.unpack(old);
-            let id = self.spawn_txn(now, read_kind, target, Some(lpa), None);
-            self.txn_migration.insert(id.0, slot);
+            self.spawn_txn(now, read_kind, target, Some(lpa), None, slot);
         }
+        buffered.clear();
+        flash.clear();
+        self.mig_buffered = buffered;
+        self.mig_flash = flash;
         self.maybe_issue_erase(now, slot);
     }
 
     /// Remaps one migrated page and issues its program transaction, if the
     /// mapping is still current.
-    fn relocate_page(&mut self, now: SimTime, slot: usize, lpa: u64, old: venice_ftl::Gppa) {
+    fn relocate_page(&mut self, now: SimTime, slot: usize, lpa: u64, old: Gppa) {
         let wear = self.migrations[slot].as_ref().expect("active").wear;
         let dest = self
             .ftl
@@ -741,14 +933,13 @@ impl SsdSim {
             self.pending_programs.insert(new_gppa.0);
             let target = self.ftl.config().array.unpack(new_gppa);
             let kind = if wear { TxnKind::WearWrite } else { TxnKind::GcWrite };
-            let id = self.spawn_txn(now, kind, target, Some(lpa), None);
-            self.txn_migration.insert(id.0, slot);
+            self.spawn_txn(now, kind, target, Some(lpa), None, slot);
             self.migrations[slot].as_mut().expect("active").writes_pending += 1;
         }
     }
 
-    fn on_migration_read_done(&mut self, now: SimTime, txn: Transaction) {
-        let slot = self.txn_migration.remove(&txn.id.0).expect("migration txn");
+    fn on_migration_read_done(&mut self, now: SimTime, txn: Transaction, slot: usize) {
+        debug_assert_ne!(slot, NO_MIGRATION, "migration txn");
         let lpa = txn.lpa.expect("migration read has an lpa");
         let old = self.ftl.config().array.pack(txn.target);
         self.migrations[slot].as_mut().expect("active").reads_pending -= 1;
@@ -756,8 +947,8 @@ impl SsdSim {
         self.maybe_issue_erase(now, slot);
     }
 
-    fn on_migration_write_done(&mut self, now: SimTime, txn: Transaction) {
-        let slot = self.txn_migration.remove(&txn.id.0).expect("migration txn");
+    fn on_migration_write_done(&mut self, now: SimTime, slot: usize) {
+        debug_assert_ne!(slot, NO_MIGRATION, "migration txn");
         self.migrations[slot].as_mut().expect("active").writes_pending -= 1;
         self.maybe_issue_erase(now, slot);
     }
@@ -780,10 +971,10 @@ impl SsdSim {
         };
         let target = self.ftl.config().array.page_at(plane, block, 0);
         let key = self.block_key(target);
-        if self.block_users.get(&key).copied().unwrap_or(0) > 0 {
+        if self.block_users[key] > 0 {
             // Stale in-flight reads still target this block; erase when the
             // last one drains.
-            self.blocked_erases.entry(key).or_default().push(slot);
+            self.blocked_erases.push((key, slot));
             return;
         }
         self.spawn_migration_erase(now, slot);
@@ -796,18 +987,18 @@ impl SsdSim {
         };
         let target = self.ftl.config().array.page_at(plane, block, 0);
         let kind = if wear { TxnKind::WearErase } else { TxnKind::GcErase };
-        let id = self.spawn_txn(now, kind, target, None, None);
-        self.txn_migration.insert(id.0, slot);
+        self.spawn_txn(now, kind, target, None, None, slot);
     }
 
-    fn on_migration_erase_done(&mut self, now: SimTime, txn: Transaction) {
-        let slot = self.txn_migration.remove(&txn.id.0).expect("migration txn");
+    fn on_migration_erase_done(&mut self, now: SimTime, slot: usize) {
+        debug_assert_ne!(slot, NO_MIGRATION, "migration txn");
         let st = self.migrations[slot].take().expect("active");
+        self.free_migrations.push(slot);
         self.ftl.finish_erase(&st.job, st.wear);
         if st.wear {
             self.wear_job_active = false;
         } else {
-            self.active_gc_planes.remove(&st.job.plane);
+            self.active_gc_planes[st.job.plane] = false;
         }
         self.erases_since_wear_check += 1;
         if self.erases_since_wear_check >= 32 {
@@ -840,7 +1031,6 @@ impl SsdSim {
             + standby_mw;
         let energy_mj =
             static_mw * exec_s + chips / 1e6 + fabric_stats.transfer_energy_nj / 1e6;
-        let transactions = self.next_txn;
         RunMetrics {
             system: self.kind,
             workload: self.trace.name().to_string(),
@@ -854,7 +1044,8 @@ impl SsdSim {
             fabric: fabric_stats,
             ftl: self.ftl.stats(),
             hil: self.hil.stats(),
-            transactions,
+            transactions: self.spawned_txns,
+            events: self.queue.scheduled_total(),
             end_time: self.last_completion,
         }
     }
@@ -904,6 +1095,7 @@ mod tests {
             assert_eq!(m.completed_requests, 300, "{kind}");
             assert_eq!(m.latencies.len(), 300, "{kind}");
             assert!(m.execution_time > SimDuration::ZERO, "{kind}");
+            assert!(m.events >= m.transactions, "{kind}");
         }
     }
 
@@ -981,6 +1173,7 @@ mod tests {
         assert_eq!(a.execution_time, b.execution_time);
         assert_eq!(a.conflicted_requests, b.conflicted_requests);
         assert_eq!(a.transactions, b.transactions);
+        assert_eq!(a.events, b.events);
     }
 
     #[test]

@@ -134,6 +134,17 @@ impl TransactionScheduler {
             .map(|(i, _)| i as u16)
     }
 
+    /// Collects the busy chips into `out` (cleared first) without
+    /// allocating in steady state — the dispatcher's per-round scratch
+    /// buffer keeps its capacity across calls.
+    pub fn busy_chips_into(&self, out: &mut Vec<u16>) {
+        out.clear();
+        if self.pending == 0 {
+            return;
+        }
+        out.extend(self.busy_chips());
+    }
+
     /// Requeues a transaction at the *front* of its class queue (used when a
     /// dispatch attempt fails to acquire a path and must be retried without
     /// losing its position).

@@ -579,6 +579,7 @@ impl Fabric for NoSsdFabric {
         path.packet_id = fc.0;
         if !self.mesh.try_reserve_path(fc.0, &path) {
             self.stats.conflicts += 1;
+            self.mesh.recycle(path);
             return Err(AcquireError::PathConflict);
         }
         self.fcs.acquire(fc);
@@ -614,7 +615,7 @@ impl Fabric for NoSsdFabric {
         let Route::Wormhole { path } = grant.route else {
             panic!("NoSSD fabric received a non-wormhole grant");
         };
-        self.mesh.release(&path);
+        self.mesh.release_owned(path);
         self.fcs.release(grant.fc);
     }
 
@@ -731,7 +732,7 @@ impl Fabric for VeniceFabric {
         let Route::Circuit { path, .. } = grant.route else {
             panic!("Venice fabric received a non-circuit grant");
         };
-        self.mesh.release(&path);
+        self.mesh.release_owned(path);
         self.fcs.release(grant.fc);
     }
 
@@ -790,7 +791,7 @@ impl Fabric for IdealFabric {
         self.chan_busy[idx] = true;
         self.stats.acquisitions += 1;
         Ok(PathGrant {
-            fc: FcId((chip.0 % u16::from(self.params.rows)) as u8),
+            fc: FcId((chip.0 % self.params.rows) as u8),
             chip,
             route: Route::Dedicated { chip },
         })

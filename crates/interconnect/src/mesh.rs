@@ -9,7 +9,12 @@ use crate::{Direction, LinkId, Mesh2D, NodeId};
 
 /// A reserved circuit through the mesh: the ordered nodes and links from the
 /// source (controller attach) node to the destination flash node.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Paths handed out by [`MeshState::scout_walk`] / [`MeshState::xy_path`]
+/// draw their `nodes`/`links` buffers from the mesh's internal pool; return
+/// them with [`MeshState::release_owned`] (or [`MeshState::recycle`] for
+/// never-reserved paths) to keep steady-state routing allocation-free.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ReservedPath {
     /// Packet ID (= source controller ID) holding the reservation.
     pub packet_id: u8,
@@ -43,6 +48,15 @@ pub struct ScoutOutcome {
     pub detoured: bool,
 }
 
+/// One DFS frame of a scout walk.
+#[derive(Clone, Debug)]
+struct Frame {
+    node: NodeId,
+    entry: Port,
+    /// Output directions already attempted from this frame.
+    tried: [bool; 4],
+}
+
 /// Mutable reservation state of a 2D-mesh interconnect: per-link owner and
 /// per-router reservation tables.
 ///
@@ -50,6 +64,10 @@ pub struct ScoutOutcome {
 /// NoSSD fabric (XY paths). All mutation is instantaneous from the
 /// simulation's perspective; the caller charges the appropriate wire
 /// latencies.
+///
+/// The mesh owns reusable scout scratch (per-router entry counters, the DFS
+/// stack) and a pool of [`ReservedPath`] buffers, so steady-state routing
+/// performs no heap allocation.
 #[derive(Clone, Debug)]
 pub struct MeshState {
     topo: Mesh2D,
@@ -57,6 +75,17 @@ pub struct MeshState {
     links: Vec<Option<u8>>,
     routers: Vec<ReservationTable>,
     controllers: usize,
+    /// Scout scratch: per-router entry counts (livelock bound), zeroed at
+    /// the start of every walk.
+    scout_entries: Vec<u8>,
+    /// Scout scratch: the DFS stack.
+    scout_stack: Vec<Frame>,
+    /// Recycled `ReservedPath` buffers.
+    path_pool: Vec<ReservedPath>,
+    /// Precomputed adjacency: `adj[node][dir]` is the neighbor and
+    /// connecting link, or `None` at the mesh edge. Avoids the row/column
+    /// arithmetic of [`Mesh2D::neighbor`] in the scout inner loop.
+    adj: Vec<[Option<(NodeId, LinkId)>; 4]>,
 }
 
 impl MeshState {
@@ -69,7 +98,46 @@ impl MeshState {
                 .map(|_| ReservationTable::new(controllers))
                 .collect(),
             controllers,
+            scout_entries: vec![0; topo.node_count()],
+            scout_stack: Vec::new(),
+            path_pool: Vec::new(),
+            adj: (0..topo.node_count())
+                .map(|n| {
+                    Direction::ALL.map(|d| {
+                        let nb = topo.neighbor(NodeId(n as u16), d)?;
+                        let link = topo.link(NodeId(n as u16), d)?;
+                        Some((nb, link))
+                    })
+                })
+                .collect(),
         }
+    }
+
+    /// Takes an empty path buffer from the pool (or allocates one).
+    fn pooled_path(&mut self, packet_id: u8) -> ReservedPath {
+        let mut p = self.path_pool.pop().unwrap_or_default();
+        p.packet_id = packet_id;
+        debug_assert!(p.nodes.is_empty() && p.links.is_empty());
+        p
+    }
+
+    /// Returns a path's buffers to the pool **without** touching any
+    /// reservations (for paths that were never, or are no longer, reserved).
+    pub fn recycle(&mut self, mut path: ReservedPath) {
+        path.nodes.clear();
+        path.links.clear();
+        // Bound pool growth; in steady state there is one path per
+        // controller plus a few transients.
+        if self.path_pool.len() < 4 * self.controllers + 8 {
+            self.path_pool.push(path);
+        }
+    }
+
+    /// Releases a circuit and recycles its buffers: the allocation-free
+    /// steady-state variant of [`MeshState::release`].
+    pub fn release_owned(&mut self, path: ReservedPath) {
+        self.release(&path);
+        self.recycle(path);
     }
 
     /// The mesh topology.
@@ -156,9 +224,13 @@ impl MeshState {
 
     /// The dimension-order (XY) path from `src` to `dst`: X (columns) first,
     /// then Y (rows) — NoSSD's deterministic minimal route.
-    pub fn xy_path(&self, src: NodeId, dst: NodeId) -> ReservedPath {
-        let mut nodes = vec![src];
-        let mut links = Vec::new();
+    ///
+    /// The returned path draws its buffers from the mesh's pool; hand it
+    /// back with [`MeshState::recycle`] / [`MeshState::release_owned`] to
+    /// keep routing allocation-free.
+    pub fn xy_path(&mut self, src: NodeId, dst: NodeId) -> ReservedPath {
+        let mut path = self.pooled_path(0);
+        path.nodes.push(src);
         let mut cur = src;
         loop {
             let dc = i32::from(self.topo.col(dst)) - i32::from(self.topo.col(cur));
@@ -174,15 +246,11 @@ impl MeshState {
             } else {
                 break;
             };
-            links.push(self.topo.link(cur, dir).expect("in-mesh step"));
+            path.links.push(self.topo.link(cur, dir).expect("in-mesh step"));
             cur = self.topo.neighbor(cur, dir).expect("in-mesh step");
-            nodes.push(cur);
+            path.nodes.push(cur);
         }
-        ReservedPath {
-            packet_id: 0,
-            nodes,
-            links,
-        }
+        path
     }
 
     /// Attempts to atomically reserve an explicit path (used by the NoSSD
@@ -250,24 +318,43 @@ impl MeshState {
             "packet id out of range"
         );
 
-        struct Frame {
-            node: NodeId,
-            entry: Port,
-            /// Output directions already attempted from this frame.
-            tried: [bool; 4],
-        }
+        // Reusable scratch: take the buffers out of `self` for the duration
+        // of the walk (the walk itself needs `&mut self` for reservations).
+        let mut entries = std::mem::take(&mut self.scout_entries);
+        let mut stack = std::mem::take(&mut self.scout_stack);
+        let result =
+            self.scout_walk_dfs(packet_id, src, dst, lfsr, allow_misroute, &mut entries, &mut stack);
+        self.scout_entries = entries;
+        self.scout_stack = stack;
+        result
+    }
 
+    /// The DFS body of [`MeshState::scout_walk_opts`], operating on the
+    /// caller-provided scratch buffers.
+    #[allow(clippy::too_many_arguments)]
+    fn scout_walk_dfs(
+        &mut self,
+        packet_id: u8,
+        src: NodeId,
+        dst: NodeId,
+        lfsr: &mut Lfsr2,
+        allow_misroute: bool,
+        entries: &mut Vec<u8>,
+        stack: &mut Vec<Frame>,
+    ) -> Result<(ReservedPath, ScoutOutcome), ScoutFailure> {
         // Livelock bound: a scout may enter a router at most `1 + 3` times
         // (ports minus the entry port, per the paper's §4.3 footnote).
         const MAX_ENTRIES_PER_ROUTER: u8 = 4;
-        let mut entries = vec![0u8; self.topo.node_count()];
+        entries.clear();
+        entries.resize(self.topo.node_count(), 0);
         entries[src.0 as usize] = 1;
 
-        let mut stack = vec![Frame {
+        stack.clear();
+        stack.push(Frame {
             node: src,
             entry: Port::Injection,
             tried: [false; 4],
-        }];
+        });
         let mut steps: u32 = 0;
         let mut detoured = false;
         // Hard safety net: the DFS tries each (router, port) pair at most
@@ -285,23 +372,21 @@ impl MeshState {
                 self.routers[cur.0 as usize]
                     .insert(packet_id, frame.entry, Port::Ejection)
                     .expect("destination router row must be free");
-                let nodes: Vec<NodeId> = stack.iter().map(|f| f.node).collect();
-                let mut links = Vec::with_capacity(nodes.len().saturating_sub(1));
-                for w in nodes.windows(2) {
-                    let dir = Direction::ALL
-                        .into_iter()
-                        .find(|&d| self.topo.neighbor(w[0], d) == Some(w[1]))
-                        .expect("path steps are adjacent");
-                    links.push(self.topo.link(w[0], dir).expect("adjacent"));
+                let mut path = self.pooled_path(packet_id);
+                path.nodes.extend(stack.iter().map(|f| f.node));
+                // Each non-source frame's entry port names the link taken
+                // from its parent.
+                for (i, f) in stack.iter().enumerate().skip(1) {
+                    let Port::Mesh(entry_dir) = f.entry else {
+                        unreachable!("non-source frames enter on a mesh port")
+                    };
+                    let (nb, link) = self.adj[stack[i - 1].node.0 as usize]
+                        [entry_dir.opposite().index()]
+                    .expect("path steps are adjacent");
+                    debug_assert_eq!(nb, f.node);
+                    path.links.push(link);
                 }
-                return Ok((
-                    ReservedPath {
-                        packet_id,
-                        nodes,
-                        links,
-                    },
-                    ScoutOutcome { steps, detoured },
-                ));
+                return Ok((path, ScoutOutcome { steps, detoured }));
             }
 
             // Candidate output ports, Algorithm 1: minimal first.
@@ -333,13 +418,12 @@ impl MeshState {
                 if frame.tried[d.index()] {
                     return false;
                 }
-                let Some(link) = state.topo.link(cur, d) else {
+                let Some((nb, link)) = state.adj[cur.0 as usize][d.index()] else {
                     return false;
                 };
                 if !state.link_free(link) {
                     return false; // includes links held by our own partial path
                 }
-                let nb = state.topo.neighbor(cur, d).expect("link implies neighbor");
                 // A circuit may cross a router only once (one table row per
                 // packet), and the livelock rule bounds re-entries.
                 if state.routers[nb.0 as usize].entry(packet_id).is_some() {
@@ -354,7 +438,7 @@ impl MeshState {
             let mut candidates: [Option<Direction>; 2] = [None, None];
             let mut n_cand = 0;
             for d in minimal.iter().flatten().copied() {
-                if usable(self, frame, &entries, d) {
+                if usable(self, frame, entries, d) {
                     candidates[n_cand] = Some(d);
                     n_cand += 1;
                 }
@@ -370,15 +454,17 @@ impl MeshState {
                 _ => {
                     // No minimal port: misroute through any free port
                     // (Alg. 1 lines 34–45). Gather and pick pseudo-randomly.
-                    let mut non_min: Vec<Direction> = Vec::with_capacity(4);
+                    let mut non_min: [Option<Direction>; 4] = [None; 4];
+                    let mut n_non_min = 0usize;
                     if allow_misroute {
                         for d in Direction::ALL {
-                            if usable(self, frame, &entries, d) {
-                                non_min.push(d);
+                            if usable(self, frame, entries, d) {
+                                non_min[n_non_min] = Some(d);
+                                n_non_min += 1;
                             }
                         }
                     }
-                    if non_min.is_empty() {
+                    if n_non_min == 0 {
                         None
                     } else {
                         detoured = true;
@@ -386,8 +472,8 @@ impl MeshState {
                         // equivalent of a uniform pick among ≤ 4 options.
                         let mut idx = usize::from(lfsr.next_bit()) * 2
                             + usize::from(lfsr.next_bit());
-                        idx %= non_min.len();
-                        Some(non_min[idx])
+                        idx %= n_non_min;
+                        Some(non_min[idx].expect("counted candidate"))
                     }
                 }
             };
@@ -396,8 +482,8 @@ impl MeshState {
                 Some(dir) => {
                     let frame = stack.last_mut().expect("nonempty");
                     frame.tried[dir.index()] = true;
-                    let link = self.topo.link(cur, dir).expect("usable link exists");
-                    let nb = self.topo.neighbor(cur, dir).expect("usable neighbor");
+                    let (nb, link) =
+                        self.adj[cur.0 as usize][dir.index()].expect("usable link exists");
                     self.links[link.0 as usize] = Some(packet_id);
                     self.routers[cur.0 as usize]
                         .insert(packet_id, frame.entry, Port::Mesh(dir))
@@ -418,12 +504,15 @@ impl MeshState {
                         return Err(ScoutFailure { steps });
                     }
                     let parent = stack.last().expect("nonempty after pop");
-                    // Cancel the parent's row and free the link we came over.
-                    let dir = Direction::ALL
-                        .into_iter()
-                        .find(|&d| self.topo.neighbor(parent.node, d) == Some(dead.node))
-                        .expect("parent adjacent to dead end");
-                    let link = self.topo.link(parent.node, dir).expect("adjacent");
+                    // Cancel the parent's row and free the link we came over:
+                    // the dead frame's entry port names that link's far end.
+                    let Port::Mesh(entry_dir) = dead.entry else {
+                        unreachable!("non-source frames enter on a mesh port")
+                    };
+                    let (nb, link) = self.adj[parent.node.0 as usize]
+                        [entry_dir.opposite().index()]
+                    .expect("parent adjacent to dead end");
+                    debug_assert_eq!(nb, dead.node);
                     debug_assert_eq!(self.links[link.0 as usize], Some(packet_id));
                     self.links[link.0 as usize] = None;
                     self.routers[parent.node.0 as usize].remove(packet_id);
@@ -558,7 +647,7 @@ mod tests {
 
     #[test]
     fn xy_path_goes_x_then_y() {
-        let m = mesh(8, 8);
+        let mut m = mesh(8, 8);
         let t = m.topology();
         let p = m.xy_path(t.node_at(2, 0), t.node_at(5, 3));
         assert_eq!(p.hops(), 6);

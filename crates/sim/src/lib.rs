@@ -5,8 +5,10 @@
 //!
 //! * [`SimTime`] / [`SimDuration`] — a nanosecond-resolution simulated clock
 //!   (`u64` newtypes with saturating arithmetic and pretty printing),
-//! * [`EventQueue`] — a stable (FIFO among equal timestamps) binary-heap
-//!   event calendar generic over the event payload,
+//! * [`EventQueue`] — a stable (FIFO among equal timestamps) bucketed
+//!   time-wheel event calendar (binary-heap overflow tier for the far
+//!   future) generic over the event payload, with [`EventQueue::pop_batch`]
+//!   for draining same-instant bursts,
 //! * [`rng`] — small deterministic generators: an `xorshift64*` PRNG with the
 //!   distributions the workload generators need, and the 2-bit linear-feedback
 //!   shift register the Venice router uses for random output-port selection,
@@ -39,5 +41,5 @@ pub mod rng;
 pub mod stats;
 mod time;
 
-pub use event::EventQueue;
+pub use event::{EventQueue, ReferenceHeapQueue, BUCKET_NS, WHEEL_BUCKETS};
 pub use time::{SimDuration, SimTime};

@@ -128,7 +128,7 @@ impl OnlineStats {
 /// assert_eq!(l.percentile(0.5), SimDuration::from_micros(3));
 /// assert_eq!(l.percentile(0.99), SimDuration::from_micros(100));
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct LatencySamples {
     samples: Vec<u64>,
     sorted: bool,

@@ -148,3 +148,19 @@ fn runs_are_deterministic_across_threads() {
     assert_eq!(a[0].conflicted_requests, b[0].conflicted_requests);
     assert_eq!(a[0].energy_mj, b[0].energy_mj);
 }
+
+#[test]
+fn catalog_sweep_is_deterministic_across_parallelism() {
+    // The parallel sweep runner must produce bit-identical RunMetrics
+    // whether workloads run on one worker thread or four.
+    let cfg = SsdConfig::performance_optimized();
+    let systems = [SystemKind::Baseline, SystemKind::Venice];
+    let (serial, s1) = venice_bench::sweep_catalog(&cfg, &systems, 120, 1);
+    let (parallel, s4) = venice_bench::sweep_catalog(&cfg, &systems, 120, 4);
+    assert_eq!(serial.len(), parallel.len());
+    assert_eq!(s1.events, s4.events);
+    for ((name_a, row_a), (name_b, row_b)) in serial.iter().zip(parallel.iter()) {
+        assert_eq!(name_a, name_b, "catalog order must not depend on VENICE_PAR");
+        assert_eq!(row_a, row_b, "{name_a}: metrics differ between PAR=1 and PAR=4");
+    }
+}

@@ -1,61 +1,112 @@
-//! Property-based tests (proptest) on the core data structures and
-//! invariants that the simulator's correctness rests on.
-
-use proptest::prelude::*;
+//! Randomized property tests on the core data structures and invariants the
+//! simulator's correctness rests on.
+//!
+//! The build environment has no crates-registry access, so instead of
+//! proptest these properties drive the workspace's own deterministic
+//! [`Xorshift64Star`] generator over a few hundred seeded cases each —
+//! reproducible across runs and platforms by construction.
 
 use venice::ftl::{ArrayGeometry, Ftl, FtlConfig};
 use venice::interconnect::mesh::MeshState;
-use venice::interconnect::{Mesh2D, NodeId};
+use venice::interconnect::{FcId, Mesh2D, NodeId};
 use venice::nand::ChipGeometry;
-use venice::sim::rng::Lfsr2;
+use venice::sim::rng::{Lfsr2, Xorshift64Star};
+use venice::sim::{EventQueue, ReferenceHeapQueue, SimDuration, SimTime};
 use venice::workloads::WorkloadSpec;
 
-proptest! {
-    /// A scout walk either reserves a valid simple path or leaves the mesh
-    /// exactly as it was — never a partial reservation.
-    #[test]
-    fn scout_walk_is_atomic(
-        rows in 2u16..=8,
-        cols in 2u16..=8,
-        dst_seed in any::<u16>(),
-        pre in proptest::collection::vec((0u16..64, 0u16..64), 0..6),
-    ) {
+/// A scout walk either reserves a valid simple path or leaves the mesh
+/// exactly as it was — never a partial reservation.
+#[test]
+fn scout_walk_is_atomic() {
+    let mut rng = Xorshift64Star::new(0xA70);
+    for case in 0..300 {
+        let rows = 2 + (rng.next_bounded(7) as u16);
+        let cols = 2 + (rng.next_bounded(7) as u16);
         let topo = Mesh2D::new(rows, cols);
         let mut mesh = MeshState::new(topo, usize::from(rows));
         let mut lfsr = Lfsr2::new();
         // Pre-reserve a few circuits on distinct packet ids (1..rows),
         // keeping packet 0 free for the walk under test.
-        for (i, (a, b)) in pre.iter().enumerate().take(usize::from(rows) - 1) {
-            let src = NodeId(a % topo.node_count() as u16);
-            let dst = NodeId(b % topo.node_count() as u16);
+        let pre = rng.next_bounded(6) as usize;
+        for i in 0..pre.min(usize::from(rows) - 1) {
+            let src = NodeId(rng.next_bounded(topo.node_count() as u64) as u16);
+            let dst = NodeId(rng.next_bounded(topo.node_count() as u64) as u16);
             let _ = mesh.scout_walk((i + 1) as u8, src, dst, &mut lfsr);
         }
         let busy_before = mesh.reserved_link_count();
-        let src = topo.fc_node(venice::interconnect::FcId(0));
-        let dst = NodeId(dst_seed % topo.node_count() as u16);
-        match mesh.scout_walk(0, src, dst, &mut lfsr) {
-            Ok((path, _)) => {
+        let src = topo.fc_node(FcId(0));
+        let dst = NodeId(rng.next_bounded(topo.node_count() as u64) as u16);
+        if let Ok((path, _)) = mesh.scout_walk(0, src, dst, &mut lfsr) {
+            {
                 // Valid simple path, every link owned by packet 0.
-                prop_assert_eq!(*path.nodes.first().unwrap(), src);
-                prop_assert_eq!(*path.nodes.last().unwrap(), dst);
+                assert_eq!(*path.nodes.first().unwrap(), src, "case {case}");
+                assert_eq!(*path.nodes.last().unwrap(), dst, "case {case}");
                 let uniq: std::collections::HashSet<_> = path.nodes.iter().collect();
-                prop_assert_eq!(uniq.len(), path.nodes.len());
+                assert_eq!(uniq.len(), path.nodes.len(), "case {case}: self-crossing");
                 for &l in &path.links {
-                    prop_assert_eq!(mesh.link_owner(l), Some(0));
+                    assert_eq!(mesh.link_owner(l), Some(0), "case {case}");
                 }
-                mesh.release(&path);
+                mesh.release_owned(path);
             }
-            Err(_) => {}
         }
-        prop_assert_eq!(mesh.reserved_link_count(), busy_before);
+        assert_eq!(mesh.reserved_link_count(), busy_before, "case {case}");
     }
+}
 
-    /// FTL mapping and valid-count invariants survive arbitrary write/GC
-    /// interleavings.
-    #[test]
-    fn ftl_invariants_under_random_traffic(
-        ops in proptest::collection::vec((0u64..256, any::<bool>()), 1..400),
-    ) {
+/// The bucketed time-wheel calendar delivers the exact pop sequence of the
+/// reference binary heap — ordering, FIFO tie-breaks among equal
+/// timestamps, and `now()` monotonicity — under randomized schedules that
+/// cross bucket boundaries and the overflow horizon.
+#[test]
+fn event_calendar_matches_reference_heap() {
+    for seed in 1..=20u64 {
+        let mut rng = Xorshift64Star::new(seed);
+        let mut wheel = EventQueue::new();
+        let mut heap = ReferenceHeapQueue::new();
+        let mut id = 0u64;
+        let mut last_time = SimTime::ZERO;
+        for _ in 0..2_000 {
+            if rng.next_bool(0.55) || wheel.is_empty() {
+                // Mixed horizons: same-instant ties, sub-bucket, a few
+                // buckets ahead, and far beyond the wheel window.
+                let delta = match rng.next_bounded(4) {
+                    0 => 0,
+                    1 => rng.next_bounded(200),
+                    2 => rng.next_bounded(20_000),
+                    _ => rng.next_bounded(2_000_000),
+                };
+                let t = wheel.now() + SimDuration::from_nanos(delta);
+                wheel.schedule(t, id);
+                heap.schedule(t, id);
+                id += 1;
+            } else {
+                let a = wheel.pop();
+                let b = heap.pop();
+                assert_eq!(a, b, "seed {seed}: pop diverged");
+                let (t, _) = a.expect("non-empty");
+                assert!(t >= last_time, "seed {seed}: now() went backwards");
+                last_time = t;
+                assert_eq!(wheel.now(), heap.now(), "seed {seed}");
+            }
+            assert_eq!(wheel.len(), heap.len(), "seed {seed}");
+        }
+        // Drain: the tails must agree too.
+        loop {
+            let (a, b) = (wheel.pop(), heap.pop());
+            assert_eq!(a, b, "seed {seed}: drain diverged");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}
+
+/// FTL mapping and valid-count invariants survive arbitrary write/GC
+/// interleavings.
+#[test]
+fn ftl_invariants_under_random_traffic() {
+    let mut rng = Xorshift64Star::new(0xF71);
+    for _case in 0..60 {
         let array = ArrayGeometry::new(4, ChipGeometry::z_nand_small());
         let mut ftl = Ftl::new(FtlConfig {
             array,
@@ -63,7 +114,10 @@ proptest! {
             gc_threshold_blocks: 2,
             wear_delta_threshold: 1_000,
         });
-        for (lpa, do_gc) in ops {
+        let ops = 1 + rng.next_bounded(400);
+        for _ in 0..ops {
+            let lpa = rng.next_bounded(256);
+            let do_gc = rng.next_bool(0.5);
             if ftl.allocate_write(lpa).is_err() {
                 // Out of unreserved space: drive GC to completion.
                 for plane in ftl.planes_needing_gc() {
@@ -89,52 +143,54 @@ proptest! {
         }
         ftl.check_invariants();
     }
+}
 
-    /// Generated traces always honor their own declared constraints.
-    #[test]
-    fn traces_are_well_formed(
-        read_pct in 0.0f64..=100.0,
-        kb in 4.0f64..128.0,
-        us in 1.0f64..500.0,
-        n in 1usize..300,
-        burst in 1.0f64..64.0,
-    ) {
+/// Generated traces always honor their own declared constraints.
+#[test]
+fn traces_are_well_formed() {
+    let mut rng = Xorshift64Star::new(0x77F);
+    for case in 0..120 {
+        let read_pct = rng.next_f64() * 100.0;
+        let kb = 4.0 + rng.next_f64() * 124.0;
+        let us = 1.0 + rng.next_f64() * 499.0;
+        let n = 1 + rng.next_bounded(300) as usize;
+        let burst = 1.0 + rng.next_f64() * 63.0;
         let t = WorkloadSpec::new("prop", read_pct, kb, us)
             .footprint_mb(128)
             .burst_mean(burst)
             .generate(n);
-        prop_assert_eq!(t.len(), n);
+        assert_eq!(t.len(), n, "case {case}");
         let mut last = None;
         for e in t.events() {
-            prop_assert!(e.bytes > 0);
-            prop_assert!(e.offset + u64::from(e.bytes) <= t.footprint_bytes());
+            assert!(e.bytes > 0, "case {case}");
+            assert!(
+                e.offset + u64::from(e.bytes) <= t.footprint_bytes(),
+                "case {case}: event beyond footprint"
+            );
             if let Some(prev) = last {
-                prop_assert!(e.arrival >= prev);
+                assert!(e.arrival >= prev, "case {case}: arrivals not sorted");
             }
             last = Some(e.arrival);
         }
     }
+}
 
-    /// Page-address packing over arbitrary geometry is a bijection.
-    #[test]
-    fn gppa_roundtrip(
-        chips in 1u16..16,
-        dies in 1u32..3,
-        planes in 1u32..3,
-        blocks in 1u32..16,
-        pages in 1u32..32,
-        probe in any::<u64>(),
-    ) {
+/// Page-address packing over arbitrary geometry is a bijection.
+#[test]
+fn gppa_roundtrip() {
+    let mut rng = Xorshift64Star::new(0x6EA);
+    for case in 0..300 {
         let chip = ChipGeometry {
-            dies,
-            planes_per_die: planes,
-            blocks_per_plane: blocks,
-            pages_per_block: pages,
+            dies: 1 + rng.next_bounded(2) as u32,
+            planes_per_die: 1 + rng.next_bounded(2) as u32,
+            blocks_per_plane: 1 + rng.next_bounded(15) as u32,
+            pages_per_block: 1 + rng.next_bounded(31) as u32,
             page_size: 4096,
         };
+        let chips = 1 + rng.next_bounded(15) as u16;
         let array = ArrayGeometry::new(chips, chip);
-        let idx = probe % array.total_pages();
+        let idx = rng.next_u64() % array.total_pages();
         let addr = array.unpack(venice::ftl::Gppa(idx));
-        prop_assert_eq!(array.pack(addr), venice::ftl::Gppa(idx));
+        assert_eq!(array.pack(addr), venice::ftl::Gppa(idx), "case {case}");
     }
 }
