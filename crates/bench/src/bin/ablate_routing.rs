@@ -3,36 +3,6 @@
 //! Venice restricted to minimal paths, and NoSSD's deterministic XY, on a
 //! read-intensive subset of workloads.
 
-use venice_bench::{requests, results_dir, run_trace, speedup};
-use venice_interconnect::FabricKind;
-use venice_ssd::report::{f2, Table};
-use venice_ssd::SsdConfig;
-use venice_workloads::catalog;
-
 fn main() {
-    let names = ["proj_3", "src2_1", "YCSB_B", "ssd-10", "hm_0"];
-    let mut t = Table::new(
-        ["workload", "NoSSD (XY)", "Venice minimal-only", "Venice (full)"]
-            .map(String::from)
-            .to_vec(),
-    );
-    for name in names {
-        let trace = catalog::by_name(name).expect("catalog").generate(requests());
-        let cfg = SsdConfig::performance_optimized();
-        let systems = [FabricKind::Baseline, FabricKind::NoSsd, FabricKind::Venice];
-        let full = run_trace(&cfg, &systems, &trace);
-        let mut min_cfg = SsdConfig::performance_optimized();
-        min_cfg.fabric.venice_minimal_only = true;
-        let minimal = run_trace(&min_cfg, &systems, &trace);
-        t.row(vec![
-            name.into(),
-            f2(speedup(&full, FabricKind::NoSsd)),
-            f2(speedup(&minimal, FabricKind::Venice)),
-            f2(speedup(&full, FabricKind::Venice)),
-        ]);
-    }
-    println!("# Ablation: routing adaptivity (speedup over Baseline)\n");
-    print!("{}", t.to_markdown());
-    t.write_csv(results_dir().join("ablate_routing.csv"))
-        .expect("write csv");
+    venice_bench::figures::ablate_routing();
 }

@@ -2,49 +2,6 @@
 //! path-conflict-free SSD over the Baseline SSD (performance-optimized
 //! configuration) — the motivation study of §3.3.
 
-use venice_bench::{requests, results_dir, run_catalog, speedup};
-use venice_interconnect::FabricKind;
-use venice_sim::stats::geometric_mean;
-use venice_ssd::report::{f2, Table};
-use venice_ssd::SsdConfig;
-
 fn main() {
-    let systems = [
-        FabricKind::Baseline,
-        FabricKind::Pssd,
-        FabricKind::PnSsd,
-        FabricKind::NoSsd,
-        FabricKind::Ideal,
-    ];
-    let cfg = SsdConfig::performance_optimized();
-    let rows = run_catalog(&cfg, &systems, requests());
-    let mut t = Table::new(
-        ["workload", "pSSD", "pnSSD", "NoSSD", "Path-conflict-free"]
-            .map(String::from)
-            .to_vec(),
-    );
-    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 4];
-    for (name, results) in &rows {
-        let s: Vec<f64> = [
-            FabricKind::Pssd,
-            FabricKind::PnSsd,
-            FabricKind::NoSsd,
-            FabricKind::Ideal,
-        ]
-        .iter()
-        .map(|&k| speedup(results, k))
-        .collect();
-        for (c, v) in cols.iter_mut().zip(&s) {
-            c.push(*v);
-        }
-        t.row(vec![name.clone(), f2(s[0]), f2(s[1]), f2(s[2]), f2(s[3])]);
-    }
-    t.row(
-        std::iter::once("GMEAN".to_string())
-            .chain(cols.iter().map(|c| f2(geometric_mean(c.iter().copied()))))
-            .collect(),
-    );
-    println!("# Figure 4: prior approaches vs the ideal SSD (speedup over Baseline)\n");
-    print!("{}", t.to_markdown());
-    t.write_csv(results_dir().join("fig04.csv")).expect("write csv");
+    venice_bench::figures::fig04();
 }

@@ -2,50 +2,6 @@
 //! Venice, and the path-conflict-free SSD over the Baseline SSD, on the
 //! performance-optimized (a) and cost-optimized (b) configurations.
 
-use venice_bench::{requests, results_dir, run_catalog, speedup};
-use venice_interconnect::FabricKind;
-use venice_sim::stats::geometric_mean;
-use venice_ssd::report::{f2, Table};
-use venice_ssd::{all_systems, SsdConfig};
-
 fn main() {
-    for (tag, cfg) in [
-        ("a-performance-optimized", SsdConfig::performance_optimized()),
-        ("b-cost-optimized", SsdConfig::cost_optimized()),
-    ] {
-        let rows = run_catalog(&cfg, &all_systems(), requests());
-        let mut t = Table::new(
-            ["workload", "pSSD", "pnSSD", "NoSSD", "Venice", "Path-conflict-free"]
-                .map(String::from)
-                .to_vec(),
-        );
-        let order = [
-            FabricKind::Pssd,
-            FabricKind::PnSsd,
-            FabricKind::NoSsd,
-            FabricKind::Venice,
-            FabricKind::Ideal,
-        ];
-        let mut cols: Vec<Vec<f64>> = vec![Vec::new(); order.len()];
-        for (name, results) in &rows {
-            let s: Vec<f64> = order.iter().map(|&k| speedup(results, k)).collect();
-            for (c, v) in cols.iter_mut().zip(&s) {
-                c.push(*v);
-            }
-            t.row(
-                std::iter::once(name.clone())
-                    .chain(s.iter().map(|&v| f2(v)))
-                    .collect(),
-            );
-        }
-        t.row(
-            std::iter::once("GMEAN".to_string())
-                .chain(cols.iter().map(|c| f2(geometric_mean(c.iter().copied()))))
-                .collect(),
-        );
-        println!("\n# Figure 9{tag}: speedup over Baseline\n");
-        print!("{}", t.to_markdown());
-        t.write_csv(results_dir().join(format!("fig09{tag}.csv")))
-            .expect("write csv");
-    }
+    venice_bench::figures::fig09();
 }

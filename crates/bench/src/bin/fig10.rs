@@ -2,54 +2,6 @@
 //! Venice, normalized to the path-conflict-free SSD, for both Table 1
 //! configurations.
 
-use venice_bench::{metrics, requests, results_dir, run_catalog};
-use venice_interconnect::FabricKind;
-use venice_sim::stats::arithmetic_mean;
-use venice_ssd::report::{f3, Table};
-use venice_ssd::{all_systems, SsdConfig};
-
 fn main() {
-    for (tag, cfg) in [
-        ("a-performance-optimized", SsdConfig::performance_optimized()),
-        ("b-cost-optimized", SsdConfig::cost_optimized()),
-    ] {
-        let rows = run_catalog(&cfg, &all_systems(), requests());
-        let order = [
-            FabricKind::Baseline,
-            FabricKind::Pssd,
-            FabricKind::PnSsd,
-            FabricKind::NoSsd,
-            FabricKind::Venice,
-        ];
-        let mut t = Table::new(
-            ["workload", "Baseline", "pSSD", "pnSSD", "NoSSD", "Venice"]
-                .map(String::from)
-                .to_vec(),
-        );
-        let mut cols: Vec<Vec<f64>> = vec![Vec::new(); order.len()];
-        for (name, results) in &rows {
-            let ideal = metrics(results, FabricKind::Ideal).iops();
-            let s: Vec<f64> = order
-                .iter()
-                .map(|&k| metrics(results, k).iops() / ideal)
-                .collect();
-            for (c, v) in cols.iter_mut().zip(&s) {
-                c.push(*v);
-            }
-            t.row(
-                std::iter::once(name.clone())
-                    .chain(s.iter().map(|&v| f3(v)))
-                    .collect(),
-            );
-        }
-        t.row(
-            std::iter::once("AVG".to_string())
-                .chain(cols.iter().map(|c| f3(arithmetic_mean(c.iter().copied()))))
-                .collect(),
-        );
-        println!("\n# Figure 10{tag}: throughput normalized to the ideal SSD\n");
-        print!("{}", t.to_markdown());
-        t.write_csv(results_dir().join(format!("fig10{tag}.csv")))
-            .expect("write csv");
-    }
+    venice_bench::figures::fig10();
 }

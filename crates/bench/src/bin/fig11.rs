@@ -1,43 +1,6 @@
 //! Figure 11: tail-latency CDFs (the 99th-percentile region) of the six
 //! systems on src1_0 and hm_0, performance-optimized configuration.
 
-use venice_bench::{requests, results_dir, run_workload};
-use venice_ssd::report::{f2, Table};
-use venice_ssd::{all_systems, SsdConfig};
-
 fn main() {
-    let cfg = SsdConfig::performance_optimized();
-    for name in ["src1_0", "hm_0"] {
-        let mut results = run_workload(&cfg, &all_systems(), name, requests());
-        let mut t = Table::new(
-            ["quantile", "Baseline", "pSSD", "pnSSD", "NoSSD", "Venice", "Ideal"]
-                .map(String::from)
-                .to_vec(),
-        );
-        let points = 21;
-        let cdfs: Vec<Vec<(venice_sim::SimDuration, f64)>> = results
-            .iter_mut()
-            .map(|m| m.latencies.tail_cdf(0.99, points))
-            .collect();
-        for i in 0..points {
-            let q = cdfs[0][i].1;
-            t.row(
-                std::iter::once(format!("{q:.4}"))
-                    .chain(cdfs.iter().map(|c| f2(c[i].0.as_micros_f64())))
-                    .collect(),
-            );
-        }
-        println!("\n# Figure 11: {name} tail latency CDF (latencies in µs at quantile)\n");
-        print!("{}", t.to_markdown());
-        t.write_csv(results_dir().join(format!("fig11-{name}.csv")))
-            .expect("write csv");
-        // Headline number: p99 reduction of Venice vs Baseline.
-        let p99 = |idx: usize| cdfs[idx][0].0.as_micros_f64();
-        println!(
-            "\nVenice p99 vs Baseline p99: {:.1} µs vs {:.1} µs ({:.0}% lower)\n",
-            p99(4),
-            p99(0),
-            (1.0 - p99(4) / p99(0)) * 100.0
-        );
-    }
+    venice_bench::figures::fig11();
 }

@@ -1,50 +1,7 @@
 //! Figure 12: speedups on the six mixed workloads of Table 3
-//! (performance-optimized configuration).
-
-use venice_bench::{requests, results_dir, run_trace, speedup};
-use venice_interconnect::FabricKind;
-use venice_sim::stats::geometric_mean;
-use venice_ssd::report::{f2, Table};
-use venice_ssd::{all_systems, SsdConfig};
-use venice_workloads::mix;
+//! (performance-optimized configuration), run as one sweep grid over the
+//! Table 3 workload axis.
 
 fn main() {
-    let cfg = SsdConfig::performance_optimized();
-    let order = [
-        FabricKind::Pssd,
-        FabricKind::PnSsd,
-        FabricKind::NoSsd,
-        FabricKind::Venice,
-        FabricKind::Ideal,
-    ];
-    let mut t = Table::new(
-        ["mix", "pSSD", "pnSSD", "NoSSD", "Venice", "Path-conflict-free"]
-            .map(String::from)
-            .to_vec(),
-    );
-    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); order.len()];
-    for m in &mix::TABLE3 {
-        // Mixes combine 2–3 streams; keep the total comparable to the
-        // single-workload runs.
-        let per_stream = requests() / m.constituents.len();
-        let trace = mix::generate(m, per_stream);
-        let results = run_trace(&cfg, &all_systems(), &trace);
-        let s: Vec<f64> = order.iter().map(|&k| speedup(&results, k)).collect();
-        for (c, v) in cols.iter_mut().zip(&s) {
-            c.push(*v);
-        }
-        t.row(
-            std::iter::once(m.name.to_string())
-                .chain(s.iter().map(|&v| f2(v)))
-                .collect(),
-        );
-    }
-    t.row(
-        std::iter::once("GMEAN".to_string())
-            .chain(cols.iter().map(|c| f2(geometric_mean(c.iter().copied()))))
-            .collect(),
-    );
-    println!("# Figure 12: mixed workloads (speedup over Baseline)\n");
-    print!("{}", t.to_markdown());
-    t.write_csv(results_dir().join("fig12.csv")).expect("write csv");
+    venice_bench::figures::fig12();
 }

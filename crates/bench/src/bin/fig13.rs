@@ -1,48 +1,6 @@
 //! Figure 13: percentage of I/O requests that experience path conflicts in
 //! each system (performance-optimized configuration).
 
-use venice_bench::{metrics, requests, results_dir, run_catalog};
-use venice_interconnect::FabricKind;
-use venice_sim::stats::arithmetic_mean;
-use venice_ssd::report::{f2, Table};
-use venice_ssd::{all_systems, SsdConfig};
-
 fn main() {
-    let cfg = SsdConfig::performance_optimized();
-    let rows = run_catalog(&cfg, &all_systems(), requests());
-    let order = [
-        FabricKind::Baseline,
-        FabricKind::Pssd,
-        FabricKind::PnSsd,
-        FabricKind::NoSsd,
-        FabricKind::Venice,
-    ];
-    let mut t = Table::new(
-        ["workload", "Baseline", "pSSD", "pnSSD", "NoSSD", "Venice"]
-            .map(String::from)
-            .to_vec(),
-    );
-    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); order.len()];
-    for (name, results) in &rows {
-        let s: Vec<f64> = order
-            .iter()
-            .map(|&k| metrics(results, k).conflict_pct())
-            .collect();
-        for (c, v) in cols.iter_mut().zip(&s) {
-            c.push(*v);
-        }
-        t.row(
-            std::iter::once(name.clone())
-                .chain(s.iter().map(|&v| f2(v)))
-                .collect(),
-        );
-    }
-    t.row(
-        std::iter::once("AVG".to_string())
-            .chain(cols.iter().map(|c| f2(arithmetic_mean(c.iter().copied()))))
-            .collect(),
-    );
-    println!("# Figure 13: % of I/O requests experiencing path conflicts\n");
-    print!("{}", t.to_markdown());
-    t.write_csv(results_dir().join("fig13.csv")).expect("write csv");
+    venice_bench::figures::fig13();
 }

@@ -1,63 +1,6 @@
 //! Figure 14: average power and energy consumption of pSSD, pnSSD, NoSSD
 //! and Venice, normalized to the Baseline SSD (performance-optimized).
 
-use venice_bench::{metrics, requests, results_dir, run_catalog};
-use venice_interconnect::FabricKind;
-use venice_sim::stats::arithmetic_mean;
-use venice_ssd::report::{f3, Table};
-use venice_ssd::SsdConfig;
-
 fn main() {
-    let cfg = SsdConfig::performance_optimized();
-    let systems = venice_bench::real_systems();
-    let rows = run_catalog(&cfg, &systems, requests());
-    let order = [
-        FabricKind::Pssd,
-        FabricKind::PnSsd,
-        FabricKind::NoSsd,
-        FabricKind::Venice,
-    ];
-    for (tag, f) in [
-        ("a-power", true),   // normalized average power
-        ("b-energy", false), // normalized energy
-    ] {
-        let mut t = Table::new(
-            ["workload", "pSSD", "pnSSD", "NoSSD", "Venice"]
-                .map(String::from)
-                .to_vec(),
-        );
-        let mut cols: Vec<Vec<f64>> = vec![Vec::new(); order.len()];
-        for (name, results) in &rows {
-            let base = metrics(results, FabricKind::Baseline);
-            let s: Vec<f64> = order
-                .iter()
-                .map(|&k| {
-                    let m = metrics(results, k);
-                    if f {
-                        m.avg_power_mw / base.avg_power_mw
-                    } else {
-                        m.energy_mj / base.energy_mj
-                    }
-                })
-                .collect();
-            for (c, v) in cols.iter_mut().zip(&s) {
-                c.push(*v);
-            }
-            t.row(
-                std::iter::once(name.clone())
-                    .chain(s.iter().map(|&v| f3(v)))
-                    .collect(),
-            );
-        }
-        t.row(
-            std::iter::once("AVG".to_string())
-                .chain(cols.iter().map(|c| f3(arithmetic_mean(c.iter().copied()))))
-                .collect(),
-        );
-        let title = if f { "power" } else { "energy" };
-        println!("\n# Figure 14{tag}: normalized {title} (vs Baseline)\n");
-        print!("{}", t.to_markdown());
-        t.write_csv(results_dir().join(format!("fig14{tag}.csv")))
-            .expect("write csv");
-    }
+    venice_bench::figures::fig14();
 }

@@ -1,42 +1,9 @@
 //! Figure 15: sensitivity to the interconnect configuration — 4×16, 8×8,
 //! and 16×4 flash-controller arrangements, speedup over Baseline averaged
-//! (geometric mean) across all Table 2 workloads. pnSSD is omitted, as in
-//! the paper, because it requires an N×N array.
-
-use venice_bench::{requests, results_dir, run_catalog, speedup};
-use venice_interconnect::FabricKind;
-use venice_sim::stats::geometric_mean;
-use venice_ssd::report::{f2, Table};
-use venice_ssd::SsdConfig;
+//! (geometric mean) across all Table 2 workloads, run as one sweep grid
+//! with a shape axis. pnSSD is omitted, as in the paper, because it
+//! requires an N×N array.
 
 fn main() {
-    let systems = [
-        FabricKind::Baseline,
-        FabricKind::Pssd,
-        FabricKind::NoSsd,
-        FabricKind::Venice,
-        FabricKind::Ideal,
-    ];
-    let mut t = Table::new(
-        ["shape", "pSSD", "NoSSD", "Venice", "Path-conflict-free"]
-            .map(String::from)
-            .to_vec(),
-    );
-    for (rows, cols) in [(4u16, 16u16), (8, 8), (16, 4)] {
-        let cfg = SsdConfig::performance_optimized().with_shape(rows, cols);
-        let per_workload = run_catalog(&cfg, &systems, requests());
-        let gmean = |k: FabricKind| {
-            geometric_mean(per_workload.iter().map(|(_, r)| speedup(r, k)))
-        };
-        t.row(vec![
-            format!("{rows}x{cols}"),
-            f2(gmean(FabricKind::Pssd)),
-            f2(gmean(FabricKind::NoSsd)),
-            f2(gmean(FabricKind::Venice)),
-            f2(gmean(FabricKind::Ideal)),
-        ]);
-    }
-    println!("# Figure 15: controller-count sensitivity (GMEAN speedup over Baseline)\n");
-    print!("{}", t.to_markdown());
-    t.write_csv(results_dir().join("fig15.csv")).expect("write csv");
+    venice_bench::figures::fig15();
 }

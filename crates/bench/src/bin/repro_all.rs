@@ -1,29 +1,8 @@
-//! Runs every table/figure harness in sequence (same binaries, one process)
-//! and leaves all CSVs under `results/`. This is the command behind
-//! EXPERIMENTS.md.
-
-use std::process::Command;
+//! Reproduces every table and figure in one process, entirely through the
+//! shared-pool sweep engine, and leaves all CSVs under `results/` plus a
+//! reproducible sweep artifact at `results/sweep_repro_all/manifest.json`.
+//! This is the command behind EXPERIMENTS.md.
 
 fn main() {
-    let bins = [
-        "table1", "table2", "table3", "table4", "fig04", "fig09", "fig10", "fig11", "fig12",
-        "fig13", "fig14", "fig15", "ablate_routing",
-    ];
-    let exe = std::env::current_exe().expect("own path");
-    let dir = exe.parent().expect("bin dir").to_path_buf();
-    for bin in bins {
-        eprintln!("==> {bin}");
-        // Prefer a prebuilt sibling binary; fall back to `cargo run` so
-        // `cargo run --bin repro_all` works from a cold target directory.
-        let sibling = dir.join(bin);
-        let status = if sibling.exists() {
-            Command::new(&sibling).status()
-        } else {
-            Command::new("cargo")
-                .args(["run", "--quiet", "--release", "-p", "venice-bench", "--bin", bin])
-                .status()
-        }
-        .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
-        assert!(status.success(), "{bin} failed");
-    }
+    venice_bench::figures::repro_all();
 }

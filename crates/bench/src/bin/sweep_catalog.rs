@@ -1,0 +1,145 @@
+//! Design-space sweep CLI: expand a named grid, run it on the shared
+//! worker pool, print a per-point table, and write a reproducible artifact
+//! under `results/sweep_<grid>/`.
+//!
+//! ```sh
+//! cargo run --release -p venice-bench --bin sweep_catalog -- --grid mini
+//! cargo run --release -p venice-bench --bin sweep_catalog -- --grid shapes --requests 1000
+//! cargo run --release -p venice-bench --bin sweep_catalog -- --list
+//! ```
+//!
+//! Grids: `mini` (3 workloads × Baseline/Venice smoke test, 200 requests
+//! unless overridden), `table2` (the whole catalog × all six systems),
+//! `mixes` (Table 3), `shapes` (4×16 / 8×8 / 16×4 axis), `nand` (z-nand vs
+//! tlc-3d timing axis), `qd` (queue-depth axis), `design` (shape × timing ×
+//! queue-depth cross on a workload subset).
+//!
+//! Flags: `--grid <name>`, `--requests <n>` (default: `VENICE_REQUESTS`,
+//! except `mini` which defaults to 200), `--par <n>` (dedicated pool size;
+//! default: the shared pool), `--systems a,b,c` (override the fabric axis
+//! by label, e.g. `Baseline,Venice`), `--list`.
+
+use venice_bench::report_grid;
+use venice_bench::sweep::{SweepGrid, WorkerPool};
+use venice_interconnect::FabricKind;
+use venice_nand::NandTiming;
+use venice_ssd::{all_systems, SsdConfig};
+use venice_workloads::WorkloadAxis;
+
+/// The read-intensity-diverse workload subset used by the multi-axis grids
+/// (running the full catalog across a cross of axes would be hours, not a
+/// smoke-able sweep).
+const SUBSET: [&str; 5] = ["hm_0", "proj_3", "src1_0", "YCSB_B", "ssd-10"];
+
+fn subset_axes() -> Vec<WorkloadAxis> {
+    SUBSET
+        .iter()
+        .map(|n| WorkloadAxis::catalog(n).expect("subset workload in catalog"))
+        .collect()
+}
+
+/// Builds a named grid; `None` for an unknown name. `requests` of `None`
+/// means "the grid's own default".
+fn named_grid(name: &str, requests: Option<usize>) -> Option<SweepGrid> {
+    let grid = match name {
+        "mini" => SweepGrid::new("mini")
+            .workload(WorkloadAxis::catalog("hm_0").expect("catalog"))
+            .workload(WorkloadAxis::catalog("proj_3").expect("catalog"))
+            .workload(WorkloadAxis::catalog("YCSB_B").expect("catalog"))
+            .fabrics(&[FabricKind::Baseline, FabricKind::Venice])
+            .requests(requests.unwrap_or(200)),
+        "table2" => SweepGrid::new("table2")
+            .workloads(WorkloadAxis::table2())
+            .fabrics(&all_systems()),
+        "mixes" => SweepGrid::new("mixes")
+            .workloads(WorkloadAxis::table3())
+            .fabrics(&all_systems()),
+        "shapes" => SweepGrid::new("shapes")
+            .workloads(subset_axes())
+            .shapes(&[(4, 16), (8, 8), (16, 4)])
+            .fabrics(&[
+                FabricKind::Baseline,
+                FabricKind::NoSsd,
+                FabricKind::Venice,
+                FabricKind::Ideal,
+            ]),
+        "nand" => SweepGrid::new("nand")
+            .workloads(subset_axes())
+            .timings(&[NandTiming::z_nand(), NandTiming::tlc_3d()])
+            .fabrics(&[FabricKind::Baseline, FabricKind::Venice, FabricKind::Ideal]),
+        "qd" => SweepGrid::new("qd")
+            .workloads(subset_axes())
+            .queue_depths(&[2, 8, 32])
+            .fabrics(&[FabricKind::Baseline, FabricKind::Venice]),
+        "design" => SweepGrid::new("design")
+            .workloads(subset_axes())
+            .shapes(&[(4, 16), (8, 8), (16, 4)])
+            .timings(&[NandTiming::z_nand(), NandTiming::tlc_3d()])
+            .queue_depths(&[4, 16])
+            .fabrics(&[FabricKind::Baseline, FabricKind::Venice]),
+        _ => return None,
+    };
+    let grid = grid.config(SsdConfig::performance_optimized());
+    Some(match requests {
+        Some(r) if name != "mini" => grid.requests(r),
+        _ => grid,
+    })
+}
+
+const GRID_NAMES: [&str; 7] = ["mini", "table2", "mixes", "shapes", "nand", "qd", "design"];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut grid_name = "table2".to_string();
+    let mut requests: Option<usize> = None;
+    let mut par: Option<usize> = None;
+    let mut systems: Option<Vec<FabricKind>> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag_value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i)
+                .unwrap_or_else(|| panic!("missing value after {}", args[*i - 1]))
+                .clone()
+        };
+        match args[i].as_str() {
+            "--list" => {
+                println!("available grids:");
+                for name in GRID_NAMES {
+                    let g = named_grid(name, None).expect("named grid");
+                    println!("  {:<8} {} points", name, g.build_points().len());
+                }
+                return;
+            }
+            "--grid" => grid_name = flag_value(&mut i),
+            "--requests" => {
+                requests = Some(flag_value(&mut i).parse().expect("--requests takes a number"))
+            }
+            "--par" => par = Some(flag_value(&mut i).parse().expect("--par takes a number")),
+            "--systems" => {
+                systems = Some(
+                    flag_value(&mut i)
+                        .split(',')
+                        .map(|label| {
+                            FabricKind::by_label(label.trim())
+                                .unwrap_or_else(|| panic!("unknown system {label:?}"))
+                        })
+                        .collect(),
+                )
+            }
+            other => panic!("unknown flag {other:?} (try --list)"),
+        }
+        i += 1;
+    }
+    let mut grid = named_grid(&grid_name, requests).unwrap_or_else(|| {
+        panic!("unknown grid {grid_name:?}; available: {}", GRID_NAMES.join(", "))
+    });
+    if let Some(systems) = systems {
+        grid = grid.replace_fabrics(&systems);
+    }
+    let outcome = match par {
+        Some(par) => grid.run_on(&WorkerPool::new(par)),
+        None => grid.run(),
+    };
+    report_grid(&outcome);
+}

@@ -1,72 +1,5 @@
 //! Table 1: the evaluated SSD configurations and Venice design parameters.
 
-use venice_ssd::report::Table;
-use venice_ssd::SsdConfig;
-
 fn main() {
-    let mut t = Table::new(
-        ["parameter", "performance-optimized", "cost-optimized"]
-            .map(String::from)
-            .to_vec(),
-    );
-    let p = SsdConfig::performance_optimized();
-    let c = SsdConfig::cost_optimized();
-    let rows: Vec<(&str, String, String)> = vec![
-        (
-            "NAND config",
-            format!(
-                "{} channels x {} chips, {} die/chip, {} planes/die, {} B page",
-                p.fabric.rows,
-                p.fabric.cols,
-                p.array.chip.dies,
-                p.array.chip.planes_per_die,
-                p.array.chip.page_size
-            ),
-            format!(
-                "{} channels x {} chips, {} die/chip, {} planes/die, {} B page",
-                c.fabric.rows,
-                c.fabric.cols,
-                c.array.chip.dies,
-                c.array.chip.planes_per_die,
-                c.array.chip.page_size
-            ),
-        ),
-        (
-            "Read (tR)",
-            p.timing.t_r.to_string(),
-            c.timing.t_r.to_string(),
-        ),
-        (
-            "Program (tPROG)",
-            p.timing.t_prog.to_string(),
-            c.timing.t_prog.to_string(),
-        ),
-        (
-            "Erase (tBERS)",
-            p.timing.t_bers.to_string(),
-            c.timing.t_bers.to_string(),
-        ),
-        (
-            "Channel I/O rate",
-            format!("{:.1} GB/s", p.fabric.bus_bytes_per_ns),
-            format!("{:.1} GB/s", c.fabric.bus_bytes_per_ns),
-        ),
-        (
-            "Venice topology",
-            format!("{}x{} 2D mesh, 8-bit 1 GHz links", p.fabric.rows, p.fabric.cols),
-            format!("{}x{} 2D mesh, 8-bit 1 GHz links", c.fabric.rows, c.fabric.cols),
-        ),
-        (
-            "Routing / switching",
-            "non-minimal fully-adaptive / circuit switching".into(),
-            "non-minimal fully-adaptive / circuit switching".into(),
-        ),
-    ];
-    for (name, a, b) in rows {
-        t.row(vec![name.to_string(), a, b]);
-    }
-    println!("# Table 1: evaluated configurations\n");
-    print!("{}", t.to_markdown());
-    t.write_csv(venice_bench::results_dir().join("table1.csv"))
-        .expect("write csv");
+    venice_bench::figures::table1();
 }

@@ -2,39 +2,6 @@
 //! statistics next to the statistics of the synthetic traces we actually
 //! generate, verifying the calibration.
 
-use venice_ssd::report::{f2, Table};
-use venice_workloads::catalog;
-
 fn main() {
-    let mut t = Table::new(
-        [
-            "trace",
-            "suite",
-            "read% (paper)",
-            "read% (ours)",
-            "avg KB (paper)",
-            "avg KB (ours)",
-            "interarrival us (paper)",
-            "interarrival us (ours)",
-        ]
-        .map(String::from)
-        .to_vec(),
-    );
-    for e in &catalog::TABLE2 {
-        let stats = catalog::spec(e).generate(3000).stats();
-        t.row(vec![
-            e.name.into(),
-            e.suite.into(),
-            f2(e.read_pct),
-            f2(stats.read_pct),
-            f2(e.avg_request_kb),
-            f2(stats.avg_request_kb),
-            f2(e.avg_interarrival_us),
-            f2(stats.avg_interarrival_us),
-        ]);
-    }
-    println!("# Table 2: trace characteristics, paper vs generated\n");
-    print!("{}", t.to_markdown());
-    t.write_csv(venice_bench::results_dir().join("table2.csv"))
-        .expect("write csv");
+    venice_bench::figures::table2();
 }

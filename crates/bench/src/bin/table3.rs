@@ -1,33 +1,6 @@
 //! Table 3: the mixed workloads — constituents, description, and the
 //! published vs generated merged inter-arrival time.
 
-use venice_ssd::report::{f2, Table};
-use venice_workloads::mix;
-
 fn main() {
-    let mut t = Table::new(
-        [
-            "mix",
-            "constituents",
-            "description",
-            "interarrival us (paper)",
-            "interarrival us (ours)",
-        ]
-        .map(String::from)
-        .to_vec(),
-    );
-    for m in &mix::TABLE3 {
-        let stats = mix::generate(m, 1000).stats();
-        t.row(vec![
-            m.name.into(),
-            m.constituents.join(" + "),
-            m.description.into(),
-            f2(m.avg_interarrival_us),
-            f2(stats.avg_interarrival_us),
-        ]);
-    }
-    println!("# Table 3: mixed workloads, paper vs generated\n");
-    print!("{}", t.to_markdown());
-    t.write_csv(venice_bench::results_dir().join("table3.csv"))
-        .expect("write csv");
+    venice_bench::figures::table3();
 }

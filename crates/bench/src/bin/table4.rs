@@ -1,44 +1,6 @@
 //! Table 4: power and area overheads of Venice's router and links, plus the
 //! §6.6 headline numbers (router PCB fraction, total link-area reduction).
 
-use venice_interconnect::{table4, AreaModel, LinkPower};
-use venice_ssd::report::Table;
-
 fn main() {
-    let power = LinkPower::paper();
-    let area = AreaModel::paper();
-    let mut t = Table::new(
-        ["component", "# of instances", "avg power (mW, 4KB transfer)", "area"]
-            .map(String::from)
-            .to_vec(),
-    );
-    for row in table4(&power, &area) {
-        t.row(vec![
-            row.component.into(),
-            row.instances.into(),
-            format!("{:.3}", row.avg_power_mw),
-            row.area,
-        ]);
-    }
-    println!("# Table 4: power and area overheads of Venice\n");
-    print!("{}", t.to_markdown());
-    println!();
-    println!(
-        "Router PCB footprint: {:.1} mm^2 = {:.0}% of a {:.0} mm^2 flash chip",
-        area.router_pcb_mm2(),
-        area.router_overhead_fraction() * 100.0,
-        area.flash_chip_mm2,
-    );
-    println!(
-        "Link power vs shared bus: {} mW vs {} mW ({:.0}% lower)",
-        power.link_mw,
-        power.bus_mw,
-        (1.0 - power.link_mw / power.bus_mw) * 100.0,
-    );
-    println!(
-        "Total link area for the 8x8 mesh (112 links): {:.0}% lower than 8 shared channels",
-        area.link_area_reduction(8, 8) * 100.0,
-    );
-    t.write_csv(venice_bench::results_dir().join("table4.csv"))
-        .expect("write csv");
+    venice_bench::figures::table4();
 }

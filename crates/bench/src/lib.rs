@@ -10,26 +10,33 @@
 //! * `VENICE_REQUESTS` — requests per workload (default 3000; the paper-vs-
 //!   measured records in EXPERIMENTS.md use 4000),
 //! * `VENICE_RESULTS_DIR` — where CSVs land (default `./results`),
-//! * `VENICE_PAR` — worker threads for catalog sweeps (default: available
-//!   cores). Each worker replays whole workloads, and each workload still
-//!   fans its systems out via [`run_systems`]; results are returned in
-//!   catalog order and are bit-identical for every `VENICE_PAR` value.
+//! * `VENICE_PAR` — thread budget of the shared worker pool (default:
+//!   available cores, read once when the pool is first used). Every
+//!   (workload × system) sweep point is one pool job; results are returned
+//!   in grid order and are bit-identical for every `VENICE_PAR` value.
 //!
 //! Catalog sweeps print a one-line throughput summary to stderr (wall-clock
 //! seconds plus simulator events/sec, see [`SweepSummary`]); together with
 //! the `results/bench_*.json` files written by [`microbench`] this keeps the
 //! engine's performance trajectory measurable run over run.
+//!
+//! All simulation fan-out goes through the [`sweep`] engine's single shared
+//! [`sweep::WorkerPool`] — there is exactly one level of parallelism per
+//! process, and `VENICE_PAR × systems` thread multiplication cannot happen.
 
+#![warn(missing_docs)]
+
+pub mod figures;
 pub mod microbench;
+pub mod sweep;
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
 
 use venice_interconnect::FabricKind;
-use venice_ssd::{run_systems, RunMetrics, SsdConfig};
-use venice_workloads::{catalog, Trace};
+use venice_ssd::{run_single, RunMetrics, SsdConfig};
+use venice_workloads::{catalog, Trace, WorkloadAxis};
+
+use sweep::{SweepGrid, WorkerPool};
 
 /// Parses `name` from the environment, warning on stderr (and falling back
 /// to `default`) when the value is set but unparsable.
@@ -98,13 +105,17 @@ pub fn real_systems() -> [FabricKind; 5] {
     ]
 }
 
-/// Throughput summary of one catalog sweep.
+/// Throughput summary of one sweep.
 #[derive(Clone, Copy, Debug)]
 pub struct SweepSummary {
-    /// Workloads replayed.
+    /// Workload-axis values replayed.
     pub workloads: usize,
-    /// Systems per workload.
+    /// Fabric-axis values per workload.
     pub systems: usize,
+    /// Total grid points executed. For a plain catalog sweep this is
+    /// `workloads × systems`; multi-axis grids (shapes, timings, queue
+    /// depths, several configs) run more.
+    pub points: usize,
     /// Worker threads used.
     pub par: usize,
     /// Wall-clock seconds for the whole sweep.
@@ -124,10 +135,15 @@ impl std::fmt::Display for SweepSummary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "catalog sweep: {} workloads x {} systems in {:.2}s wall, \
-             {:.2}M events, {:.2}M events/s (VENICE_PAR={})",
-            self.workloads,
-            self.systems,
+            "sweep: {} points ({} workloads x {} systems",
+            self.points, self.workloads, self.systems,
+        )?;
+        if self.points != self.workloads * self.systems {
+            write!(f, " x axes")?;
+        }
+        write!(
+            f,
+            ") in {:.2}s wall, {:.2}M events, {:.2}M events/s (pool={})",
             self.wall_seconds,
             self.events as f64 / 1e6,
             self.events_per_sec() / 1e6,
@@ -139,74 +155,53 @@ impl std::fmt::Display for SweepSummary {
 /// One catalog sweep row: a workload name and its per-system metrics.
 pub type CatalogRow = (String, Vec<RunMetrics>);
 
+/// The Table 2 catalog grid: every catalog workload × `systems` under
+/// `config` — the sweep behind most of the paper's figures.
+fn catalog_grid(config: &SsdConfig, systems: &[FabricKind], requests: usize) -> SweepGrid {
+    SweepGrid::new("catalog")
+        .config(config.clone())
+        .workloads(WorkloadAxis::table2())
+        .fabrics(systems)
+        .requests(requests)
+}
+
 /// Runs every Table 2 workload across `systems` under `config`, returning
 /// `(workload name, per-system metrics)` in catalog order.
 ///
-/// Workloads are fanned out over [`venice_par`] scoped worker threads and a
-/// throughput summary is printed to stderr; use [`sweep_catalog`] for
-/// explicit parallelism control or to consume the [`SweepSummary`].
+/// Executes on the process-wide shared [`sweep::WorkerPool`] (sized by
+/// [`venice_par`] at first use) and prints a throughput summary to stderr;
+/// use [`sweep_catalog`] for explicit parallelism control or to consume the
+/// [`SweepSummary`].
 pub fn run_catalog(
     config: &SsdConfig,
     systems: &[FabricKind],
     requests: usize,
 ) -> Vec<CatalogRow> {
-    let (rows, summary) = sweep_catalog(config, systems, requests, venice_par());
+    let outcome = catalog_grid(config, systems, requests).run();
+    let summary = outcome.summary();
     eprintln!("[venice-bench] {summary}");
-    rows
+    outcome.catalog_rows()
 }
 
-/// [`run_catalog`] with explicit worker-thread count and no summary print.
+/// [`run_catalog`] with an explicit worker-thread count and no summary
+/// print, on a dedicated [`WorkerPool`] of that size.
 ///
 /// Every run is fully independent and deterministic per `(config, system,
 /// trace)`, so the returned metrics are identical for every `par`; only
-/// wall-clock time changes.
+/// wall-clock time changes (this is what the pool-size determinism tests
+/// assert).
 pub fn sweep_catalog(
     config: &SsdConfig,
     systems: &[FabricKind],
     requests: usize,
     par: usize,
 ) -> (Vec<CatalogRow>, SweepSummary) {
-    let entries = &catalog::TABLE2;
-    let par = par.clamp(1, entries.len().max(1));
-    let start = Instant::now();
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<CatalogRow>>> =
-        (0..entries.len()).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..par {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(entry) = entries.get(i) else { break };
-                let trace = catalog::spec(entry).generate(requests);
-                let row = (entry.name.to_string(), run_systems(config, systems, &trace));
-                *slots[i].lock().expect("result slot poisoned") = Some(row);
-            });
-        }
-    });
-    let rows: Vec<CatalogRow> = slots
-        .into_iter()
-        .map(|s| {
-            s.into_inner()
-                .expect("result slot poisoned")
-                .expect("every catalog entry computed")
-        })
-        .collect();
-    let events: u64 = rows
-        .iter()
-        .flat_map(|(_, ms)| ms.iter())
-        .map(|m| m.events)
-        .sum();
-    let summary = SweepSummary {
-        workloads: rows.len(),
-        systems: systems.len(),
-        par,
-        wall_seconds: start.elapsed().as_secs_f64(),
-        events,
-    };
-    (rows, summary)
+    let pool = WorkerPool::new(par);
+    let outcome = catalog_grid(config, systems, requests).run_on(&pool);
+    (outcome.catalog_rows(), outcome.summary())
 }
 
-/// Runs one named workload across `systems`.
+/// Runs one named workload across `systems` on the shared pool.
 pub fn run_workload(
     config: &SsdConfig,
     systems: &[FabricKind],
@@ -216,12 +211,74 @@ pub fn run_workload(
     let trace = catalog::by_name(name)
         .unwrap_or_else(|| panic!("unknown workload {name}"))
         .generate(requests);
-    run_systems(config, systems, &trace)
+    run_trace(config, systems, &trace)
 }
 
-/// Runs an arbitrary trace across `systems`.
+/// Runs an arbitrary trace across `systems` on the shared pool (one job
+/// per system; identical metrics to serial execution).
 pub fn run_trace(config: &SsdConfig, systems: &[FabricKind], trace: &Trace) -> Vec<RunMetrics> {
-    run_systems(config, systems, trace)
+    WorkerPool::global().run(
+        systems
+            .iter()
+            .map(|&system| move || run_single(config, system, trace))
+            .collect(),
+    )
+}
+
+/// Prints a sweep outcome as a per-point markdown table (with speedup over
+/// the Baseline point at the same grid coordinates, when the grid has one),
+/// writes the artifact under [`results_dir`], and prints the summary and
+/// manifest path to stderr — the output side of the `sweep_catalog` CLI.
+pub fn report_grid(outcome: &sweep::SweepOutcome) {
+    use venice_ssd::report::{f2, Table};
+    // Baseline lookup by coordinates-without-fabric. Keyed on the workload
+    // axis *index* (not the display name): axis names are user-supplied and
+    // need not be unique.
+    let coord = |p: &sweep::SweepPoint| {
+        (
+            p.config_name,
+            p.workload_idx,
+            p.shape,
+            p.timing_name.clone(),
+            p.queue_depth,
+        )
+    };
+    let baselines: Vec<(_, &RunMetrics)> = outcome
+        .records()
+        .iter()
+        .filter(|r| r.point.fabric == FabricKind::Baseline)
+        .map(|r| (coord(&r.point), &r.metrics))
+        .collect();
+    let mut t = Table::new(
+        ["point", "exec (ms)", "kIOPS", "conflict %", "vs Baseline"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for r in outcome.records() {
+        let vs_baseline = baselines
+            .iter()
+            .find(|(c, _)| *c == coord(&r.point))
+            .map_or_else(|| "-".to_string(), |(_, b)| format!("{}x", f2(r.metrics.speedup_over(b))));
+        t.row(vec![
+            r.point.label.clone(),
+            format!("{:.3}", r.metrics.execution_time.as_secs_f64() * 1e3),
+            format!("{:.1}", r.metrics.iops() / 1e3),
+            f2(r.metrics.conflict_pct()),
+            vs_baseline,
+        ]);
+    }
+    println!("# Sweep {}: {} points\n", outcome.name(), outcome.records().len());
+    print!("{}", t.to_markdown());
+    let summary = outcome.summary();
+    eprintln!("[venice-bench] {summary}");
+    match outcome.write(&results_dir()) {
+        Ok(dir) => eprintln!(
+            "[venice-bench] sweep artifact: {} (manifest fingerprint {})",
+            dir.join("manifest.json").display(),
+            outcome.manifest_fingerprint()
+        ),
+        Err(e) => eprintln!("warning: cannot write sweep artifact: {e}"),
+    }
 }
 
 /// Speedup of `system` over the baseline entry in the same result row.

@@ -1,0 +1,877 @@
+//! The design-space sweep engine: grids of (config × workload × shape ×
+//! timing × queue-depth × fabric) points executed on one shared worker
+//! pool, with reproducible JSON artifacts.
+//!
+//! This module is the process's single arbiter of simulation parallelism.
+//! PR 1 had two independent fan-out levels — `run_systems` spawned one
+//! thread per system while the catalog sweep spawned `VENICE_PAR` workers,
+//! multiplying to `VENICE_PAR × systems` threads — which oversubscribed
+//! cores on wide sweeps. Here every simulation of a sweep becomes one job
+//! on a [`WorkerPool`]; while the pool is draining jobs,
+//! [`venice_ssd::run_systems`] detects it (via the shared-pool guard in
+//! `venice_ssd`) and clamps its own fan-out to serial execution.
+//!
+//! # Determinism contract
+//!
+//! A sweep point's [`RunMetrics`] depend only on its `(config, system,
+//! trace)` triple — never on the pool size, job interleaving, or which
+//! worker ran it. Results are returned in point-id order, and the manifest
+//! carries content fingerprints ([`SweepOutcome::grid_hash`],
+//! [`SweepOutcome::metrics_fingerprint`]) that are bit-identical for every
+//! pool size; `tests/integration.rs` asserts this for pool sizes 1 and 4.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use venice_bench::sweep::SweepGrid;
+//! use venice_interconnect::FabricKind;
+//! use venice_workloads::WorkloadAxis;
+//!
+//! let outcome = SweepGrid::new("demo")
+//!     .workload(WorkloadAxis::catalog("hm_0").unwrap())
+//!     .fabrics(&[FabricKind::Baseline, FabricKind::Venice])
+//!     .requests(500)
+//!     .run();
+//! let dir = outcome.write(&venice_bench::results_dir()).unwrap();
+//! println!("manifest at {}", dir.join("manifest.json").display());
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use venice_interconnect::FabricKind;
+use venice_nand::NandTiming;
+use venice_ssd::report::json_str;
+use venice_ssd::{run_single, RunMetrics, SsdConfig};
+use venice_workloads::{Trace, WorkloadAxis};
+
+use crate::{CatalogRow, SweepSummary};
+
+/// The shared worker pool: a fixed thread budget draining a batch of
+/// independent jobs through one atomic work queue.
+///
+/// There is one [`WorkerPool::global`] pool per process (sized by
+/// `VENICE_PAR`, default: available cores); explicitly sized pools exist
+/// for reproducibility tests. Workers are scoped threads spawned per
+/// batch — idle sweeps keep no threads alive — but the pool's *activity*
+/// is process-global: while any batch is draining, nested parallelism
+/// requests (a second `run` call, or `venice_ssd::run_systems` invoked
+/// from inside a job) log one warning and run inline on the calling
+/// thread instead of multiplying threads.
+#[derive(Debug)]
+pub struct WorkerPool {
+    threads: usize,
+}
+
+/// The process-wide pool instance behind [`WorkerPool::global`].
+static GLOBAL_POOL: OnceLock<WorkerPool> = OnceLock::new();
+
+/// Whether the nested-`run` clamp warning has been printed yet.
+static NESTED_RUN_WARNED: AtomicBool = AtomicBool::new(false);
+
+impl WorkerPool {
+    /// Creates a pool with an explicit thread budget (floor of one).
+    pub fn new(threads: usize) -> Self {
+        WorkerPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The process-wide shared pool, created on first use and sized by
+    /// `VENICE_PAR` (default: available cores) at that moment.
+    pub fn global() -> &'static WorkerPool {
+        GLOBAL_POOL.get_or_init(|| WorkerPool::new(crate::venice_par()))
+    }
+
+    /// The pool's thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every job and returns their results in job order.
+    ///
+    /// Jobs are claimed from a shared atomic queue by `min(threads, jobs)`
+    /// scoped workers, so an expensive job never blocks the queue — idle
+    /// workers steal the remaining ones. If the pool is already active
+    /// (nested call), the jobs run inline serially on the calling thread
+    /// after a once-per-process warning; results are identical either way.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any job.
+    pub fn run<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        F: FnOnce() -> T + Send,
+        T: Send,
+    {
+        // Claim-and-check is one atomic fetch_add inside enter_shared_pool,
+        // so two concurrent top-level runs can never both take the parallel
+        // path (the loser clamps inline).
+        let guard = venice_ssd::enter_shared_pool();
+        if guard.is_nested() {
+            if !NESTED_RUN_WARNED.swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "warning: nested WorkerPool::run ({} jobs) while the shared \
+                     pool is active; running inline serially \
+                     (further occurrences are silent)",
+                    jobs.len()
+                );
+            }
+            return jobs.into_iter().map(|job| job()).collect();
+        }
+        let n = jobs.len();
+        let workers = self.threads.min(n.max(1));
+        let next = AtomicUsize::new(0);
+        let jobs: Vec<Mutex<Option<F>>> =
+            jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let job = jobs[i]
+                        .lock()
+                        .expect("job slot poisoned")
+                        .take()
+                        .expect("job claimed twice");
+                    *slots[i].lock().expect("result slot poisoned") = Some(job());
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every job completed")
+            })
+            .collect()
+    }
+}
+
+/// A design-space grid: axes that expand into a deterministic, id-stamped
+/// list of [`SweepPoint`]s.
+///
+/// Empty axes fall back to the base: no `configs` means the Table 1
+/// performance-optimized preset, no `fabrics` means all six systems, no
+/// `workloads` means the whole Table 2 catalog, and no `shapes` /
+/// `timings` / `queue_depths` means each config's own values. Expansion
+/// order is fixed — configs ▸ workloads ▸ shapes ▸ timings ▸ queue depths
+/// ▸ fabrics (innermost) — so point ids are stable for a given grid.
+#[derive(Clone, Debug)]
+pub struct SweepGrid {
+    name: String,
+    requests: usize,
+    configs: Vec<SsdConfig>,
+    workloads: Vec<WorkloadAxis>,
+    shapes: Vec<(u16, u16)>,
+    timings: Vec<NandTiming>,
+    queue_depths: Vec<usize>,
+    fabrics: Vec<FabricKind>,
+}
+
+impl SweepGrid {
+    /// Creates an empty grid named `name` (the name keys the output
+    /// directory `results/sweep_<name>/`). Requests default to
+    /// [`crate::requests`] (`VENICE_REQUESTS`, default 3000).
+    pub fn new(name: impl Into<String>) -> Self {
+        SweepGrid {
+            name: name.into(),
+            requests: crate::requests(),
+            configs: Vec::new(),
+            workloads: Vec::new(),
+            shapes: Vec::new(),
+            timings: Vec::new(),
+            queue_depths: Vec::new(),
+            fabrics: Vec::new(),
+        }
+    }
+
+    /// The grid's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sets the per-workload request budget.
+    pub fn requests(mut self, requests: usize) -> Self {
+        self.requests = requests.max(1);
+        self
+    }
+
+    /// Adds one base configuration to the config axis.
+    pub fn config(mut self, config: SsdConfig) -> Self {
+        self.configs.push(config);
+        self
+    }
+
+    /// Adds one workload to the workload axis.
+    pub fn workload(mut self, axis: WorkloadAxis) -> Self {
+        self.workloads.push(axis);
+        self
+    }
+
+    /// Extends the workload axis.
+    pub fn workloads(mut self, axes: Vec<WorkloadAxis>) -> Self {
+        self.workloads.extend(axes);
+        self
+    }
+
+    /// Extends the fabric axis.
+    pub fn fabrics(mut self, fabrics: &[FabricKind]) -> Self {
+        self.fabrics.extend_from_slice(fabrics);
+        self
+    }
+
+    /// Replaces the fabric axis wholesale (CLI `--systems` override).
+    pub fn replace_fabrics(mut self, fabrics: &[FabricKind]) -> Self {
+        self.fabrics.clear();
+        self.fabrics.extend_from_slice(fabrics);
+        self
+    }
+
+    /// Extends the array-shape axis (`rows × cols` controller layouts; each
+    /// must preserve the base config's chip count).
+    pub fn shapes(mut self, shapes: &[(u16, u16)]) -> Self {
+        self.shapes.extend_from_slice(shapes);
+        self
+    }
+
+    /// Extends the NAND-timing axis.
+    pub fn timings(mut self, timings: &[NandTiming]) -> Self {
+        self.timings.extend_from_slice(timings);
+        self
+    }
+
+    /// Extends the submission-queue-depth axis.
+    pub fn queue_depths(mut self, depths: &[usize]) -> Self {
+        self.queue_depths.extend_from_slice(depths);
+        self
+    }
+
+    /// Resolved workload axis (Table 2 catalog when none was set).
+    fn effective_workloads(&self) -> Vec<WorkloadAxis> {
+        if self.workloads.is_empty() {
+            WorkloadAxis::table2()
+        } else {
+            self.workloads.clone()
+        }
+    }
+
+    /// Resolved config axis (performance-optimized when none was set).
+    fn effective_configs(&self) -> Vec<SsdConfig> {
+        if self.configs.is_empty() {
+            vec![SsdConfig::performance_optimized()]
+        } else {
+            self.configs.clone()
+        }
+    }
+
+    /// Resolved fabric axis (all six systems when none was set).
+    fn effective_fabrics(&self) -> Vec<FabricKind> {
+        if self.fabrics.is_empty() {
+            FabricKind::ALL.to_vec()
+        } else {
+            self.fabrics.clone()
+        }
+    }
+
+    /// Expands the grid into its deterministic, id-stamped point list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shape-axis value does not preserve a base config's chip
+    /// count (fail-fast, before any simulation runs).
+    pub fn build_points(&self) -> Vec<SweepPoint> {
+        let configs = self.effective_configs();
+        let workloads = self.effective_workloads();
+        let fabrics = self.effective_fabrics();
+        let mut points = Vec::new();
+        for base in &configs {
+            let shapes: Vec<(u16, u16)> = if self.shapes.is_empty() {
+                vec![(base.fabric.rows, base.fabric.cols)]
+            } else {
+                self.shapes.clone()
+            };
+            let timings: Vec<NandTiming> = if self.timings.is_empty() {
+                vec![base.timing]
+            } else {
+                self.timings.clone()
+            };
+            let depths: Vec<usize> = if self.queue_depths.is_empty() {
+                vec![base.hil.queue_depth]
+            } else {
+                self.queue_depths.clone()
+            };
+            for (workload_idx, workload) in workloads.iter().enumerate() {
+                for &(rows, cols) in &shapes {
+                    for &timing in &timings {
+                        for &depth in &depths {
+                            for &fabric in &fabrics {
+                                let config = base
+                                    .clone()
+                                    .with_shape(rows, cols)
+                                    .with_timing(timing)
+                                    .with_queue_depth(depth);
+                                let timing_name =
+                                    timing.preset_name().unwrap_or("custom").to_string();
+                                let label = format!(
+                                    "{}/{}/{}x{}/{}/qd{}/{}",
+                                    base.name,
+                                    workload.name(),
+                                    rows,
+                                    cols,
+                                    timing_name,
+                                    depth,
+                                    fabric.label()
+                                );
+                                points.push(SweepPoint {
+                                    id: points.len(),
+                                    label,
+                                    workload_idx,
+                                    workload: workload.name().to_string(),
+                                    config_name: base.name,
+                                    shape: (rows, cols),
+                                    timing_name,
+                                    queue_depth: depth,
+                                    fabric,
+                                    config,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        points
+    }
+
+    /// Runs the grid on the process-wide [`WorkerPool::global`] pool.
+    pub fn run(&self) -> SweepOutcome {
+        self.run_on(WorkerPool::global())
+    }
+
+    /// Runs the grid on an explicit pool (used by the determinism tests to
+    /// compare pool sizes; results are bit-identical for every size).
+    ///
+    /// Traces are generated once per workload axis value — also on the
+    /// pool — and shared by reference across every point that replays
+    /// them, so a six-fabric grid does not generate its traces six times.
+    pub fn run_on(&self, pool: &WorkerPool) -> SweepOutcome {
+        let start = Instant::now();
+        let workloads = self.effective_workloads();
+        let requests = self.requests;
+        let traces: Vec<Trace> = pool.run(
+            workloads
+                .iter()
+                .map(|axis| move || axis.trace(requests))
+                .collect(),
+        );
+        let points = self.build_points();
+        let metrics: Vec<RunMetrics> = pool.run(
+            points
+                .iter()
+                .map(|point| {
+                    let trace = &traces[point.workload_idx];
+                    move || run_single(&point.config, point.fabric, trace)
+                })
+                .collect(),
+        );
+        let records: Vec<PointRecord> = points
+            .into_iter()
+            .zip(metrics)
+            .map(|(point, metrics)| PointRecord { point, metrics })
+            .collect();
+        // Serialize each point once up front: the fingerprints, manifest,
+        // and artifact writer all reuse these strings.
+        let point_jsons = records.iter().map(|r| r.metrics.to_json()).collect();
+        SweepOutcome {
+            grid_json: self.definition_json(),
+            name: self.name.clone(),
+            requests: self.requests,
+            workload_count: workloads.len(),
+            fabric_count: self.effective_fabrics().len(),
+            pool_threads: pool.threads(),
+            wall_seconds: start.elapsed().as_secs_f64(),
+            records,
+            point_jsons,
+        }
+    }
+
+    /// The grid definition as one stable JSON object (embedded in the
+    /// manifest and hashed into [`SweepOutcome::grid_hash`]).
+    pub fn definition_json(&self) -> String {
+        let configs: Vec<String> = self
+            .effective_configs()
+            .iter()
+            .map(|c| c.name.to_string())
+            .collect();
+        let workloads: Vec<String> = self
+            .effective_workloads()
+            .iter()
+            .map(|w| w.name().to_string())
+            .collect();
+        let fabrics: Vec<String> = self
+            .effective_fabrics()
+            .iter()
+            .map(|f| f.label().to_string())
+            .collect();
+        let shapes: Vec<String> = if self.shapes.is_empty() {
+            vec!["base".to_string()]
+        } else {
+            self.shapes.iter().map(|(r, c)| format!("{r}x{c}")).collect()
+        };
+        let timings: Vec<String> = if self.timings.is_empty() {
+            vec!["base".to_string()]
+        } else {
+            self.timings
+                .iter()
+                .map(|t| t.preset_name().unwrap_or("custom").to_string())
+                .collect()
+        };
+        let depths: Vec<String> = if self.queue_depths.is_empty() {
+            vec!["base".to_string()]
+        } else {
+            self.queue_depths.iter().map(|d| d.to_string()).collect()
+        };
+        format!(
+            "{{\"name\": {}, \"requests\": {}, \"configs\": {}, \
+             \"workloads\": {}, \"shapes\": {}, \"timings\": {}, \
+             \"queue_depths\": {}, \"fabrics\": {}}}",
+            json_str(&self.name),
+            self.requests,
+            json_str_list(&configs),
+            json_str_list(&workloads),
+            json_str_list(&shapes),
+            json_str_list(&timings),
+            json_str_list(&depths),
+            json_str_list(&fabrics),
+        )
+    }
+}
+
+/// One expanded grid point: a fully resolved configuration plus the axis
+/// coordinates it came from.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Position in the grid's deterministic expansion order (also the
+    /// result order and the point-file numbering).
+    pub id: usize,
+    /// Human-readable coordinates, e.g.
+    /// `performance-optimized/hm_0/8x8/z-nand/qd8/Venice`.
+    pub label: String,
+    /// Index into the grid's workload axis (shared-trace lookup).
+    pub workload_idx: usize,
+    /// Workload axis value name.
+    pub workload: String,
+    /// Base configuration preset name.
+    pub config_name: &'static str,
+    /// Array shape (`rows`, `cols`).
+    pub shape: (u16, u16),
+    /// NAND-timing axis value name (`"z-nand"`, `"tlc-3d"`, or `"custom"`).
+    pub timing_name: String,
+    /// Submission-queue depth.
+    pub queue_depth: usize,
+    /// The fabric under test.
+    pub fabric: FabricKind,
+    /// The fully resolved configuration this point simulates.
+    pub config: SsdConfig,
+}
+
+impl SweepPoint {
+    /// The point's result file name inside the sweep directory
+    /// (`points/p<id>-<sanitized label>.json`).
+    pub fn file_name(&self) -> String {
+        let slug: String = self
+            .label
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                    c
+                } else {
+                    '-'
+                }
+            })
+            .collect();
+        format!("points/p{:04}-{}.json", self.id, slug)
+    }
+}
+
+/// One executed point: its coordinates plus the run's metrics.
+#[derive(Clone, Debug)]
+pub struct PointRecord {
+    /// The grid coordinates and resolved configuration.
+    pub point: SweepPoint,
+    /// The simulation's metrics.
+    pub metrics: RunMetrics,
+}
+
+/// The result of running a [`SweepGrid`]: every point's metrics in point-id
+/// order, plus everything needed to write a reproducible artifact.
+#[derive(Clone, Debug)]
+pub struct SweepOutcome {
+    grid_json: String,
+    name: String,
+    requests: usize,
+    workload_count: usize,
+    fabric_count: usize,
+    pool_threads: usize,
+    wall_seconds: f64,
+    records: Vec<PointRecord>,
+    /// `records[i].metrics.to_json()`, computed once at construction and
+    /// shared by the fingerprints, manifest, and artifact writer.
+    point_jsons: Vec<String>,
+}
+
+impl SweepOutcome {
+    /// The executed points, in point-id order.
+    pub fn records(&self) -> &[PointRecord] {
+        &self.records
+    }
+
+    /// The grid's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Wall-clock seconds the sweep took.
+    pub fn wall_seconds(&self) -> f64 {
+        self.wall_seconds
+    }
+
+    /// FNV-1a hash of the grid definition JSON: identifies *what* was swept.
+    pub fn grid_hash(&self) -> String {
+        format!("{:016x}", fnv1a(self.grid_json.as_bytes(), FNV_OFFSET))
+    }
+
+    /// FNV-1a hash chained over every point's metrics JSON in id order,
+    /// from `seed`: identifies *what came out*.
+    fn chain_points(&self, seed: u64) -> u64 {
+        self.point_jsons
+            .iter()
+            .fold(seed, |h, json| fnv1a(json.as_bytes(), h))
+    }
+
+    /// FNV-1a hash chained over every point's metrics JSON in id order:
+    /// identifies *what came out*. Bit-identical across pool sizes and
+    /// execution orders; wall-clock time and environment are excluded.
+    pub fn metrics_fingerprint(&self) -> String {
+        format!("{:016x}", self.chain_points(FNV_OFFSET))
+    }
+
+    /// Grid hash and metrics fingerprint folded together (the point chain
+    /// seeded with the grid-definition hash): the manifest's single
+    /// comparison handle for "same sweep, same results".
+    pub fn manifest_fingerprint(&self) -> String {
+        let seed = fnv1a(self.grid_json.as_bytes(), FNV_OFFSET);
+        format!("{:016x}", self.chain_points(seed))
+    }
+
+    /// Total simulator events across all points.
+    pub fn events(&self) -> u64 {
+        self.records.iter().map(|r| r.metrics.events).sum()
+    }
+
+    /// The sweep's throughput summary (compatible with the catalog-sweep
+    /// summary line the harness has printed since PR 1).
+    pub fn summary(&self) -> SweepSummary {
+        SweepSummary {
+            workloads: self.workload_count,
+            systems: self.fabric_count,
+            points: self.records.len(),
+            par: self.pool_threads,
+            wall_seconds: self.wall_seconds,
+            events: self.events(),
+        }
+    }
+
+    /// Regroups the outcome into `(workload name, metrics per fabric)` rows
+    /// for points matching `filter`, preserving point order — the shape the
+    /// figure renderers consume.
+    ///
+    /// A row is one full non-fabric coordinate — (config, workload, shape,
+    /// timing, queue depth) — so metrics from different configurations are
+    /// never merged into one row: on a grid where `filter` leaves several
+    /// configs/shapes/timings/depths, the same workload name simply appears
+    /// once per coordinate. Within a row, metrics are in fabric-axis order.
+    pub fn rows_by_workload(
+        &self,
+        filter: impl Fn(&SweepPoint) -> bool,
+    ) -> Vec<CatalogRow> {
+        let coord = |p: &SweepPoint| {
+            (
+                p.config_name,
+                p.workload_idx,
+                p.shape,
+                p.timing_name.clone(),
+                p.queue_depth,
+            )
+        };
+        let mut rows: Vec<CatalogRow> = Vec::new();
+        let mut last_coord = None;
+        for r in self.records.iter().filter(|r| filter(&r.point)) {
+            let key = Some(coord(&r.point));
+            if last_coord != key {
+                rows.push((r.point.workload.clone(), Vec::new()));
+                last_coord = key;
+            }
+            rows.last_mut()
+                .expect("row pushed above")
+                .1
+                .push(r.metrics.clone());
+        }
+        rows
+    }
+
+    /// [`SweepOutcome::rows_by_workload`] over every point — the
+    /// single-config catalog-sweep case (one row per workload).
+    pub fn catalog_rows(&self) -> Vec<CatalogRow> {
+        self.rows_by_workload(|_| true)
+    }
+
+    /// The sweep manifest as one JSON document: grid definition, git
+    /// revision, environment knobs, pool/wall-clock info, fingerprints,
+    /// and the per-point index with headline numbers for quick diffing.
+    pub fn manifest_json(&self) -> String {
+        let mut points = String::from("[\n");
+        for (i, r) in self.records.iter().enumerate() {
+            points.push_str(&format!(
+                "    {{\"id\": {}, \"label\": {}, \"file\": {}, \
+                 \"execution_time_ns\": {}, \"events\": {}}}{}\n",
+                r.point.id,
+                json_str(&r.point.label),
+                json_str(&r.point.file_name()),
+                r.metrics.execution_time.as_nanos(),
+                r.metrics.events,
+                if i + 1 == self.records.len() { "" } else { "," }
+            ));
+        }
+        points.push_str("  ]");
+        format!(
+            "{{\n  \"name\": {},\n  \"engine\": \"venice_bench::sweep\",\n  \
+             \"git\": {},\n  \"requests\": {},\n  \"points_total\": {},\n  \
+             \"pool_threads\": {},\n  \"wall_seconds\": {},\n  \
+             \"env\": {{\"VENICE_REQUESTS\": {}, \"VENICE_PAR\": {}, \
+             \"VENICE_RESULTS_DIR\": {}}},\n  \"grid\": {},\n  \
+             \"grid_hash\": {},\n  \"metrics_fingerprint\": {},\n  \
+             \"manifest_fingerprint\": {},\n  \"points\": {}\n}}\n",
+            json_str(&self.name),
+            json_str(&git_describe()),
+            self.requests,
+            self.records.len(),
+            self.pool_threads,
+            self.wall_seconds,
+            json_env("VENICE_REQUESTS"),
+            json_env("VENICE_PAR"),
+            json_env("VENICE_RESULTS_DIR"),
+            self.grid_json,
+            json_str(&self.grid_hash()),
+            json_str(&self.metrics_fingerprint()),
+            json_str(&self.manifest_fingerprint()),
+            points,
+        )
+    }
+
+    /// Writes the sweep artifact under `base_dir`: a
+    /// `sweep_<name>/manifest.json` plus one `points/p<id>-<label>.json`
+    /// metrics record per point. Returns the sweep directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from directory creation or file writes.
+    pub fn write(&self, base_dir: &Path) -> std::io::Result<PathBuf> {
+        let dir = base_dir.join(format!("sweep_{}", self.name));
+        std::fs::create_dir_all(dir.join("points"))?;
+        for (r, json) in self.records.iter().zip(&self.point_jsons) {
+            std::fs::write(dir.join(r.point.file_name()), json)?;
+        }
+        std::fs::write(dir.join("manifest.json"), self.manifest_json())?;
+        Ok(dir)
+    }
+}
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// One FNV-1a 64-bit round over `bytes`, continuing from `seed` so hashes
+/// can be chained across records.
+fn fnv1a(bytes: &[u8], seed: u64) -> u64 {
+    bytes.iter().fold(seed, |h, &b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+    })
+}
+
+/// JSON array of string literals.
+fn json_str_list(items: &[String]) -> String {
+    let body: Vec<String> = items.iter().map(|s| json_str(s)).collect();
+    format!("[{}]", body.join(", "))
+}
+
+/// The raw value of env var `name` as a JSON value (`null` when unset).
+fn json_env(name: &str) -> String {
+    match std::env::var(name) {
+        Ok(v) => json_str(&v),
+        Err(_) => "null".to_string(),
+    }
+}
+
+/// `git describe --always --dirty` of the working tree, or `"unknown"`
+/// outside a git checkout (recorded in manifests for provenance; never part
+/// of the fingerprints).
+fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_grid() -> SweepGrid {
+        SweepGrid::new("unit")
+            .workload(WorkloadAxis::catalog("hm_0").expect("catalog"))
+            .workload(WorkloadAxis::catalog("proj_3").expect("catalog"))
+            .fabrics(&[FabricKind::Baseline, FabricKind::Venice])
+            .requests(80)
+    }
+
+    #[test]
+    fn pool_preserves_job_order_and_results() {
+        let pool = WorkerPool::new(4);
+        let jobs: Vec<_> = (0..37).map(|i| move || i * i).collect();
+        let out = pool.run(jobs);
+        assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        // Thread budget floors at one and is visible.
+        assert_eq!(WorkerPool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn nested_pool_runs_clamp_inline() {
+        let pool = WorkerPool::new(2);
+        // Jobs that themselves use a pool: must not deadlock or nest threads.
+        let out = pool.run(vec![
+            || WorkerPool::new(2).run(vec![|| 1, || 2]),
+            || WorkerPool::new(2).run(vec![|| 3, || 4]),
+        ]);
+        assert_eq!(out, vec![vec![1, 2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn grid_expansion_is_deterministic_and_id_stamped() {
+        let grid = tiny_grid();
+        let a = grid.build_points();
+        let b = grid.build_points();
+        assert_eq!(a.len(), 4); // 2 workloads × 2 fabrics
+        for (i, (pa, pb)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(pa.id, i);
+            assert_eq!(pa.label, pb.label);
+        }
+        // Fabrics are the innermost axis.
+        assert_eq!(a[0].workload, "hm_0");
+        assert_eq!(a[0].fabric, FabricKind::Baseline);
+        assert_eq!(a[1].workload, "hm_0");
+        assert_eq!(a[1].fabric, FabricKind::Venice);
+        assert_eq!(a[2].workload, "proj_3");
+    }
+
+    #[test]
+    fn axes_expand_multiplicatively() {
+        let grid = SweepGrid::new("axes")
+            .workload(WorkloadAxis::catalog("hm_0").expect("catalog"))
+            .fabrics(&[FabricKind::Venice])
+            .shapes(&[(4, 16), (8, 8)])
+            .timings(&[NandTiming::z_nand(), NandTiming::tlc_3d()])
+            .queue_depths(&[4, 16])
+            .requests(50);
+        let points = grid.build_points();
+        assert_eq!(points.len(), 8); // 1 × 2 shapes × 2 timings × 2 depths
+        assert_eq!(points[0].shape, (4, 16));
+        assert_eq!(points[0].timing_name, "z-nand");
+        assert_eq!(points[0].queue_depth, 4);
+        let last = points.last().expect("non-empty");
+        assert_eq!(last.shape, (8, 8));
+        assert_eq!(last.timing_name, "tlc-3d");
+        assert_eq!(last.queue_depth, 16);
+        assert_eq!(last.config.hil.queue_depth, 16);
+        assert_eq!(last.config.fabric.rows, 8);
+    }
+
+    #[test]
+    fn outcome_rows_group_by_workload_in_axis_order() {
+        let outcome = tiny_grid().run_on(&WorkerPool::new(2));
+        let rows = outcome.catalog_rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "hm_0");
+        assert_eq!(rows[1].0, "proj_3");
+        assert_eq!(rows[0].1.len(), 2);
+        assert_eq!(rows[0].1[0].system, FabricKind::Baseline);
+        assert_eq!(rows[0].1[1].system, FabricKind::Venice);
+        let venice_only = outcome.rows_by_workload(|p| p.fabric == FabricKind::Venice);
+        assert_eq!(venice_only.len(), 2);
+        assert_eq!(venice_only[0].1.len(), 1);
+    }
+
+    #[test]
+    fn rows_never_merge_across_configs_or_axes() {
+        // Two configs × one workload × one fabric: an undiscriminating
+        // grouping must yield one row per config, not one merged row.
+        let outcome = SweepGrid::new("unit-two-configs")
+            .config(SsdConfig::performance_optimized())
+            .config(SsdConfig::cost_optimized())
+            .workload(WorkloadAxis::catalog("hm_0").expect("catalog"))
+            .fabrics(&[FabricKind::Baseline, FabricKind::Venice])
+            .requests(60)
+            .run_on(&WorkerPool::new(1));
+        let rows = outcome.catalog_rows();
+        assert_eq!(rows.len(), 2, "one row per config coordinate");
+        assert_eq!(rows[0].0, "hm_0");
+        assert_eq!(rows[1].0, "hm_0");
+        assert_eq!(rows[0].1.len(), 2, "fabric order within a row");
+        assert_eq!(rows[0].1[0].config, "performance-optimized");
+        assert_eq!(rows[1].1[0].config, "cost-optimized");
+    }
+
+    #[test]
+    fn manifest_carries_fingerprints_and_points() {
+        let outcome = tiny_grid().run_on(&WorkerPool::new(2));
+        let manifest = outcome.manifest_json();
+        assert!(manifest.contains("\"name\": \"unit\""));
+        assert!(manifest.contains(&format!("\"grid_hash\": \"{}\"", outcome.grid_hash())));
+        assert!(manifest
+            .contains(&format!("\"metrics_fingerprint\": \"{}\"", outcome.metrics_fingerprint())));
+        assert!(manifest.contains("\"points_total\": 4"));
+        assert!(manifest.contains("p0000-"));
+        let summary = outcome.summary();
+        assert_eq!(summary.workloads, 2);
+        assert_eq!(summary.systems, 2);
+        assert_eq!(summary.events, outcome.events());
+    }
+
+    #[test]
+    fn sweep_artifact_writes_manifest_and_points() {
+        let outcome = SweepGrid::new("unit-write")
+            .workload(WorkloadAxis::catalog("hm_0").expect("catalog"))
+            .fabrics(&[FabricKind::Ideal])
+            .requests(60)
+            .run_on(&WorkerPool::new(1));
+        let base = std::env::temp_dir().join("venice-sweep-test");
+        let _ = std::fs::remove_dir_all(&base);
+        let dir = outcome.write(&base).expect("write artifact");
+        assert!(dir.join("manifest.json").is_file());
+        let point_file = dir.join(outcome.records()[0].point.file_name());
+        let json = std::fs::read_to_string(point_file).expect("point record");
+        assert!(json.contains("\"workload\": \"hm_0\""));
+        let _ = std::fs::remove_dir_all(&base);
+    }
+}

@@ -130,6 +130,24 @@ impl SsdConfig {
         self
     }
 
+    /// Overrides the NAND operation latencies (a sweep-engine timing axis).
+    ///
+    /// Only latencies change: the per-operation energy model and page
+    /// geometry keep the preset's values, so a timing axis isolates timing
+    /// sensitivity from the rest of the NAND model.
+    pub fn with_timing(mut self, timing: NandTiming) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Overrides the per-queue submission-queue depth (a sweep-engine
+    /// queue-depth axis). Deeper queues admit more host-side outstanding
+    /// requests before back-pressure.
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.hil.queue_depth = depth.max(1);
+        self
+    }
+
     /// Scales the per-plane block count so that the physical capacity is
     /// `footprint_bytes / utilization`, rounding up to whole blocks per
     /// plane. This keeps over-provisioning pressure constant across
@@ -202,6 +220,20 @@ mod tests {
     #[should_panic(expected = "preserve the chip count")]
     fn bad_shape_rejected() {
         SsdConfig::performance_optimized().with_shape(4, 4);
+    }
+
+    #[test]
+    fn axis_overrides_apply() {
+        let cfg = SsdConfig::performance_optimized()
+            .with_timing(NandTiming::tlc_3d())
+            .with_queue_depth(32);
+        assert_eq!(cfg.timing, NandTiming::tlc_3d());
+        assert_eq!(cfg.hil.queue_depth, 32);
+        // Energy and geometry keep the preset's values.
+        assert_eq!(cfg.energy, OpEnergy::z_nand());
+        assert_eq!(cfg.array.chip.page_size, 4 * 1024);
+        // Queue depth has a floor of one.
+        assert_eq!(SsdConfig::performance_optimized().with_queue_depth(0).hil.queue_depth, 1);
     }
 
     #[test]

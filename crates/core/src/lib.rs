@@ -44,6 +44,9 @@ pub mod report;
 mod ssd;
 
 pub use config::{SsdConfig, StaticPower};
-pub use experiment::{all_systems, run_systems, ExperimentBuilder, SystemKind};
+pub use experiment::{
+    all_systems, enter_shared_pool, run_single, run_systems, shared_pool_active,
+    ExperimentBuilder, SharedPoolGuard, SystemKind,
+};
 pub use metrics::RunMetrics;
 pub use ssd::SsdSim;

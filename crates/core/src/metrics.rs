@@ -6,6 +6,8 @@ use venice_interconnect::FabricStats;
 use venice_sim::stats::LatencySamples;
 use venice_sim::{SimDuration, SimTime};
 
+use crate::report::{json_f64, json_str};
+
 /// Metrics of one simulated run (one workload × one system × one config).
 ///
 /// Derives `PartialEq` so determinism tests can compare whole runs (the
@@ -84,6 +86,98 @@ impl RunMetrics {
     pub fn mean_latency(&self) -> SimDuration {
         self.latencies.mean()
     }
+
+    /// Serializes the run as one stable JSON object (the sweep engine's
+    /// per-point record format).
+    ///
+    /// The workspace builds without registry access, so JSON is emitted by
+    /// hand: field order is fixed, integers print exactly, and floats use
+    /// Rust's shortest round-trip `Display` — the same metrics always
+    /// produce the same bytes, which is what lets sweep manifests carry a
+    /// content fingerprint. Raw latency samples are summarized (count,
+    /// mean, p50/p95/p99, max) rather than dumped.
+    pub fn to_json(&self) -> String {
+        let mut lat = self.latencies.clone();
+        // Zero-sample runs serialize as zero latencies (percentile() would
+        // panic on an empty sample set, and RunMetrics with no completions
+        // is a valid value everywhere else).
+        let q = |l: &mut LatencySamples, q: f64| {
+            if l.is_empty() {
+                0
+            } else {
+                l.percentile(q).as_nanos()
+            }
+        };
+        let (p50, p95, p99, max) = (
+            q(&mut lat, 0.50),
+            q(&mut lat, 0.95),
+            q(&mut lat, 0.99),
+            q(&mut lat, 1.0),
+        );
+        let fb = &self.fabric;
+        let ftl = &self.ftl;
+        let hil = &self.hil;
+        format!(
+            "{{\n  \"system\": {},\n  \"workload\": {},\n  \"config\": {},\n  \
+             \"completed_requests\": {},\n  \"execution_time_ns\": {},\n  \
+             \"iops\": {},\n  \"latency\": {{\"samples\": {}, \"mean_ns\": {}, \
+             \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}},\n  \
+             \"conflicted_requests\": {},\n  \"conflict_pct\": {},\n  \
+             \"energy_mj\": {},\n  \"avg_power_mw\": {},\n  \
+             \"fabric\": {{\"acquisitions\": {}, \"conflicts\": {}, \
+             \"controller_unavailable\": {}, \"channel_busy\": {}, \
+             \"transfers\": {}, \"bytes\": {}, \"transfer_energy_nj\": {}, \
+             \"scout_steps\": {}, \"scout_detours\": {}, \"hops_total\": {}}},\n  \
+             \"ftl\": {{\"user_writes\": {}, \"user_reads\": {}, \
+             \"gc_relocations\": {}, \"gc_erases\": {}, \"wear_relocations\": {}, \
+             \"wear_erases\": {}, \"stale_relocations\": {}, \
+             \"write_amplification\": {}}},\n  \
+             \"hil\": {{\"submitted\": {}, \"backpressured\": {}, \
+             \"fetched\": {}, \"completed\": {}}},\n  \
+             \"transactions\": {},\n  \"events\": {},\n  \"end_time_ns\": {}\n}}\n",
+            json_str(self.system.label()),
+            json_str(&self.workload),
+            json_str(self.config),
+            self.completed_requests,
+            self.execution_time.as_nanos(),
+            json_f64(self.iops()),
+            lat.len(),
+            self.mean_latency().as_nanos(),
+            p50,
+            p95,
+            p99,
+            max,
+            self.conflicted_requests,
+            json_f64(self.conflict_pct()),
+            json_f64(self.energy_mj),
+            json_f64(self.avg_power_mw),
+            fb.acquisitions,
+            fb.conflicts,
+            fb.controller_unavailable,
+            fb.channel_busy,
+            fb.transfers,
+            fb.bytes,
+            json_f64(fb.transfer_energy_nj),
+            fb.scout_steps,
+            fb.scout_detours,
+            fb.hops_total,
+            ftl.user_writes,
+            ftl.user_reads,
+            ftl.gc_relocations,
+            ftl.gc_erases,
+            ftl.wear_relocations,
+            ftl.wear_erases,
+            ftl.stale_relocations,
+            json_f64(ftl.write_amplification()),
+            hil.submitted,
+            hil.backpressured,
+            hil.fetched,
+            hil.completed,
+            self.transactions,
+            self.events,
+            self.end_time.as_nanos(),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -141,5 +235,32 @@ mod tests {
         let m = metrics(0, 0);
         assert_eq!(m.iops(), 0.0);
         assert_eq!(m.conflict_pct(), 0.0);
+    }
+
+    #[test]
+    fn json_is_stable_and_carries_key_fields() {
+        let m = metrics(1_000, 100);
+        let a = m.to_json();
+        let b = m.to_json();
+        assert_eq!(a, b, "serialization must be byte-stable");
+        for needle in [
+            "\"system\": \"Baseline\"",
+            "\"workload\": \"t\"",
+            "\"completed_requests\": 100",
+            "\"execution_time_ns\": 1000000",
+            "\"p99_ns\": 99000",
+            "\"events\": 400",
+        ] {
+            assert!(a.contains(needle), "missing {needle} in {a}");
+        }
+        // Quotes in names must not break the JSON framing.
+        let mut odd = metrics(10, 5);
+        odd.workload = "we\"ird".into();
+        assert!(odd.to_json().contains("\"we\\\"ird\""));
+        // A zero-completion run (valid everywhere else) must serialize,
+        // not panic on its empty latency sample set.
+        let empty = metrics(0, 0).to_json();
+        assert!(empty.contains("\"p99_ns\": 0"));
+        assert!(empty.contains("\"samples\": 0"));
     }
 }

@@ -55,6 +55,15 @@ impl FabricKind {
         FabricKind::Ideal,
     ];
 
+    /// Looks up a fabric by its report label (`"Venice"`, `"pSSD"`, ...),
+    /// case-insensitively — the config-from-axis constructor used when
+    /// parsing sweep-grid definitions and CLI system lists.
+    pub fn by_label(label: &str) -> Option<FabricKind> {
+        FabricKind::ALL
+            .into_iter()
+            .find(|k| k.label().eq_ignore_ascii_case(label))
+    }
+
     /// Short label used in reports ("pSSD", "Venice", ...).
     pub fn label(&self) -> &'static str {
         match self {
@@ -993,6 +1002,16 @@ mod tests {
         for g in holds_v {
             venice.release(g);
         }
+    }
+
+    #[test]
+    fn label_round_trips_through_by_label() {
+        for kind in FabricKind::ALL {
+            assert_eq!(FabricKind::by_label(kind.label()), Some(kind));
+        }
+        assert_eq!(FabricKind::by_label("venice"), Some(FabricKind::Venice));
+        assert_eq!(FabricKind::by_label("PSSD"), Some(FabricKind::Pssd));
+        assert_eq!(FabricKind::by_label("warp-drive"), None);
     }
 
     #[test]

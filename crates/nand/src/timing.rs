@@ -40,6 +40,31 @@ impl NandTiming {
         }
     }
 
+    /// The named presets, as `(name, timing)` pairs — the sweep engine's
+    /// NAND-timing axis vocabulary.
+    pub const PRESETS: [(&'static str, NandTiming); 2] = [
+        ("z-nand", NandTiming::z_nand()),
+        ("tlc-3d", NandTiming::tlc_3d()),
+    ];
+
+    /// Looks up a preset by name (`"z-nand"` or `"tlc-3d"`) — the
+    /// config-from-axis constructor used by sweep grids and CLIs.
+    pub fn named(name: &str) -> Option<NandTiming> {
+        Self::PRESETS
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, t)| t)
+    }
+
+    /// The preset name of this timing, or `None` for a custom one (used to
+    /// label sweep points and manifests).
+    pub fn preset_name(&self) -> Option<&'static str> {
+        Self::PRESETS
+            .iter()
+            .find(|(_, t)| t == self)
+            .map(|&(n, _)| n)
+    }
+
     /// Latency of one operation kind.
     pub const fn latency(&self, kind: crate::NandCommandKind) -> SimDuration {
         match kind {
@@ -54,6 +79,20 @@ impl NandTiming {
 mod tests {
     use super::*;
     use crate::NandCommandKind;
+
+    #[test]
+    fn named_presets_round_trip() {
+        for (name, timing) in NandTiming::PRESETS {
+            assert_eq!(NandTiming::named(name), Some(timing));
+            assert_eq!(timing.preset_name(), Some(name));
+        }
+        assert_eq!(NandTiming::named("qlc"), None);
+        let custom = NandTiming {
+            t_r: SimDuration::from_micros(7),
+            ..NandTiming::z_nand()
+        };
+        assert_eq!(custom.preset_name(), None);
+    }
 
     #[test]
     fn presets_match_table1() {

@@ -1,0 +1,130 @@
+//! Workload axes: adapters that present catalog entries, Table 3 mixes,
+//! and custom specs through one uniform "axis value → trace" interface.
+//!
+//! The sweep engine in `venice_bench` expands grids of (workload × system ×
+//! config) points; this module is the workload side of that contract. An
+//! axis value is cheap to copy around, carries a stable display name for
+//! point labels and manifests, and generates its trace deterministically
+//! (same axis + same request count ⇒ identical trace bytes).
+
+use crate::{catalog, mix, Trace, WorkloadSpec};
+
+/// One value of a sweep grid's workload axis.
+///
+/// # Example
+///
+/// ```
+/// use venice_workloads::WorkloadAxis;
+/// let axis = WorkloadAxis::catalog("hm_0").unwrap();
+/// assert_eq!(axis.name(), "hm_0");
+/// assert_eq!(axis.trace(100).len(), 100);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkloadAxis {
+    /// A named Table 2 catalog workload, generated from its calibrated spec.
+    Catalog(&'static str),
+    /// A named Table 3 mix; the request budget is split evenly across the
+    /// mix's constituent streams (Figure 12's convention).
+    Mix(&'static str),
+    /// A custom synthetic workload.
+    Spec(WorkloadSpec),
+}
+
+impl WorkloadAxis {
+    /// A checked catalog axis: `None` if `name` is not in Table 2.
+    pub fn catalog(name: &'static str) -> Option<WorkloadAxis> {
+        catalog::by_name(name).map(|_| WorkloadAxis::Catalog(name))
+    }
+
+    /// A checked mix axis: `None` if `name` is not in Table 3.
+    pub fn mix(name: &'static str) -> Option<WorkloadAxis> {
+        mix::by_name(name).map(|_| WorkloadAxis::Mix(name))
+    }
+
+    /// All nineteen Table 2 workloads, in catalog (figure x-axis) order.
+    pub fn table2() -> Vec<WorkloadAxis> {
+        catalog::TABLE2.iter().map(|e| WorkloadAxis::Catalog(e.name)).collect()
+    }
+
+    /// All six Table 3 mixes, in table order.
+    pub fn table3() -> Vec<WorkloadAxis> {
+        mix::TABLE3.iter().map(|m| WorkloadAxis::Mix(m.name)).collect()
+    }
+
+    /// The axis value's display name (used in sweep-point labels, manifest
+    /// entries, and result file names).
+    pub fn name(&self) -> &str {
+        match self {
+            WorkloadAxis::Catalog(name) | WorkloadAxis::Mix(name) => name,
+            WorkloadAxis::Spec(spec) => &spec.name,
+        }
+    }
+
+    /// Generates the axis value's trace with a total budget of `requests`
+    /// requests (mixes split the budget evenly across constituents, with a
+    /// floor of one request per stream).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Catalog`/`Mix` name is unknown — use the checked
+    /// [`WorkloadAxis::catalog`] / [`WorkloadAxis::mix`] constructors when
+    /// the name comes from user input.
+    pub fn trace(&self, requests: usize) -> Trace {
+        match self {
+            WorkloadAxis::Catalog(name) => catalog::by_name(name)
+                .unwrap_or_else(|| panic!("unknown catalog workload {name}"))
+                .generate(requests),
+            WorkloadAxis::Mix(name) => {
+                let entry = mix::by_name(name)
+                    .unwrap_or_else(|| panic!("unknown mix {name}"));
+                let per_stream = (requests / entry.constituents.len()).max(1);
+                mix::generate(entry, per_stream)
+            }
+            WorkloadAxis::Spec(spec) => spec.generate(requests),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_axis_covers_the_catalog_in_order() {
+        let axes = WorkloadAxis::table2();
+        assert_eq!(axes.len(), catalog::TABLE2.len());
+        for (axis, entry) in axes.iter().zip(catalog::TABLE2.iter()) {
+            assert_eq!(axis.name(), entry.name);
+        }
+    }
+
+    #[test]
+    fn catalog_axis_matches_direct_generation() {
+        let axis = WorkloadAxis::catalog("hm_0").unwrap();
+        let direct = catalog::by_name("hm_0").unwrap().generate(200);
+        assert_eq!(axis.trace(200).events(), direct.events());
+    }
+
+    #[test]
+    fn mix_axis_splits_the_request_budget() {
+        let axis = WorkloadAxis::mix("mix1").unwrap();
+        // mix1 has two constituents: 300 total → 150 each → 300 events.
+        assert_eq!(axis.trace(300).len(), 300);
+        let three = WorkloadAxis::mix("mix2").unwrap();
+        // mix2 has three constituents: 300 → 100 each.
+        assert_eq!(three.trace(300).len(), 300);
+    }
+
+    #[test]
+    fn checked_constructors_reject_unknown_names() {
+        assert!(WorkloadAxis::catalog("nope").is_none());
+        assert!(WorkloadAxis::mix("mix99").is_none());
+    }
+
+    #[test]
+    fn spec_axis_uses_the_spec_name() {
+        let axis = WorkloadAxis::Spec(WorkloadSpec::new("custom", 50.0, 8.0, 20.0));
+        assert_eq!(axis.name(), "custom");
+        assert_eq!(axis.trace(50).len(), 50);
+    }
+}

@@ -12,6 +12,7 @@
 //! * [`mix`] — the six Table 3 mixes (partitioned address space, merged and
 //!   time-compressed to the published intensity),
 //! * [`WorkloadSpec`] — build your own workload,
+//! * [`WorkloadAxis`] — uniform catalog/mix/custom adapter for sweep grids,
 //! * [`Trace`] — the time-ordered request records handed to the simulator.
 //!
 //! # Example
@@ -27,11 +28,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod axis;
 pub mod catalog;
 pub mod mix;
 mod synth;
 mod trace;
 pub mod trace_io;
 
+pub use axis::WorkloadAxis;
 pub use synth::{WorkloadSpec, SECTOR_BYTES};
 pub use trace::{IoOp, Trace, TraceEvent, TraceStats};

@@ -9,8 +9,11 @@
 //! intra-SSD communication fabrics (Baseline shared bus, pSSD, pnSSD, NoSSD,
 //! Venice) plus an ideal path-conflict-free fabric.
 //!
-//! See [`ssd::experiment`](venice_ssd::experiment) for the one-call entry
-//! point used by the figure harnesses.
+//! See [`ssd::ExperimentBuilder`] for the one-call entry point used by
+//! the figure harnesses, and `venice_bench::sweep` (a
+//! dev-dependency of this facade, used by the examples) for design-space
+//! sweep grids over a shared worker pool. `docs/ARCHITECTURE.md` maps the
+//! crates and a request's life through them.
 //!
 //! # Example
 //!
@@ -24,6 +27,8 @@
 //!     .run(&trace);
 //! assert!(metrics.completed_requests > 0);
 //! ```
+
+#![warn(missing_docs)]
 
 pub use venice_ftl as ftl;
 pub use venice_hil as hil;

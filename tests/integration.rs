@@ -150,6 +150,42 @@ fn runs_are_deterministic_across_threads() {
 }
 
 #[test]
+fn sweep_grid_is_bit_identical_across_pool_sizes() {
+    // The sweep engine's determinism contract: the same grid run on a
+    // one-thread pool and a four-thread pool must produce bit-identical
+    // per-point RunMetrics (and therefore identical JSON records and
+    // manifest fingerprints) — pool size may only change wall-clock time.
+    use venice_bench::sweep::{SweepGrid, WorkerPool};
+    use venice_workloads::WorkloadAxis;
+
+    let grid = SweepGrid::new("determinism")
+        .config(SsdConfig::performance_optimized())
+        .workload(WorkloadAxis::catalog("hm_0").expect("catalog"))
+        .workload(WorkloadAxis::catalog("src2_1").expect("catalog"))
+        .workload(WorkloadAxis::mix("mix1").expect("table 3"))
+        .fabrics(&[SystemKind::Baseline, SystemKind::Venice, SystemKind::Ideal])
+        .queue_depths(&[4, 8])
+        .requests(120);
+    let serial = grid.run_on(&WorkerPool::new(1));
+    let pooled = grid.run_on(&WorkerPool::new(4));
+    assert_eq!(serial.records().len(), 18); // 3 workloads × 2 depths × 3 fabrics
+    for (a, b) in serial.records().iter().zip(pooled.records()) {
+        assert_eq!(a.point.id, b.point.id);
+        assert_eq!(a.point.label, b.point.label);
+        assert_eq!(a.metrics, b.metrics, "{}: metrics differ across pool sizes", a.point.label);
+        assert_eq!(
+            a.metrics.to_json(),
+            b.metrics.to_json(),
+            "{}: JSON records differ across pool sizes",
+            a.point.label
+        );
+    }
+    assert_eq!(serial.grid_hash(), pooled.grid_hash());
+    assert_eq!(serial.metrics_fingerprint(), pooled.metrics_fingerprint());
+    assert_eq!(serial.manifest_fingerprint(), pooled.manifest_fingerprint());
+}
+
+#[test]
 fn catalog_sweep_is_deterministic_across_parallelism() {
     // The parallel sweep runner must produce bit-identical RunMetrics
     // whether workloads run on one worker thread or four.
