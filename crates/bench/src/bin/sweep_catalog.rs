@@ -12,18 +12,25 @@
 //! unless overridden), `table2` (the whole catalog × all six systems),
 //! `mixes` (Table 3), `shapes` (4×16 / 8×8 / 16×4 axis), `nand` (z-nand vs
 //! tlc-3d timing axis), `qd` (queue-depth axis), `design` (shape × timing ×
-//! queue-depth cross on a workload subset).
+//! queue-depth cross on a workload subset), `policy` (dispatch-policy
+//! ablation on the congested bursty workload plus two catalog entries).
+//!
+//! Sweeps are *resumable*: when `results/sweep_<grid>/` already holds a
+//! manifest with this grid's exact grid hash, points whose record file
+//! exists are reused instead of re-simulated; `--fresh` forces a full
+//! re-run.
 //!
 //! Flags: `--grid <name>`, `--requests <n>` (default: `VENICE_REQUESTS`,
-//! except `mini` which defaults to 200), `--par <n>` (dedicated pool size;
-//! default: the shared pool), `--systems a,b,c` (override the fabric axis
-//! by label, e.g. `Baseline,Venice`), `--list`.
+//! except `mini`/`policy` which have their own defaults), `--par <n>`
+//! (dedicated pool size; default: the shared pool), `--systems a,b,c`
+//! (override the fabric axis by label, e.g. `Baseline,Venice`),
+//! `--fresh`, `--list`.
 
-use venice_bench::report_grid;
+use venice_bench::report_resumed;
 use venice_bench::sweep::{SweepGrid, WorkerPool};
 use venice_interconnect::FabricKind;
 use venice_nand::NandTiming;
-use venice_ssd::{all_systems, SsdConfig};
+use venice_ssd::{all_systems, DispatchPolicyKind, SsdConfig};
 use venice_workloads::WorkloadAxis;
 
 /// The read-intensity-diverse workload subset used by the multi-axis grids
@@ -77,16 +84,25 @@ fn named_grid(name: &str, requests: Option<usize>) -> Option<SweepGrid> {
             .timings(&[NandTiming::z_nand(), NandTiming::tlc_3d()])
             .queue_depths(&[4, 16])
             .fabrics(&[FabricKind::Baseline, FabricKind::Venice]),
+        "policy" => SweepGrid::new("policy")
+            .workload(WorkloadAxis::congested())
+            .workload(WorkloadAxis::catalog("src2_1").expect("catalog"))
+            .workload(WorkloadAxis::catalog("YCSB_B").expect("catalog"))
+            .policies(&DispatchPolicyKind::ALL)
+            .fabrics(&[FabricKind::Baseline, FabricKind::Venice])
+            .requests(requests.unwrap_or(800)),
         _ => return None,
     };
     let grid = grid.config(SsdConfig::performance_optimized());
     Some(match requests {
-        Some(r) if name != "mini" => grid.requests(r),
+        Some(r) if name != "mini" && name != "policy" => grid.requests(r),
         _ => grid,
     })
 }
 
-const GRID_NAMES: [&str; 7] = ["mini", "table2", "mixes", "shapes", "nand", "qd", "design"];
+const GRID_NAMES: [&str; 8] = [
+    "mini", "table2", "mixes", "shapes", "nand", "qd", "design", "policy",
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -94,6 +110,7 @@ fn main() {
     let mut requests: Option<usize> = None;
     let mut par: Option<usize> = None;
     let mut systems: Option<Vec<FabricKind>> = None;
+    let mut fresh = false;
     let mut i = 0;
     while i < args.len() {
         let flag_value = |i: &mut usize| -> String {
@@ -116,6 +133,7 @@ fn main() {
                 requests = Some(flag_value(&mut i).parse().expect("--requests takes a number"))
             }
             "--par" => par = Some(flag_value(&mut i).parse().expect("--par takes a number")),
+            "--fresh" => fresh = true,
             "--systems" => {
                 systems = Some(
                     flag_value(&mut i)
@@ -137,9 +155,10 @@ fn main() {
     if let Some(systems) = systems {
         grid = grid.replace_fabrics(&systems);
     }
+    let results = venice_bench::results_dir();
     let outcome = match par {
-        Some(par) => grid.run_on(&WorkerPool::new(par)),
-        None => grid.run(),
+        Some(par) => grid.run_resumable(&results, &WorkerPool::new(par), fresh),
+        None => grid.run_resumable(&results, WorkerPool::global(), fresh),
     };
-    report_grid(&outcome);
+    report_resumed(&outcome);
 }

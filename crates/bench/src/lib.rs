@@ -225,50 +225,64 @@ pub fn run_trace(config: &SsdConfig, systems: &[FabricKind], trace: &Trace) -> V
     )
 }
 
-/// Prints a sweep outcome as a per-point markdown table (with speedup over
-/// the Baseline point at the same grid coordinates, when the grid has one),
-/// writes the artifact under [`results_dir`], and prints the summary and
-/// manifest path to stderr — the output side of the `sweep_catalog` CLI.
-pub fn report_grid(outcome: &sweep::SweepOutcome) {
+/// The non-fabric coordinates of a sweep point — the key the report
+/// tables use to find a point's Baseline sibling. Keyed on the workload
+/// axis *index* (not the display name): axis names are user-supplied and
+/// need not be unique.
+fn point_coord(p: &sweep::SweepPoint) -> (&'static str, usize, (u16, u16), String, usize, venice_ssd::DispatchPolicyKind) {
+    (
+        p.config_name,
+        p.workload_idx,
+        p.shape,
+        p.timing_name.clone(),
+        p.queue_depth,
+        p.policy,
+    )
+}
+
+/// Renders `(point, metrics)` rows as the per-point markdown table both
+/// sweep reports share, with speedup over the Baseline row at the same
+/// grid coordinates when one is present.
+fn point_table(rows: &[(&sweep::SweepPoint, &RunMetrics)]) -> venice_ssd::report::Table {
     use venice_ssd::report::{f2, Table};
-    // Baseline lookup by coordinates-without-fabric. Keyed on the workload
-    // axis *index* (not the display name): axis names are user-supplied and
-    // need not be unique.
-    let coord = |p: &sweep::SweepPoint| {
-        (
-            p.config_name,
-            p.workload_idx,
-            p.shape,
-            p.timing_name.clone(),
-            p.queue_depth,
-        )
-    };
-    let baselines: Vec<(_, &RunMetrics)> = outcome
-        .records()
+    let baselines: Vec<(_, &RunMetrics)> = rows
         .iter()
-        .filter(|r| r.point.fabric == FabricKind::Baseline)
-        .map(|r| (coord(&r.point), &r.metrics))
+        .filter(|(p, _)| p.fabric == FabricKind::Baseline)
+        .map(|&(p, m)| (point_coord(p), m))
         .collect();
     let mut t = Table::new(
         ["point", "exec (ms)", "kIOPS", "conflict %", "vs Baseline"]
             .map(String::from)
             .to_vec(),
     );
-    for r in outcome.records() {
+    for &(p, m) in rows {
         let vs_baseline = baselines
             .iter()
-            .find(|(c, _)| *c == coord(&r.point))
-            .map_or_else(|| "-".to_string(), |(_, b)| format!("{}x", f2(r.metrics.speedup_over(b))));
+            .find(|(c, _)| *c == point_coord(p))
+            .map_or_else(|| "-".to_string(), |(_, b)| format!("{}x", f2(m.speedup_over(b))));
         t.row(vec![
-            r.point.label.clone(),
-            format!("{:.3}", r.metrics.execution_time.as_secs_f64() * 1e3),
-            format!("{:.1}", r.metrics.iops() / 1e3),
-            f2(r.metrics.conflict_pct()),
+            p.label.clone(),
+            format!("{:.3}", m.execution_time.as_secs_f64() * 1e3),
+            format!("{:.1}", m.iops() / 1e3),
+            f2(m.conflict_pct()),
             vs_baseline,
         ]);
     }
+    t
+}
+
+/// Prints a sweep outcome as a per-point markdown table (with speedup over
+/// the Baseline point at the same grid coordinates, when the grid has one),
+/// writes the artifact under [`results_dir`], and prints the summary and
+/// manifest path to stderr.
+pub fn report_grid(outcome: &sweep::SweepOutcome) {
+    let rows: Vec<(&sweep::SweepPoint, &RunMetrics)> = outcome
+        .records()
+        .iter()
+        .map(|r| (&r.point, &r.metrics))
+        .collect();
     println!("# Sweep {}: {} points\n", outcome.name(), outcome.records().len());
-    print!("{}", t.to_markdown());
+    print!("{}", point_table(&rows).to_markdown());
     let summary = outcome.summary();
     eprintln!("[venice-bench] {summary}");
     match outcome.write(&results_dir()) {
@@ -276,6 +290,40 @@ pub fn report_grid(outcome: &sweep::SweepOutcome) {
             "[venice-bench] sweep artifact: {} (manifest fingerprint {})",
             dir.join("manifest.json").display(),
             outcome.manifest_fingerprint()
+        ),
+        Err(e) => eprintln!("warning: cannot write sweep artifact: {e}"),
+    }
+}
+
+/// Prints a resumable sweep's outcome — the `sweep_catalog` CLI's default
+/// output path. Reused points are already on disk, so the table covers the
+/// points executed *this* run (with speedup over a same-coordinate Baseline
+/// point when one also ran); the manifest written to [`sweep::ResumedSweep::dir`]
+/// — the directory the sweep resumed from — always indexes all points.
+pub fn report_resumed(outcome: &sweep::ResumedSweep) {
+    let rows: Vec<(&sweep::SweepPoint, &RunMetrics)> = outcome
+        .executed()
+        .iter()
+        .map(|(id, m)| (&outcome.points()[*id], m))
+        .collect();
+    println!(
+        "# Sweep {}: {} points ({} reused, {} executed)\n",
+        outcome.name(),
+        outcome.points().len(),
+        outcome.reused_count(),
+        outcome.executed().len()
+    );
+    if rows.is_empty() {
+        println!("all point records reused; pass --fresh to re-simulate\n");
+    } else {
+        print!("{}", point_table(&rows).to_markdown());
+    }
+    eprintln!("[venice-bench] {}", outcome.summary());
+    match outcome.write() {
+        Ok(dir) => eprintln!(
+            "[venice-bench] sweep artifact: {} (metrics fingerprint {})",
+            dir.join("manifest.json").display(),
+            outcome.metrics_fingerprint()
         ),
         Err(e) => eprintln!("warning: cannot write sweep artifact: {e}"),
     }

@@ -44,7 +44,7 @@ use std::time::Instant;
 use venice_interconnect::FabricKind;
 use venice_nand::NandTiming;
 use venice_ssd::report::json_str;
-use venice_ssd::{run_single, RunMetrics, SsdConfig};
+use venice_ssd::{run_single, DispatchPolicyKind, RunMetrics, SsdConfig};
 use venice_workloads::{Trace, WorkloadAxis};
 
 use crate::{CatalogRow, SweepSummary};
@@ -160,9 +160,10 @@ impl WorkerPool {
 /// Empty axes fall back to the base: no `configs` means the Table 1
 /// performance-optimized preset, no `fabrics` means all six systems, no
 /// `workloads` means the whole Table 2 catalog, and no `shapes` /
-/// `timings` / `queue_depths` means each config's own values. Expansion
-/// order is fixed — configs ▸ workloads ▸ shapes ▸ timings ▸ queue depths
-/// ▸ fabrics (innermost) — so point ids are stable for a given grid.
+/// `timings` / `queue_depths` / `policies` means each config's own values.
+/// Expansion order is fixed — configs ▸ workloads ▸ shapes ▸ timings ▸
+/// queue depths ▸ policies ▸ fabrics (innermost) — so point ids are stable
+/// for a given grid.
 #[derive(Clone, Debug)]
 pub struct SweepGrid {
     name: String,
@@ -172,6 +173,7 @@ pub struct SweepGrid {
     shapes: Vec<(u16, u16)>,
     timings: Vec<NandTiming>,
     queue_depths: Vec<usize>,
+    policies: Vec<DispatchPolicyKind>,
     fabrics: Vec<FabricKind>,
 }
 
@@ -188,6 +190,7 @@ impl SweepGrid {
             shapes: Vec::new(),
             timings: Vec::new(),
             queue_depths: Vec::new(),
+            policies: Vec::new(),
             fabrics: Vec::new(),
         }
     }
@@ -253,6 +256,12 @@ impl SweepGrid {
         self
     }
 
+    /// Extends the dispatch-policy axis.
+    pub fn policies(mut self, policies: &[DispatchPolicyKind]) -> Self {
+        self.policies.extend_from_slice(policies);
+        self
+    }
+
     /// Resolved workload axis (Table 2 catalog when none was set).
     fn effective_workloads(&self) -> Vec<WorkloadAxis> {
         if self.workloads.is_empty() {
@@ -307,40 +316,50 @@ impl SweepGrid {
             } else {
                 self.queue_depths.clone()
             };
+            let policies: Vec<DispatchPolicyKind> = if self.policies.is_empty() {
+                vec![base.dispatch]
+            } else {
+                self.policies.clone()
+            };
             for (workload_idx, workload) in workloads.iter().enumerate() {
                 for &(rows, cols) in &shapes {
                     for &timing in &timings {
                         for &depth in &depths {
-                            for &fabric in &fabrics {
-                                let config = base
-                                    .clone()
-                                    .with_shape(rows, cols)
-                                    .with_timing(timing)
-                                    .with_queue_depth(depth);
-                                let timing_name =
-                                    timing.preset_name().unwrap_or("custom").to_string();
-                                let label = format!(
-                                    "{}/{}/{}x{}/{}/qd{}/{}",
-                                    base.name,
-                                    workload.name(),
-                                    rows,
-                                    cols,
-                                    timing_name,
-                                    depth,
-                                    fabric.label()
-                                );
-                                points.push(SweepPoint {
-                                    id: points.len(),
-                                    label,
-                                    workload_idx,
-                                    workload: workload.name().to_string(),
-                                    config_name: base.name,
-                                    shape: (rows, cols),
-                                    timing_name,
-                                    queue_depth: depth,
-                                    fabric,
-                                    config,
-                                });
+                            for &policy in &policies {
+                                for &fabric in &fabrics {
+                                    let config = base
+                                        .clone()
+                                        .with_shape(rows, cols)
+                                        .with_timing(timing)
+                                        .with_queue_depth(depth)
+                                        .with_dispatch_policy(policy);
+                                    let timing_name =
+                                        timing.preset_name().unwrap_or("custom").to_string();
+                                    let label = format!(
+                                        "{}/{}/{}x{}/{}/qd{}/{}/{}",
+                                        base.name,
+                                        workload.name(),
+                                        rows,
+                                        cols,
+                                        timing_name,
+                                        depth,
+                                        policy.label(),
+                                        fabric.label()
+                                    );
+                                    points.push(SweepPoint {
+                                        id: points.len(),
+                                        label,
+                                        workload_idx,
+                                        workload: workload.name().to_string(),
+                                        config_name: base.name,
+                                        shape: (rows, cols),
+                                        timing_name,
+                                        queue_depth: depth,
+                                        policy,
+                                        fabric,
+                                        config,
+                                    });
+                                }
                             }
                         }
                     }
@@ -402,6 +421,120 @@ impl SweepGrid {
         }
     }
 
+    /// Runs the grid, reusing any point records already on disk from a
+    /// previous run of the *same* grid — the resumable sweep.
+    ///
+    /// A prior artifact at `base_dir/sweep_<name>/` is trusted when its
+    /// `grid.json` stamp byte-equals this grid's definition JSON (name,
+    /// requests, every axis — so any change invalidates reuse; the
+    /// stamp's FNV hash is the manifest's `grid_hash`). Points whose
+    /// record file exists are not re-simulated; only the missing ones run
+    /// on `pool`. `fresh` forces a full re-run regardless (the CLI's
+    /// `--fresh`).
+    ///
+    /// The grid stamp is written *before* any simulation and every
+    /// executed point persists its record (atomically, via a temp-file
+    /// rename) *as it completes*, so a killed sweep resumes from the
+    /// points it finished. When the stamp does not match, stale point
+    /// records are cleared first — records from two different grids can
+    /// never mix. Call [`ResumedSweep::write`] afterwards to (re)write
+    /// the manifest indexing all points; until then, a prior run's
+    /// manifest may lag the stamp.
+    pub fn run_resumable(
+        &self,
+        base_dir: &Path,
+        pool: &WorkerPool,
+        fresh: bool,
+    ) -> ResumedSweep {
+        let start = Instant::now();
+        let points = self.build_points();
+        let grid_json = self.definition_json();
+        let dir = base_dir.join(format!("sweep_{}", self.name));
+        let grid_file = dir.join("grid.json");
+        let resumable = !fresh
+            && std::fs::read_to_string(&grid_file).is_ok_and(|g| g == grid_json);
+        let jsons: Vec<Option<String>> = points
+            .iter()
+            .map(|p| {
+                if !resumable {
+                    return None;
+                }
+                std::fs::read_to_string(dir.join(p.file_name()))
+                    .ok()
+                    // Records are written atomically, so this is belt-and-
+                    // suspenders: only a structurally whole document is
+                    // trusted.
+                    .filter(|s| s.starts_with('{') && s.trim_end().ends_with('}'))
+            })
+            .collect();
+        let reused: Vec<bool> = jsons.iter().map(|j| j.is_some()).collect();
+        if !resumable {
+            // Different grid (or --fresh): clear stale records before
+            // stamping the new definition.
+            let _ = std::fs::remove_dir_all(dir.join("points"));
+        }
+        // Stamp the definition up front (best-effort: an unwritable
+        // results dir degrades to a non-resumable sweep, not a failure).
+        let _ = std::fs::create_dir_all(dir.join("points"));
+        let _ = write_atomic(&grid_file, grid_json.as_bytes());
+        // Generate traces only for workloads some missing point still needs.
+        let workloads = self.effective_workloads();
+        let requests = self.requests;
+        let mut needed = vec![false; workloads.len()];
+        for p in points.iter().filter(|p| !reused[p.id]) {
+            needed[p.workload_idx] = true;
+        }
+        let traces: Vec<Option<Trace>> = pool.run(
+            workloads
+                .iter()
+                .zip(&needed)
+                .map(|(axis, &need)| move || need.then(|| axis.trace(requests)))
+                .collect(),
+        );
+        let missing: Vec<&SweepPoint> = points.iter().filter(|p| !reused[p.id]).collect();
+        let dir_ref = &dir;
+        let results: Vec<(RunMetrics, String)> = pool.run(
+            missing
+                .iter()
+                .map(|point| {
+                    let trace = traces[point.workload_idx]
+                        .as_ref()
+                        .expect("trace generated for missing point");
+                    move || {
+                        let m = run_single(&point.config, point.fabric, trace);
+                        // Persist the record the moment the point finishes,
+                        // so a killed sweep resumes from here (best-effort).
+                        let json = m.to_json();
+                        let _ =
+                            write_atomic(&dir_ref.join(point.file_name()), json.as_bytes());
+                        (m, json)
+                    }
+                })
+                .collect(),
+        );
+        let mut jsons = jsons;
+        let mut executed = Vec::with_capacity(missing.len());
+        for (point, (m, json)) in missing.into_iter().zip(results) {
+            jsons[point.id] = Some(json);
+            executed.push((point.id, m));
+        }
+        ResumedSweep {
+            grid_json,
+            name: self.name.clone(),
+            requests: self.requests,
+            pool_threads: pool.threads(),
+            wall_seconds: start.elapsed().as_secs_f64(),
+            point_jsons: jsons
+                .into_iter()
+                .map(|j| j.expect("every point reused or executed"))
+                .collect(),
+            points,
+            reused,
+            executed,
+            dir,
+        }
+    }
+
     /// The grid definition as one stable JSON object (embedded in the
     /// manifest and hashed into [`SweepOutcome::grid_hash`]).
     pub fn definition_json(&self) -> String {
@@ -438,10 +571,15 @@ impl SweepGrid {
         } else {
             self.queue_depths.iter().map(|d| d.to_string()).collect()
         };
+        let policies: Vec<String> = if self.policies.is_empty() {
+            vec!["base".to_string()]
+        } else {
+            self.policies.iter().map(|p| p.label().to_string()).collect()
+        };
         format!(
             "{{\"name\": {}, \"requests\": {}, \"configs\": {}, \
              \"workloads\": {}, \"shapes\": {}, \"timings\": {}, \
-             \"queue_depths\": {}, \"fabrics\": {}}}",
+             \"queue_depths\": {}, \"policies\": {}, \"fabrics\": {}}}",
             json_str(&self.name),
             self.requests,
             json_str_list(&configs),
@@ -449,6 +587,7 @@ impl SweepGrid {
             json_str_list(&shapes),
             json_str_list(&timings),
             json_str_list(&depths),
+            json_str_list(&policies),
             json_str_list(&fabrics),
         )
     }
@@ -476,6 +615,8 @@ pub struct SweepPoint {
     pub timing_name: String,
     /// Submission-queue depth.
     pub queue_depth: usize,
+    /// Dispatch policy under test.
+    pub policy: DispatchPolicyKind,
     /// The fabric under test.
     pub fabric: FabricKind,
     /// The fully resolved configuration this point simulates.
@@ -594,10 +735,11 @@ impl SweepOutcome {
     /// figure renderers consume.
     ///
     /// A row is one full non-fabric coordinate — (config, workload, shape,
-    /// timing, queue depth) — so metrics from different configurations are
-    /// never merged into one row: on a grid where `filter` leaves several
-    /// configs/shapes/timings/depths, the same workload name simply appears
-    /// once per coordinate. Within a row, metrics are in fabric-axis order.
+    /// timing, queue depth, policy) — so metrics from different
+    /// configurations are never merged into one row: on a grid where
+    /// `filter` leaves several configs/shapes/timings/depths/policies, the
+    /// same workload name simply appears once per coordinate. Within a
+    /// row, metrics are in fabric-axis order.
     pub fn rows_by_workload(
         &self,
         filter: impl Fn(&SweepPoint) -> bool,
@@ -609,6 +751,7 @@ impl SweepOutcome {
                 p.shape,
                 p.timing_name.clone(),
                 p.queue_depth,
+                p.policy,
             )
         };
         let mut rows: Vec<CatalogRow> = Vec::new();
@@ -637,42 +780,15 @@ impl SweepOutcome {
     /// revision, environment knobs, pool/wall-clock info, fingerprints,
     /// and the per-point index with headline numbers for quick diffing.
     pub fn manifest_json(&self) -> String {
-        let mut points = String::from("[\n");
-        for (i, r) in self.records.iter().enumerate() {
-            points.push_str(&format!(
-                "    {{\"id\": {}, \"label\": {}, \"file\": {}, \
-                 \"execution_time_ns\": {}, \"events\": {}}}{}\n",
-                r.point.id,
-                json_str(&r.point.label),
-                json_str(&r.point.file_name()),
-                r.metrics.execution_time.as_nanos(),
-                r.metrics.events,
-                if i + 1 == self.records.len() { "" } else { "," }
-            ));
-        }
-        points.push_str("  ]");
-        format!(
-            "{{\n  \"name\": {},\n  \"engine\": \"venice_bench::sweep\",\n  \
-             \"git\": {},\n  \"requests\": {},\n  \"points_total\": {},\n  \
-             \"pool_threads\": {},\n  \"wall_seconds\": {},\n  \
-             \"env\": {{\"VENICE_REQUESTS\": {}, \"VENICE_PAR\": {}, \
-             \"VENICE_RESULTS_DIR\": {}}},\n  \"grid\": {},\n  \
-             \"grid_hash\": {},\n  \"metrics_fingerprint\": {},\n  \
-             \"manifest_fingerprint\": {},\n  \"points\": {}\n}}\n",
-            json_str(&self.name),
-            json_str(&git_describe()),
+        let points: Vec<SweepPoint> = self.records.iter().map(|r| r.point.clone()).collect();
+        manifest_json_for(
+            &self.name,
+            &self.grid_json,
             self.requests,
-            self.records.len(),
             self.pool_threads,
             self.wall_seconds,
-            json_env("VENICE_REQUESTS"),
-            json_env("VENICE_PAR"),
-            json_env("VENICE_RESULTS_DIR"),
-            self.grid_json,
-            json_str(&self.grid_hash()),
-            json_str(&self.metrics_fingerprint()),
-            json_str(&self.manifest_fingerprint()),
-            points,
+            &points,
+            &self.point_jsons,
         )
     }
 
@@ -694,6 +810,154 @@ impl SweepOutcome {
     }
 }
 
+/// The result of a resumable sweep ([`SweepGrid::run_resumable`]): every
+/// point's stable JSON record in id order — reused from disk or freshly
+/// simulated — plus the metrics of the points that actually ran.
+#[derive(Clone, Debug)]
+pub struct ResumedSweep {
+    grid_json: String,
+    name: String,
+    requests: usize,
+    pool_threads: usize,
+    wall_seconds: f64,
+    points: Vec<SweepPoint>,
+    /// One stable-JSON record per point, in point-id order.
+    point_jsons: Vec<String>,
+    /// Whether each point's record was reused from a prior artifact.
+    reused: Vec<bool>,
+    /// `(point id, metrics)` of the points executed this run, in id order.
+    executed: Vec<(usize, RunMetrics)>,
+    /// The sweep artifact directory this run resumed from and persists to.
+    dir: PathBuf,
+}
+
+impl ResumedSweep {
+    /// The grid's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Every grid point, in id order.
+    pub fn points(&self) -> &[SweepPoint] {
+        &self.points
+    }
+
+    /// The per-point stable-JSON records, in id order.
+    pub fn point_jsons(&self) -> &[String] {
+        &self.point_jsons
+    }
+
+    /// How many point records were reused from the prior artifact.
+    pub fn reused_count(&self) -> usize {
+        self.reused.iter().filter(|&&r| r).count()
+    }
+
+    /// Whether point `id`'s record was reused.
+    pub fn point_reused(&self, id: usize) -> bool {
+        self.reused[id]
+    }
+
+    /// The points executed this run, with their metrics, in id order.
+    pub fn executed(&self) -> &[(usize, RunMetrics)] {
+        &self.executed
+    }
+
+    /// Wall-clock seconds this (partial) run took.
+    pub fn wall_seconds(&self) -> f64 {
+        self.wall_seconds
+    }
+
+    /// FNV-1a hash of the grid definition JSON (same as
+    /// [`SweepOutcome::grid_hash`] for the same grid).
+    pub fn grid_hash(&self) -> String {
+        format!("{:016x}", fnv1a(self.grid_json.as_bytes(), FNV_OFFSET))
+    }
+
+    /// FNV-1a hash chained over every point record in id order. A resumed
+    /// run of a deterministic grid produces the same fingerprint as the
+    /// uninterrupted run it is completing.
+    pub fn metrics_fingerprint(&self) -> String {
+        let h = self
+            .point_jsons
+            .iter()
+            .fold(FNV_OFFSET, |h, j| fnv1a(j.as_bytes(), h));
+        format!("{h:016x}")
+    }
+
+    /// Total simulator events across all points (parsed back out of the
+    /// stable records, so reused points count too).
+    pub fn events(&self) -> u64 {
+        self.point_jsons
+            .iter()
+            .map(|j| json_u64_field(j, "events"))
+            .sum()
+    }
+
+    /// The manifest document (same schema as [`SweepOutcome::manifest_json`]).
+    pub fn manifest_json(&self) -> String {
+        manifest_json_for(
+            &self.name,
+            &self.grid_json,
+            self.requests,
+            self.pool_threads,
+            self.wall_seconds,
+            &self.points,
+            &self.point_jsons,
+        )
+    }
+
+    /// The sweep artifact directory (`<base_dir>/sweep_<name>`) this run
+    /// resumed from; executed point records were already persisted there
+    /// as they completed.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Completes the on-disk artifact in [`ResumedSweep::dir`]: re-writes
+    /// every point record (executed ones were already persisted as they
+    /// completed; this repairs any that a full disk dropped) and the full
+    /// manifest indexing all points. Returns the sweep directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from directory creation or file writes.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(self.dir.join("points"))?;
+        for (p, json) in self.points.iter().zip(&self.point_jsons) {
+            let path = self.dir.join(p.file_name());
+            if !self.reused[p.id] || !path.is_file() {
+                write_atomic(&path, json.as_bytes())?;
+            }
+        }
+        write_atomic(&self.dir.join("manifest.json"), self.manifest_json().as_bytes())?;
+        Ok(self.dir.clone())
+    }
+
+    /// The sweep's throughput summary (reused points contribute their
+    /// recorded events but no fresh wall-clock work).
+    pub fn summary(&self) -> crate::SweepSummary {
+        let mut systems: Vec<FabricKind> = Vec::new();
+        for p in &self.points {
+            if !systems.contains(&p.fabric) {
+                systems.push(p.fabric);
+            }
+        }
+        crate::SweepSummary {
+            workloads: self
+                .points
+                .iter()
+                .map(|p| p.workload_idx)
+                .max()
+                .map_or(0, |m| m + 1),
+            systems: systems.len(),
+            points: self.points.len(),
+            par: self.pool_threads,
+            wall_seconds: self.wall_seconds,
+            events: self.events(),
+        }
+    }
+}
+
 /// FNV-1a 64-bit offset basis.
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
@@ -703,6 +967,95 @@ fn fnv1a(bytes: &[u8], seed: u64) -> u64 {
     bytes.iter().fold(seed, |h, &b| {
         (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
     })
+}
+
+/// Writes `bytes` to `path` atomically: a temp file in the same directory
+/// is renamed over the target, so readers (and a resumed sweep) never see
+/// a torn or truncated record.
+fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Extracts the unsigned integer value of a `"key": <digits>` field from
+/// one of the engine's stable-JSON documents (zero when absent — the
+/// engine's own records always carry the fields this module asks for).
+fn json_u64_field(json: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\": ");
+    json.find(&needle)
+        .map(|at| {
+            json[at + needle.len()..]
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .fold(0u64, |n, c| n * 10 + u64::from(c as u8 - b'0'))
+        })
+        .unwrap_or(0)
+}
+
+/// The manifest document shared by [`SweepOutcome`] and [`ResumedSweep`]:
+/// headline per-point numbers are read back out of the stable point JSON,
+/// so a reused record and a fresh one index identically.
+fn manifest_json_for(
+    name: &str,
+    grid_json: &str,
+    requests: usize,
+    pool_threads: usize,
+    wall_seconds: f64,
+    points: &[SweepPoint],
+    point_jsons: &[String],
+) -> String {
+    let mut index = String::from("[\n");
+    for (i, (p, json)) in points.iter().zip(point_jsons).enumerate() {
+        index.push_str(&format!(
+            "    {{\"id\": {}, \"label\": {}, \"file\": {}, \
+             \"execution_time_ns\": {}, \"events\": {}}}{}\n",
+            p.id,
+            json_str(&p.label),
+            json_str(&p.file_name()),
+            json_u64_field(json, "execution_time_ns"),
+            json_u64_field(json, "events"),
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    index.push_str("  ]");
+    let grid_hash = format!("{:016x}", fnv1a(grid_json.as_bytes(), FNV_OFFSET));
+    let metrics_fp = format!(
+        "{:016x}",
+        point_jsons
+            .iter()
+            .fold(FNV_OFFSET, |h, j| fnv1a(j.as_bytes(), h))
+    );
+    let manifest_fp = format!(
+        "{:016x}",
+        point_jsons.iter().fold(
+            fnv1a(grid_json.as_bytes(), FNV_OFFSET),
+            |h, j| fnv1a(j.as_bytes(), h)
+        )
+    );
+    format!(
+        "{{\n  \"name\": {},\n  \"engine\": \"venice_bench::sweep\",\n  \
+         \"git\": {},\n  \"requests\": {},\n  \"points_total\": {},\n  \
+         \"pool_threads\": {},\n  \"wall_seconds\": {},\n  \
+         \"env\": {{\"VENICE_REQUESTS\": {}, \"VENICE_PAR\": {}, \
+         \"VENICE_RESULTS_DIR\": {}}},\n  \"grid\": {},\n  \
+         \"grid_hash\": {},\n  \"metrics_fingerprint\": {},\n  \
+         \"manifest_fingerprint\": {},\n  \"points\": {}\n}}\n",
+        json_str(name),
+        json_str(&git_describe()),
+        requests,
+        points.len(),
+        pool_threads,
+        wall_seconds,
+        json_env("VENICE_REQUESTS"),
+        json_env("VENICE_PAR"),
+        json_env("VENICE_RESULTS_DIR"),
+        grid_json,
+        json_str(&grid_hash),
+        json_str(&metrics_fp),
+        json_str(&manifest_fp),
+        index,
+    )
 }
 
 /// JSON array of string literals.
@@ -805,6 +1158,38 @@ mod tests {
         assert_eq!(last.queue_depth, 16);
         assert_eq!(last.config.hil.queue_depth, 16);
         assert_eq!(last.config.fabric.rows, 8);
+    }
+
+    #[test]
+    fn policy_axis_expands_and_round_trips_through_the_manifest() {
+        let grid = SweepGrid::new("policy-axis")
+            .workload(WorkloadAxis::catalog("hm_0").expect("catalog"))
+            .policies(&DispatchPolicyKind::ALL)
+            .fabrics(&[FabricKind::Venice])
+            .requests(50);
+        let points = grid.build_points();
+        assert_eq!(points.len(), 3);
+        for (p, kind) in points.iter().zip(DispatchPolicyKind::ALL) {
+            assert_eq!(p.policy, kind);
+            assert_eq!(p.config.dispatch, kind, "policy must reach the config");
+            assert!(p.label.contains(kind.label()), "label {}", p.label);
+            // Round-trip: every label the manifest stores resolves back to
+            // the same axis value.
+            assert_eq!(DispatchPolicyKind::by_label(kind.label()), Some(kind));
+        }
+        let def = grid.definition_json();
+        assert!(
+            def.contains(
+                "\"policies\": [\"retry-all\", \"conflict-backoff\", \"round-robin-quota\"]"
+            ),
+            "definition must carry the policy axis: {def}"
+        );
+        // An unset axis serializes as the base marker, like the other axes.
+        let plain = SweepGrid::new("no-policy")
+            .workload(WorkloadAxis::catalog("hm_0").expect("catalog"))
+            .requests(50);
+        assert!(plain.definition_json().contains("\"policies\": [\"base\"]"));
+        assert_eq!(plain.build_points()[0].policy, DispatchPolicyKind::RetryAll);
     }
 
     #[test]

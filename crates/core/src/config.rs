@@ -6,6 +6,8 @@ use venice_interconnect::FabricParams;
 use venice_nand::{ChipGeometry, NandTiming, OpEnergy};
 use venice_sim::SimDuration;
 
+use crate::DispatchPolicyKind;
+
 /// Static (load-independent) power draw of the SSD, used by the Figure 14
 /// energy model: controller, DRAM, and per-chip standby power.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -54,6 +56,10 @@ pub struct SsdConfig {
     pub ftl_latency: SimDuration,
     /// Static power model.
     pub static_power: StaticPower,
+    /// Dispatch policy of the transaction dispatcher (a sweep-engine axis;
+    /// [`DispatchPolicyKind::RetryAll`] reproduces the pre-policy engine
+    /// bit-for-bit).
+    pub dispatch: DispatchPolicyKind,
 }
 
 impl SsdConfig {
@@ -83,6 +89,7 @@ impl SsdConfig {
             command_bytes: 8,
             ftl_latency: SimDuration::from_nanos(250),
             static_power: StaticPower::default(),
+            dispatch: DispatchPolicyKind::RetryAll,
         }
     }
 
@@ -107,6 +114,7 @@ impl SsdConfig {
             command_bytes: 8,
             ftl_latency: SimDuration::from_nanos(250),
             static_power: StaticPower::default(),
+            dispatch: DispatchPolicyKind::RetryAll,
         }
     }
 
@@ -148,6 +156,14 @@ impl SsdConfig {
         self
     }
 
+    /// Overrides the dispatch policy (a sweep-engine policy axis). Only
+    /// the dispatcher's retry strategy changes; conflict accounting and
+    /// every other model parameter keep the preset's semantics.
+    pub fn with_dispatch_policy(mut self, policy: DispatchPolicyKind) -> Self {
+        self.dispatch = policy;
+        self
+    }
+
     /// Scales the per-plane block count so that the physical capacity is
     /// `footprint_bytes / utilization`, rounding up to whole blocks per
     /// plane. This keeps over-provisioning pressure constant across
@@ -171,6 +187,18 @@ impl SsdConfig {
     /// Bytes per physical page.
     pub fn page_bytes(&self) -> u64 {
         u64::from(self.array.chip.page_size)
+    }
+
+    /// Event-calendar bucket width (ns) auto-tuned to this configuration's
+    /// NAND timing: the smallest power of two such that the wheel's
+    /// horizon (`WHEEL_BUCKETS × width`) covers two program latencies, so
+    /// the dominant long-horizon events (tPROG completions) stay in the
+    /// O(1) wheel instead of the overflow heap. Floored at 256 ns — the
+    /// PR 1 constant — so short-timing configs are unchanged.
+    pub fn wheel_bucket_ns(&self) -> u64 {
+        let horizon_needed = self.timing.t_prog.as_nanos().saturating_mul(2).max(1);
+        let width = horizon_needed.div_ceil(venice_sim::WHEEL_BUCKETS as u64);
+        width.next_power_of_two().max(256)
     }
 
     /// Consistency checks (chip count must equal the mesh node count).
@@ -226,9 +254,16 @@ mod tests {
     fn axis_overrides_apply() {
         let cfg = SsdConfig::performance_optimized()
             .with_timing(NandTiming::tlc_3d())
-            .with_queue_depth(32);
+            .with_queue_depth(32)
+            .with_dispatch_policy(DispatchPolicyKind::ConflictBackoff);
         assert_eq!(cfg.timing, NandTiming::tlc_3d());
         assert_eq!(cfg.hil.queue_depth, 32);
+        assert_eq!(cfg.dispatch, DispatchPolicyKind::ConflictBackoff);
+        // The default is the pre-policy engine's behavior.
+        assert_eq!(
+            SsdConfig::performance_optimized().dispatch,
+            DispatchPolicyKind::RetryAll
+        );
         // Energy and geometry keep the preset's values.
         assert_eq!(cfg.energy, OpEnergy::z_nand());
         assert_eq!(cfg.array.chip.page_size, 4 * 1024);
@@ -251,5 +286,17 @@ mod tests {
         let cfg = SsdConfig::performance_optimized();
         assert_eq!(cfg.logical_pages_for(4096), 1);
         assert_eq!(cfg.logical_pages_for(4097), 2);
+    }
+
+    #[test]
+    fn wheel_bucket_tracks_nand_timing() {
+        // z-nand: 2 × 100 µs over 512 buckets → 391 ns → 512 ns buckets.
+        assert_eq!(SsdConfig::performance_optimized().wheel_bucket_ns(), 512);
+        // tlc-3d: 2 × 650 µs over 512 buckets → 2539 ns → 4096 ns buckets.
+        assert_eq!(SsdConfig::cost_optimized().wheel_bucket_ns(), 4096);
+        // Very fast flash floors at the PR 1 constant.
+        let mut fast = SsdConfig::performance_optimized();
+        fast.timing.t_prog = SimDuration::from_nanos(100);
+        assert_eq!(fast.wheel_bucket_ns(), 256);
     }
 }

@@ -10,6 +10,8 @@
 //!   sizing knobs,
 //! * [`SsdSim`] — the event-driven SSD model (request lifecycle per the
 //!   paper's Figure 3),
+//! * [`DispatchPolicyKind`] — pluggable dispatcher retry strategies
+//!   (retry-all, conflict-aware backoff, round-robin attempt quota),
 //! * [`ExperimentBuilder`] / [`run_systems`] — run workloads across the six
 //!   systems (Baseline, pSSD, pnSSD, NoSSD, Venice, Ideal),
 //! * [`RunMetrics`] — execution time, IOPS, tail latency, conflict rate,
@@ -38,12 +40,16 @@
 #![warn(missing_docs)]
 
 mod config;
+mod dispatch;
 mod experiment;
 mod metrics;
 pub mod report;
 mod ssd;
 
 pub use config::{SsdConfig, StaticPower};
+pub use dispatch::{
+    DispatchPolicyKind, DispatchStats, ATTEMPT_QUOTA, BACKOFF_MAX_ROUNDS, STARVATION_NS,
+};
 pub use experiment::{
     all_systems, enter_shared_pool, run_single, run_systems, shared_pool_active,
     ExperimentBuilder, SharedPoolGuard, SystemKind,

@@ -6,7 +6,9 @@ use venice_interconnect::FabricStats;
 use venice_sim::stats::LatencySamples;
 use venice_sim::{SimDuration, SimTime};
 
+use crate::dispatch::DispatchStats;
 use crate::report::{json_f64, json_str};
+use crate::DispatchPolicyKind;
 
 /// Metrics of one simulated run (one workload × one system × one config).
 ///
@@ -21,6 +23,8 @@ pub struct RunMetrics {
     pub workload: String,
     /// Configuration name.
     pub config: &'static str,
+    /// Dispatch policy the run used.
+    pub policy: DispatchPolicyKind,
     /// Requests completed.
     pub completed_requests: u64,
     /// Overall execution time: first arrival to last completion (the paper's
@@ -40,6 +44,8 @@ pub struct RunMetrics {
     pub ftl: FtlStats,
     /// Host-interface statistics.
     pub hil: HilStats,
+    /// Dispatcher statistics (rounds, attempts, policy skips, failed walks).
+    pub dispatch: DispatchStats,
     /// Total flash transactions executed.
     pub transactions: u64,
     /// Total simulator events scheduled on the calendar. A finished run
@@ -117,8 +123,10 @@ impl RunMetrics {
         let fb = &self.fabric;
         let ftl = &self.ftl;
         let hil = &self.hil;
+        let dsp = &self.dispatch;
         format!(
             "{{\n  \"system\": {},\n  \"workload\": {},\n  \"config\": {},\n  \
+             \"policy\": {},\n  \
              \"completed_requests\": {},\n  \"execution_time_ns\": {},\n  \
              \"iops\": {},\n  \"latency\": {{\"samples\": {}, \"mean_ns\": {}, \
              \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}},\n  \
@@ -134,10 +142,13 @@ impl RunMetrics {
              \"write_amplification\": {}}},\n  \
              \"hil\": {{\"submitted\": {}, \"backpressured\": {}, \
              \"fetched\": {}, \"completed\": {}}},\n  \
+             \"dispatch\": {{\"rounds\": {}, \"attempts\": {}, \
+             \"skipped_backoff\": {}, \"failed_walks\": {}}},\n  \
              \"transactions\": {},\n  \"events\": {},\n  \"end_time_ns\": {}\n}}\n",
             json_str(self.system.label()),
             json_str(&self.workload),
             json_str(self.config),
+            json_str(self.policy.label()),
             self.completed_requests,
             self.execution_time.as_nanos(),
             json_f64(self.iops()),
@@ -173,6 +184,10 @@ impl RunMetrics {
             hil.backpressured,
             hil.fetched,
             hil.completed,
+            dsp.rounds,
+            dsp.attempts,
+            dsp.skipped_backoff,
+            dsp.failed_walks,
             self.transactions,
             self.events,
             self.end_time.as_nanos(),
@@ -194,6 +209,7 @@ mod tests {
             system: FabricKind::Baseline,
             workload: "t".into(),
             config: "test",
+            policy: DispatchPolicyKind::RetryAll,
             completed_requests: requests,
             execution_time: SimDuration::from_micros(exec_us),
             latencies,
@@ -203,6 +219,7 @@ mod tests {
             fabric: FabricStats::default(),
             ftl: FtlStats::default(),
             hil: HilStats::default(),
+            dispatch: DispatchStats::default(),
             transactions: requests,
             events: requests * 4,
             end_time: SimTime::from_micros(exec_us),
@@ -246,9 +263,11 @@ mod tests {
         for needle in [
             "\"system\": \"Baseline\"",
             "\"workload\": \"t\"",
+            "\"policy\": \"retry-all\"",
             "\"completed_requests\": 100",
             "\"execution_time_ns\": 1000000",
             "\"p99_ns\": 99000",
+            "\"dispatch\": {\"rounds\": 0",
             "\"events\": 400",
         ] {
             assert!(a.contains(needle), "missing {needle} in {a}");

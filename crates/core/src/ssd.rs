@@ -12,7 +12,11 @@
 //!
 //! The communication fabric is pluggable ([`FabricKind`]); everything else
 //! is identical across systems, so execution-time ratios isolate the fabric
-//! — the paper's experimental design.
+//! — the paper's experimental design. The dispatcher's retry strategy is
+//! pluggable too ([`crate::DispatchPolicyKind`], see `crate::dispatch`):
+//! each dispatch round consults the policy before issuing an acquisition
+//! attempt, and a round that only suppressed work schedules its own probe
+//! so deferred chips can never strand.
 //!
 //! # Hot-path storage
 //!
@@ -36,9 +40,10 @@ use venice_hil::{HostInterface, HostRequest};
 use venice_interconnect::{build_fabric, AcquireError, Fabric, FabricKind, NodeId, PathGrant};
 use venice_nand::{ChipId, FlashChip, NandCommandKind, PageAddr, PhysicalPageAddr};
 use venice_sim::stats::LatencySamples;
-use venice_sim::{EventQueue, SimTime};
+use venice_sim::{EventQueue, SimDuration, SimTime};
 use venice_workloads::{IoOp, Trace};
 
+use crate::dispatch::PolicyState;
 use crate::{RunMetrics, SsdConfig};
 
 /// Simulator events.
@@ -71,6 +76,11 @@ enum Phase {
 
 /// Sentinel for "transaction does not belong to a migration".
 const NO_MIGRATION: usize = usize::MAX;
+
+/// Delay before a policy-forced dispatch probe (see
+/// [`SsdSim::on_dispatch`]): one wheel-bucket-sized breather, long enough
+/// to advance the clock, short next to any array operation.
+const POLICY_PROBE_DELAY: SimDuration = SimDuration::from_nanos(256);
 
 /// One slab slot of per-transaction state. The slot index *is* the
 /// transaction id; slots are recycled through a free list when the
@@ -202,6 +212,8 @@ pub struct SsdSim {
     erases_since_wear_check: u32,
     dispatch_pending: bool,
     dispatch_cursor: usize,
+    /// The dispatch policy's per-chip state (see `crate::dispatch`).
+    policy: PolicyState,
 
     /// Reusable scratch: busy-chip list for dispatch rounds.
     busy_scratch: Vec<u16>,
@@ -266,7 +278,10 @@ impl SsdSim {
             cmt: MappingCache::covering(logical_pages, entries_per_tp),
             tsu: TransactionScheduler::new(chip_count),
             hil: HostInterface::new(config.hil),
-            queue: EventQueue::new(),
+            // Bucket width auto-tuned so tPROG completions stay in the
+            // wheel tier (ROADMAP perf follow-up (b)); pop order is
+            // width-independent.
+            queue: EventQueue::with_bucket_ns(config.wheel_bucket_ns()),
             requests: vec![ReqState::default(); trace.len()],
             stalled_arrival: None,
             txns: Vec::new(),
@@ -287,6 +302,7 @@ impl SsdSim {
             erases_since_wear_check: 0,
             dispatch_pending: false,
             dispatch_cursor: 0,
+            policy: PolicyState::new(config.dispatch, chip_count),
             busy_scratch: Vec::new(),
             mig_buffered: Vec::new(),
             mig_flash: Vec::new(),
@@ -599,7 +615,7 @@ impl SsdSim {
             let key = self.block_key(target);
             self.block_users[key] += 1;
         }
-        self.tsu.enqueue(txn);
+        self.tsu.enqueue(txn, now);
         self.schedule_dispatch(now);
         id
     }
@@ -639,6 +655,7 @@ impl SsdSim {
 
     fn on_dispatch(&mut self, now: SimTime) {
         self.dispatch_pending = false;
+        self.policy.begin_round();
         // Two passes implement the paper's controller-affinity policy: first
         // serve chips whose *home-row* controller is free (short, row-local
         // circuits), then let remaining work reach over to distant
@@ -654,6 +671,17 @@ impl SsdSim {
             }
         }
         self.dispatch_cursor = self.dispatch_cursor.wrapping_add(1);
+        if self.policy.round_needs_probe() {
+            // Every attempt this round was suppressed and nothing was
+            // dispatched: no in-flight completion is guaranteed to wake the
+            // dispatcher, so schedule a probe round ourselves. Rounds are
+            // what backoff counts in, so the deferred chips become eligible
+            // again after a bounded number of probes.
+            debug_assert!(!self.dispatch_pending);
+            self.dispatch_pending = true;
+            self.queue
+                .schedule(now + POLICY_PROBE_DELAY, Event::Dispatch);
+        }
     }
 
     /// Pending read-data bursts (they hold their die's page register, so
@@ -667,8 +695,15 @@ impl SsdSim {
                 continue;
             }
             while let Some(&txn_id) = self.data_pending[c].front() {
+                // Data bursts hold their die's page register, so the TSU
+                // queue age does not apply; pass zero (no starvation
+                // override — the backoff bound alone caps the deferral).
+                if !self.policy.try_attempt(c as u16, 0) {
+                    break;
+                }
                 match self.fabric.try_acquire(NodeId(c as u16)) {
                     Ok(grant) => {
+                        self.policy.note_success(c as u16);
                         self.data_pending[c].pop_front();
                         let bytes = self.config.page_bytes();
                         let d = self.fabric.transfer(&grant, bytes);
@@ -678,6 +713,7 @@ impl SsdSim {
                         self.queue.schedule(now + d, Event::DataSent(txn_id));
                     }
                     Err(e) => {
+                        self.policy.note_failure(c as u16, &e);
                         let req = self.slot(txn_id).txn.request;
                         self.note_acquire_failure(txn_id, req, e);
                         if e == AcquireError::NoFreeController {
@@ -706,14 +742,19 @@ impl SsdSim {
                 if home_only && !self.fabric.home_controller_free(NodeId(c)) {
                     continue;
                 }
+                let queue_age = self.tsu.queue_age_ns(c, now);
                 while let Some(txn) = self.tsu.peek(c) {
                     let die = self.die_key(txn.target);
                     let (txn_kind, txn_id, txn_req) = (txn.kind, txn.id, txn.request);
                     if self.die_busy[die] {
                         break; // die occupied: nothing on this chip can start
                     }
+                    if !self.policy.try_attempt(c, queue_age) {
+                        break;
+                    }
                     match self.fabric.try_acquire(NodeId(c)) {
                         Ok(grant) => {
+                            self.policy.note_success(c);
                             let txn = self.tsu.pop(c).expect("peeked");
                             debug_assert_eq!(txn.id, txn_id);
                             self.die_busy[die] = true;
@@ -731,6 +772,7 @@ impl SsdSim {
                             self.queue.schedule(now + d, Event::CommandSent(txn_id));
                         }
                         Err(e) => {
+                            self.policy.note_failure(c, &e);
                             self.note_acquire_failure(txn_id, txn_req, e);
                             if e == AcquireError::NoFreeController {
                                 break 'out true;
@@ -1035,6 +1077,7 @@ impl SsdSim {
             system: self.kind,
             workload: self.trace.name().to_string(),
             config: self.config.name,
+            policy: self.policy.kind(),
             completed_requests: self.completed,
             execution_time: exec,
             latencies: self.latencies,
@@ -1044,6 +1087,7 @@ impl SsdSim {
             fabric: fabric_stats,
             ftl: self.ftl.stats(),
             hil: self.hil.stats(),
+            dispatch: self.policy.stats(),
             transactions: self.spawned_txns,
             events: self.queue.scheduled_total(),
             end_time: self.last_completion,

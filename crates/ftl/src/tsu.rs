@@ -5,19 +5,33 @@
 //! conflicts hurt reads the most). Writes and erases to the same plane must
 //! additionally issue in FIFO order to respect NAND program-order rules, so
 //! only the *head* write of a chip's write queue is eligible for dispatch.
+//!
+//! Every queued transaction carries its enqueue timestamp, and the TSU
+//! exposes the age of each chip's oldest entry
+//! ([`TransactionScheduler::oldest_enqueue`]) so dispatch policies can
+//! prioritize starving chips instead of treating all queued work alike.
 
 use std::collections::VecDeque;
+
+use venice_sim::SimTime;
 
 use crate::Transaction;
 #[cfg(test)]
 use crate::TxnKind;
 
+/// One queued transaction plus the time it entered the TSU.
+#[derive(Clone, Copy, Debug)]
+struct Queued {
+    txn: Transaction,
+    at: SimTime,
+}
+
 /// Per-chip transaction queues with read priority.
 #[derive(Clone, Debug)]
 pub struct ChipQueues {
-    reads: VecDeque<Transaction>,
-    writes: VecDeque<Transaction>,
-    erases: VecDeque<Transaction>,
+    reads: VecDeque<Queued>,
+    writes: VecDeque<Queued>,
+    erases: VecDeque<Queued>,
 }
 
 impl ChipQueues {
@@ -32,6 +46,16 @@ impl ChipQueues {
     fn len(&self) -> usize {
         self.reads.len() + self.writes.len() + self.erases.len()
     }
+
+    /// Earliest enqueue time across the three class queues. Fronts are the
+    /// oldest entry of each class, so the minimum over fronts is the oldest
+    /// entry on the chip.
+    fn oldest(&self) -> Option<SimTime> {
+        [&self.reads, &self.writes, &self.erases]
+            .into_iter()
+            .filter_map(|q| q.front().map(|e| e.at))
+            .min()
+    }
 }
 
 /// The transaction scheduling unit over all chips.
@@ -41,13 +65,15 @@ impl ChipQueues {
 /// ```
 /// use venice_ftl::{Transaction, TransactionScheduler, TxnId, TxnKind};
 /// use venice_nand::{ChipId, PageAddr, PhysicalPageAddr};
+/// use venice_sim::SimTime;
 ///
 /// let mut tsu = TransactionScheduler::new(4);
 /// let target = PhysicalPageAddr { chip: ChipId(2), addr: PageAddr::default() };
 /// tsu.enqueue(Transaction {
 ///     id: TxnId(1), kind: TxnKind::UserRead, target, lpa: Some(0), request: None,
-/// });
+/// }, SimTime::from_nanos(7));
 /// assert_eq!(tsu.pending(), 1);
+/// assert_eq!(tsu.oldest_enqueue(2), Some(SimTime::from_nanos(7)));
 /// let next = tsu.peek(2).unwrap();
 /// assert_eq!(next.id, TxnId(1));
 /// tsu.pop(2);
@@ -88,15 +114,17 @@ impl TransactionScheduler {
         self.pending == 0
     }
 
-    /// Enqueues a transaction on its target chip's class queue.
-    pub fn enqueue(&mut self, txn: Transaction) {
+    /// Enqueues a transaction on its target chip's class queue, stamped
+    /// with the current simulation time `now`.
+    pub fn enqueue(&mut self, txn: Transaction, now: SimTime) {
         let q = &mut self.chips[usize::from(txn.target.chip.0)];
+        let e = Queued { txn, at: now };
         if txn.kind.is_read() {
-            q.reads.push_back(txn);
+            q.reads.push_back(e);
         } else if txn.kind.is_write() {
-            q.writes.push_back(txn);
+            q.writes.push_back(e);
         } else {
-            q.erases.push_back(txn);
+            q.erases.push_back(e);
         }
         self.pending += 1;
     }
@@ -109,6 +137,7 @@ impl TransactionScheduler {
             .front()
             .or_else(|| q.writes.front())
             .or_else(|| q.erases.front())
+            .map(|e| &e.txn)
     }
 
     /// Removes and returns what [`TransactionScheduler::peek`] returned.
@@ -122,7 +151,21 @@ impl TransactionScheduler {
         if t.is_some() {
             self.pending -= 1;
         }
-        t
+        t.map(|e| e.txn)
+    }
+
+    /// Enqueue time of the oldest transaction queued on `chip`, if any —
+    /// the chip's *queue age* anchor. Dispatch policies compare this
+    /// against the current time to find starving chips.
+    pub fn oldest_enqueue(&self, chip: u16) -> Option<SimTime> {
+        self.chips[usize::from(chip)].oldest()
+    }
+
+    /// Age in nanoseconds of `chip`'s oldest queued transaction at `now`
+    /// (zero for an empty chip queue).
+    pub fn queue_age_ns(&self, chip: u16, now: SimTime) -> u64 {
+        self.oldest_enqueue(chip)
+            .map_or(0, |at| now.saturating_since(at).as_nanos())
     }
 
     /// Iterates over chips that have at least one queued transaction.
@@ -145,17 +188,19 @@ impl TransactionScheduler {
         out.extend(self.busy_chips());
     }
 
-    /// Requeues a transaction at the *front* of its class queue (used when a
-    /// dispatch attempt fails to acquire a path and must be retried without
-    /// losing its position).
-    pub fn requeue_front(&mut self, txn: Transaction) {
+    /// Requeues a transaction at the *front* of its class queue with its
+    /// original enqueue time `at` (used when a dispatch attempt fails to
+    /// acquire a path and must be retried without losing its position or
+    /// its age).
+    pub fn requeue_front(&mut self, txn: Transaction, at: SimTime) {
         let q = &mut self.chips[usize::from(txn.target.chip.0)];
+        let e = Queued { txn, at };
         if txn.kind.is_read() {
-            q.reads.push_front(txn);
+            q.reads.push_front(e);
         } else if txn.kind.is_write() {
-            q.writes.push_front(txn);
+            q.writes.push_front(e);
         } else {
-            q.erases.push_front(txn);
+            q.erases.push_front(e);
         }
         self.pending += 1;
     }
@@ -180,12 +225,16 @@ mod tests {
         }
     }
 
+    fn at(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
     #[test]
     fn reads_have_priority_over_writes() {
         let mut tsu = TransactionScheduler::new(1);
-        tsu.enqueue(txn(1, TxnKind::UserWrite, 0));
-        tsu.enqueue(txn(2, TxnKind::UserRead, 0));
-        tsu.enqueue(txn(3, TxnKind::GcErase, 0));
+        tsu.enqueue(txn(1, TxnKind::UserWrite, 0), at(0));
+        tsu.enqueue(txn(2, TxnKind::UserRead, 0), at(0));
+        tsu.enqueue(txn(3, TxnKind::GcErase, 0), at(0));
         assert_eq!(tsu.pop(0).unwrap().id, TxnId(2));
         assert_eq!(tsu.pop(0).unwrap().id, TxnId(1));
         assert_eq!(tsu.pop(0).unwrap().id, TxnId(3));
@@ -196,7 +245,7 @@ mod tests {
     fn fifo_within_class() {
         let mut tsu = TransactionScheduler::new(1);
         for id in 0..5 {
-            tsu.enqueue(txn(id, TxnKind::UserWrite, 0));
+            tsu.enqueue(txn(id, TxnKind::UserWrite, 0), at(id));
         }
         for id in 0..5 {
             assert_eq!(tsu.pop(0).unwrap().id, TxnId(id));
@@ -204,12 +253,13 @@ mod tests {
     }
 
     #[test]
-    fn requeue_front_preserves_position() {
+    fn requeue_front_preserves_position_and_age() {
         let mut tsu = TransactionScheduler::new(1);
-        tsu.enqueue(txn(1, TxnKind::UserRead, 0));
-        tsu.enqueue(txn(2, TxnKind::UserRead, 0));
+        tsu.enqueue(txn(1, TxnKind::UserRead, 0), at(10));
+        tsu.enqueue(txn(2, TxnKind::UserRead, 0), at(20));
         let head = tsu.pop(0).unwrap();
-        tsu.requeue_front(head);
+        tsu.requeue_front(head, at(10));
+        assert_eq!(tsu.oldest_enqueue(0), Some(at(10)));
         assert_eq!(tsu.pop(0).unwrap().id, TxnId(1));
         assert_eq!(tsu.pop(0).unwrap().id, TxnId(2));
     }
@@ -217,8 +267,8 @@ mod tests {
     #[test]
     fn busy_chips_lists_nonempty_queues() {
         let mut tsu = TransactionScheduler::new(4);
-        tsu.enqueue(txn(1, TxnKind::UserRead, 1));
-        tsu.enqueue(txn(2, TxnKind::UserWrite, 3));
+        tsu.enqueue(txn(1, TxnKind::UserRead, 1), at(0));
+        tsu.enqueue(txn(2, TxnKind::UserWrite, 3), at(0));
         let busy: Vec<u16> = tsu.busy_chips().collect();
         assert_eq!(busy, vec![1, 3]);
         assert_eq!(tsu.pending_for(1), 1);
@@ -226,5 +276,22 @@ mod tests {
         assert_eq!(tsu.pending(), 2);
         assert!(!tsu.is_empty());
         assert_eq!(tsu.chip_count(), 4);
+    }
+
+    #[test]
+    fn queue_age_tracks_the_oldest_entry_across_classes() {
+        let mut tsu = TransactionScheduler::new(2);
+        assert_eq!(tsu.oldest_enqueue(0), None);
+        assert_eq!(tsu.queue_age_ns(0, at(500)), 0);
+        // A write lands first, then a read: reads pop first, but the *age*
+        // anchor stays the older write until it drains.
+        tsu.enqueue(txn(1, TxnKind::UserWrite, 0), at(100));
+        tsu.enqueue(txn(2, TxnKind::UserRead, 0), at(300));
+        assert_eq!(tsu.oldest_enqueue(0), Some(at(100)));
+        assert_eq!(tsu.queue_age_ns(0, at(500)), 400);
+        assert_eq!(tsu.pop(0).unwrap().id, TxnId(2));
+        assert_eq!(tsu.oldest_enqueue(0), Some(at(100)));
+        assert_eq!(tsu.pop(0).unwrap().id, TxnId(1));
+        assert_eq!(tsu.oldest_enqueue(0), None);
     }
 }

@@ -152,14 +152,48 @@ impl FabricParams {
     }
 }
 
+/// What exactly blocked a path-conflict acquisition failure.
+///
+/// Dispatch policies use this to tell conflicts that back off profitably
+/// (another in-flight transfer holds the resource and will release it soon)
+/// from structural blockage deep in the mesh. All reasons count equally as
+/// Figure 13 path conflicts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ConflictReason {
+    /// A shared channel bus is mid-transfer (Baseline/pSSD/pnSSD).
+    BusBusy,
+    /// The deterministic XY route crossed a link held by another circuit
+    /// (NoSSD has no way around it).
+    RouteBlocked,
+    /// A Venice scout advanced into the mesh but exhausted every feasible
+    /// port assignment and was cancelled back to the controller.
+    ScoutExhausted,
+    /// A Venice scout could not leave the source router at all — every
+    /// usable local port was already reserved.
+    SourceBlocked,
+}
+
+impl ConflictReason {
+    /// Short diagnostic label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ConflictReason::BusBusy => "bus busy",
+            ConflictReason::RouteBlocked => "route blocked",
+            ConflictReason::ScoutExhausted => "scout exhausted",
+            ConflictReason::SourceBlocked => "source blocked",
+        }
+    }
+}
+
 /// Why a path acquisition failed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AcquireError {
     /// Every eligible flash controller is busy with another transfer.
     NoFreeController,
     /// A controller was available but the path/bus to the chip was occupied —
-    /// this is the paper's *path conflict* (Figure 13).
-    PathConflict,
+    /// this is the paper's *path conflict* (Figure 13). The payload says what
+    /// specifically blocked the path.
+    PathConflict(ConflictReason),
     /// The ideal SSD's dedicated per-chip channel is mid-transfer; by the
     /// paper's definition this is a chip-side delay, not a path conflict.
     ChannelBusy,
@@ -168,18 +202,25 @@ pub enum AcquireError {
 impl AcquireError {
     /// Whether this failure counts as a path conflict in Figure 13's metric.
     pub fn is_path_conflict(&self) -> bool {
-        matches!(self, AcquireError::PathConflict)
+        matches!(self, AcquireError::PathConflict(_))
+    }
+
+    /// The structured conflict reason, when this is a path conflict.
+    pub fn conflict_reason(&self) -> Option<ConflictReason> {
+        match self {
+            AcquireError::PathConflict(r) => Some(*r),
+            _ => None,
+        }
     }
 }
 
 impl fmt::Display for AcquireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            AcquireError::NoFreeController => "no free flash controller",
-            AcquireError::PathConflict => "path conflict",
-            AcquireError::ChannelBusy => "dedicated channel busy",
-        };
-        f.write_str(s)
+        match self {
+            AcquireError::NoFreeController => f.write_str("no free flash controller"),
+            AcquireError::PathConflict(r) => write!(f, "path conflict ({})", r.label()),
+            AcquireError::ChannelBusy => f.write_str("dedicated channel busy"),
+        }
     }
 }
 
@@ -403,7 +444,7 @@ impl Fabric for BusFabric {
         let row = self.params.mesh().row(chip);
         if self.bus_busy[usize::from(row)] {
             self.stats.conflicts += 1;
-            return Err(AcquireError::PathConflict);
+            return Err(AcquireError::PathConflict(ConflictReason::BusBusy));
         }
         self.bus_busy[usize::from(row)] = true;
         self.stats.acquisitions += 1;
@@ -513,7 +554,7 @@ impl Fabric for PnSsdFabric {
         // failure to start a transfer is a path conflict (both of the chip's
         // two paths are occupied).
         self.stats.conflicts += 1;
-        Err(AcquireError::PathConflict)
+        Err(AcquireError::PathConflict(ConflictReason::BusBusy))
     }
 
     fn transfer(&mut self, grant: &PathGrant, bytes: u64) -> SimDuration {
@@ -589,7 +630,7 @@ impl Fabric for NoSsdFabric {
         if !self.mesh.try_reserve_path(fc.0, &path) {
             self.stats.conflicts += 1;
             self.mesh.recycle(path);
-            return Err(AcquireError::PathConflict);
+            return Err(AcquireError::PathConflict(ConflictReason::RouteBlocked));
         }
         self.fcs.acquire(fc);
         self.stats.acquisitions += 1;
@@ -713,7 +754,12 @@ impl Fabric for VeniceFabric {
             Err(fail) => {
                 self.stats.conflicts += 1;
                 self.stats.scout_steps += u64::from(fail.steps);
-                Err(AcquireError::PathConflict)
+                let reason = if fail.advanced {
+                    ConflictReason::ScoutExhausted
+                } else {
+                    ConflictReason::SourceBlocked
+                };
+                Err(AcquireError::PathConflict(reason))
             }
         }
     }
@@ -845,7 +891,10 @@ mod tests {
         let mut f = build_fabric(FabricKind::Baseline, FabricParams::table1());
         let g = acquire_ok(f.as_mut(), 0);
         // Chip 1 shares row 0's bus.
-        assert_eq!(f.try_acquire(NodeId(1)).unwrap_err(), AcquireError::PathConflict);
+        assert_eq!(
+            f.try_acquire(NodeId(1)).unwrap_err(),
+            AcquireError::PathConflict(ConflictReason::BusBusy)
+        );
         // Chip 8 is on row 1: free bus.
         let g2 = acquire_ok(f.as_mut(), 8);
         f.release(g);
@@ -892,7 +941,7 @@ mod tests {
         assert_eq!(g_col.fc, FcId(3));
         // Third chip on row 0, column 3 again: both buses busy → conflict.
         let err = f.try_acquire(NodeId(3)).unwrap_err();
-        assert_eq!(err, AcquireError::PathConflict);
+        assert_eq!(err, AcquireError::PathConflict(ConflictReason::BusBusy));
         f.release(g_row);
         f.release(g_col);
     }
@@ -991,7 +1040,10 @@ mod tests {
         };
 
         let (holds_n, res_n) = run(&mut nossd);
-        assert_eq!(res_n.unwrap_err(), AcquireError::PathConflict);
+        assert_eq!(
+            res_n.unwrap_err(),
+            AcquireError::PathConflict(ConflictReason::RouteBlocked)
+        );
         for g in holds_n {
             nossd.release(g);
         }

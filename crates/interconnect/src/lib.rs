@@ -46,6 +46,7 @@ mod topology;
 
 pub use area_power::{table4, AreaModel, LinkPower, Table4Row};
 pub use fabric::{
-    build_fabric, AcquireError, Fabric, FabricKind, FabricParams, FabricStats, PathGrant,
+    build_fabric, AcquireError, ConflictReason, Fabric, FabricKind, FabricParams, FabricStats,
+    PathGrant,
 };
 pub use topology::{Direction, FcId, LinkId, Mesh2D, NodeId};

@@ -36,6 +36,11 @@ impl ReservedPath {
 pub struct ScoutFailure {
     /// Total forward/backtrack steps taken before giving up.
     pub steps: u32,
+    /// True when the scout made it past the source router before being
+    /// cancelled — the blockage sits deep in the mesh. False means every
+    /// usable port out of the source was already held: purely local
+    /// congestion that a different controller choice might sidestep.
+    pub advanced: bool,
 }
 
 /// Outcome statistics of a successful scout walk.
@@ -357,6 +362,7 @@ impl MeshState {
         });
         let mut steps: u32 = 0;
         let mut detoured = false;
+        let mut advanced = false;
         // Hard safety net: the DFS tries each (router, port) pair at most
         // once per episode, so steps are bounded; guard against logic bugs.
         let step_cap = (self.topo.node_count() as u32) * 16 + 64;
@@ -489,6 +495,7 @@ impl MeshState {
                         .insert(packet_id, frame.entry, Port::Mesh(dir))
                         .expect("row free: circuit visits a router once");
                     entries[nb.0 as usize] += 1;
+                    advanced = true;
                     stack.push(Frame {
                         node: nb,
                         entry: Port::Mesh(dir.opposite()),
@@ -501,7 +508,7 @@ impl MeshState {
                     let dead = stack.pop().expect("nonempty");
                     if stack.is_empty() {
                         // Scout arrived back at the controller: failure.
-                        return Err(ScoutFailure { steps });
+                        return Err(ScoutFailure { steps, advanced });
                     }
                     let parent = stack.last().expect("nonempty after pop");
                     // Cancel the parent's row and free the link we came over:

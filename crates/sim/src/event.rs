@@ -21,10 +21,13 @@ use crate::SimTime;
 
 /// Number of buckets in the near-future wheel (must be a power of two).
 pub const WHEEL_BUCKETS: usize = 512;
-/// Log2 of the bucket width in nanoseconds.
-const BUCKET_SHIFT: u32 = 8;
-/// Width of one wheel bucket in nanoseconds.
-pub const BUCKET_NS: u64 = 1 << BUCKET_SHIFT;
+/// Log2 of the default bucket width in nanoseconds.
+const DEFAULT_BUCKET_SHIFT: u32 = 8;
+/// Width of one wheel bucket in nanoseconds, for [`EventQueue::new`].
+/// [`EventQueue::with_bucket_ns`] widens it per configuration (callers
+/// auto-tune from their timing parameters); pop order is identical for
+/// every width.
+pub const BUCKET_NS: u64 = 1 << DEFAULT_BUCKET_SHIFT;
 const BITMAP_WORDS: usize = WHEEL_BUCKETS / 64;
 
 /// One scheduled entry: ordered by time, then by insertion sequence so that
@@ -96,12 +99,14 @@ pub struct EventQueue<E> {
     occupied: [u64; BITMAP_WORDS],
     /// Entries currently in the wheel.
     wheel_len: usize,
-    /// Absolute bucket index of the current wheel position (`now >> BUCKET_SHIFT`).
+    /// Absolute bucket index of the current wheel position (`now >> bucket_shift`).
     cursor: u64,
     /// Far-future overflow tier: events beyond the wheel horizon.
     overflow: BinaryHeap<Entry<E>>,
     /// Scratch for sorting one timestamp's batch by sequence number.
     scratch: Vec<(u64, E)>,
+    /// Log2 of this calendar's bucket width in nanoseconds.
+    bucket_shift: u32,
     next_seq: u64,
     now: SimTime,
     scheduled_total: u64,
@@ -115,8 +120,25 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty calendar at time zero.
+    /// Creates an empty calendar at time zero with the default
+    /// [`BUCKET_NS`] bucket width.
     pub fn new() -> Self {
+        Self::with_bucket_ns(BUCKET_NS)
+    }
+
+    /// Creates an empty calendar whose wheel buckets are `bucket_ns` wide
+    /// (rounded up to a power of two, floored at [`BUCKET_NS`]).
+    ///
+    /// Callers auto-tune the width from their workload's timing parameters
+    /// so that common long-horizon events fall inside the wheel's
+    /// `WHEEL_BUCKETS × width` horizon instead of the overflow heap. The
+    /// width is a pure performance knob: delivery order is bit-identical
+    /// to [`ReferenceHeapQueue`] for every value.
+    pub fn with_bucket_ns(bucket_ns: u64) -> Self {
+        let bucket_shift = bucket_ns
+            .max(BUCKET_NS)
+            .next_power_of_two()
+            .trailing_zeros();
         EventQueue {
             batch: VecDeque::new(),
             batch_time: SimTime::ZERO,
@@ -126,11 +148,18 @@ impl<E> EventQueue<E> {
             cursor: 0,
             overflow: BinaryHeap::new(),
             scratch: Vec::new(),
+            bucket_shift,
             next_seq: 0,
             now: SimTime::ZERO,
             scheduled_total: 0,
             pending: 0,
         }
+    }
+
+    /// Width of one wheel bucket in nanoseconds.
+    #[inline]
+    pub fn bucket_ns(&self) -> u64 {
+        1 << self.bucket_shift
     }
 
     /// Current simulation time: the timestamp of the last popped event.
@@ -181,7 +210,7 @@ impl<E> EventQueue<E> {
             self.batch.push_back(event);
             return;
         }
-        let bucket = time.as_nanos() >> BUCKET_SHIFT;
+        let bucket = time.as_nanos() >> self.bucket_shift;
         if bucket < self.cursor + WHEEL_BUCKETS as u64 {
             self.wheel_insert(bucket, Entry { time, seq, event });
         } else {
@@ -235,7 +264,10 @@ impl<E> EventQueue<E> {
             return false;
         }
         let next_wheel = self.next_occupied_bucket();
-        let next_over = self.overflow.peek().map(|e| e.time.as_nanos() >> BUCKET_SHIFT);
+        let next_over = self
+            .overflow
+            .peek()
+            .map(|e| e.time.as_nanos() >> self.bucket_shift);
         let target = match (next_wheel, next_over) {
             (Some(w), Some(o)) => w.min(o),
             (Some(w), None) => w,
@@ -245,13 +277,14 @@ impl<E> EventQueue<E> {
         self.cursor = target;
         // Rotate overflow events whose buckets have come into the wheel's
         // horizon window `[cursor, cursor + WHEEL_BUCKETS)`.
-        let horizon_ns = (self.cursor + WHEEL_BUCKETS as u64) << BUCKET_SHIFT;
+        let horizon_ns = (self.cursor + WHEEL_BUCKETS as u64) << self.bucket_shift;
         while let Some(head) = self.overflow.peek() {
             if head.time.as_nanos() >= horizon_ns {
                 break;
             }
             let e = self.overflow.pop().expect("peeked");
-            self.wheel_insert(e.time.as_nanos() >> BUCKET_SHIFT, e);
+            let bucket = e.time.as_nanos() >> self.bucket_shift;
+            self.wheel_insert(bucket, e);
         }
         // Extract the earliest timestamp from the target bucket.
         let slot = (target % WHEEL_BUCKETS as u64) as usize;
@@ -566,6 +599,41 @@ mod tests {
         out.clear();
         assert_eq!(q.pop_batch(&mut out), Some(t));
         assert_eq!(out, vec!["b"]);
+    }
+
+    #[test]
+    fn custom_bucket_widths_round_and_floor() {
+        assert_eq!(EventQueue::<()>::new().bucket_ns(), BUCKET_NS);
+        assert_eq!(EventQueue::<()>::with_bucket_ns(0).bucket_ns(), BUCKET_NS);
+        assert_eq!(EventQueue::<()>::with_bucket_ns(300).bucket_ns(), 512);
+        assert_eq!(EventQueue::<()>::with_bucket_ns(4096).bucket_ns(), 4096);
+    }
+
+    #[test]
+    fn wide_buckets_preserve_reference_order() {
+        use crate::rng::Xorshift64Star;
+        // A widened wheel (the auto-tuned configuration for slow NAND)
+        // must deliver the exact reference sequence too.
+        let mut rng = Xorshift64Star::new(99);
+        let mut wheel = EventQueue::with_bucket_ns(4096);
+        let mut heap = ReferenceHeapQueue::new();
+        for id in 0..3_000u64 {
+            if rng.next_bool(0.6) || wheel.is_empty() {
+                let delta = rng.next_bounded(4096 * WHEEL_BUCKETS as u64 * 2);
+                let t = wheel.now() + SimDuration::from_nanos(delta);
+                wheel.schedule(t, id);
+                heap.schedule(t, id);
+            } else {
+                assert_eq!(wheel.pop(), heap.pop());
+            }
+        }
+        loop {
+            let (a, b) = (wheel.pop(), heap.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 
     #[test]

@@ -41,6 +41,22 @@ impl WorkloadAxis {
         mix::by_name(name).map(|_| WorkloadAxis::Mix(name))
     }
 
+    /// The congestion-heavy bursty workload: near-saturating arrivals in
+    /// long bursts over a hot Zipfian footprint, so transient per-channel
+    /// backlogs pile up and the dispatcher's retry strategy dominates the
+    /// run. This is the stress axis for dispatch-policy sweeps — under it,
+    /// most failed acquisitions are path conflicts rather than idle gaps.
+    pub fn congested() -> WorkloadAxis {
+        WorkloadAxis::Spec(
+            WorkloadSpec::new("congested", 85.0, 16.0, 1.2)
+                .footprint_mb(256)
+                .burst_mean(48.0)
+                .intra_burst_gap_us(0.1)
+                .zipf_theta(1.05)
+                .seq_fraction(0.05),
+        )
+    }
+
     /// All nineteen Table 2 workloads, in catalog (figure x-axis) order.
     pub fn table2() -> Vec<WorkloadAxis> {
         catalog::TABLE2.iter().map(|e| WorkloadAxis::Catalog(e.name)).collect()
@@ -119,6 +135,22 @@ mod tests {
     fn checked_constructors_reject_unknown_names() {
         assert!(WorkloadAxis::catalog("nope").is_none());
         assert!(WorkloadAxis::mix("mix99").is_none());
+    }
+
+    #[test]
+    fn congested_axis_is_bursty_and_deterministic() {
+        let axis = WorkloadAxis::congested();
+        assert_eq!(axis.name(), "congested");
+        let a = axis.trace(400);
+        let b = WorkloadAxis::congested().trace(400);
+        assert_eq!(a.events(), b.events(), "axis must generate deterministically");
+        // Near-saturating: the mean inter-arrival tracks the 1.2 µs spec.
+        let stats = a.stats();
+        assert!(
+            stats.avg_interarrival_us < 2.0,
+            "arrivals too slow to congest: {} µs",
+            stats.avg_interarrival_us
+        );
     }
 
     #[test]

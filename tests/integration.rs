@@ -185,6 +185,183 @@ fn sweep_grid_is_bit_identical_across_pool_sizes() {
     assert_eq!(serial.manifest_fingerprint(), pooled.manifest_fingerprint());
 }
 
+/// The dispatch-policy refactor's ground truth: with the default
+/// `RetryAll` policy, the engine must be *bit-identical* to the
+/// pre-refactor dispatcher. The constant below was captured by running the
+/// pre-refactor engine (commit cf0d979) over the whole Table 2 catalog ×
+/// all six fabrics at 120 requests and chaining the behavioral fields of
+/// every run into one FNV-1a hash; the same computation must reproduce it
+/// today. Any change to dispatch order, event scheduling, conflict
+/// accounting, or the time-wheel contract shows up here.
+#[test]
+fn retry_all_is_bit_identical_to_the_pre_refactor_engine() {
+    use venice::workloads::WorkloadAxis;
+
+    const PRE_REFACTOR_TABLE2_HASH: u64 = 0xf87d_2d1e_f6d0_fead;
+
+    fn fnv1a(bytes: &[u8], seed: u64) -> u64 {
+        bytes.iter().fold(seed, |h, &b| {
+            (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+        })
+    }
+
+    let cfg = SsdConfig::performance_optimized();
+    assert_eq!(
+        cfg.dispatch,
+        venice::ssd::DispatchPolicyKind::RetryAll,
+        "the default policy must be the pre-refactor behavior"
+    );
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for axis in WorkloadAxis::table2() {
+        let trace = axis.trace(120);
+        for fabric in FabricKind::ALL {
+            let m = venice::ssd::run_single(&cfg, fabric, &trace);
+            let line = format!(
+                "{}|{}|{}|{}|{}|{}|{}|{}|{:016x}\n",
+                axis.name(),
+                fabric.label(),
+                m.execution_time.as_nanos(),
+                m.events,
+                m.transactions,
+                m.conflicted_requests,
+                m.fabric.conflicts,
+                m.fabric.acquisitions,
+                m.energy_mj.to_bits(),
+            );
+            h = fnv1a(line.as_bytes(), h);
+        }
+    }
+    assert_eq!(
+        h, PRE_REFACTOR_TABLE2_HASH,
+        "RetryAll diverged from the pre-refactor engine on the table2 grid"
+    );
+}
+
+/// Every dispatch policy completes every request and stays fingerprint-
+/// stable across worker-pool sizes (the determinism contract extends to
+/// the new sweep axis).
+#[test]
+fn policies_are_deterministic_across_pool_sizes() {
+    use venice::ssd::DispatchPolicyKind;
+    use venice_bench::sweep::{SweepGrid, WorkerPool};
+    use venice_workloads::WorkloadAxis;
+
+    let grid = SweepGrid::new("policy-determinism")
+        .config(SsdConfig::performance_optimized())
+        .workload(WorkloadAxis::congested())
+        .workload(WorkloadAxis::catalog("src2_1").expect("catalog"))
+        .policies(&DispatchPolicyKind::ALL)
+        .fabrics(&[SystemKind::Baseline, SystemKind::Venice])
+        .requests(150);
+    let serial = grid.run_on(&WorkerPool::new(1));
+    let pooled = grid.run_on(&WorkerPool::new(4));
+    assert_eq!(serial.records().len(), 12); // 2 workloads × 3 policies × 2 fabrics
+    for (a, b) in serial.records().iter().zip(pooled.records()) {
+        assert_eq!(a.point.policy, b.point.policy);
+        assert_eq!(a.metrics.policy, a.point.policy, "metrics must carry the policy");
+        assert_eq!(a.metrics.completed_requests, 150, "{}", a.point.label);
+        assert_eq!(
+            a.metrics, b.metrics,
+            "{}: metrics differ across pool sizes",
+            a.point.label
+        );
+        assert!(
+            a.metrics.dispatch.rounds > 0 && a.metrics.dispatch.attempts > 0,
+            "{}: dispatcher stats must be populated",
+            a.point.label
+        );
+    }
+    assert_eq!(serial.metrics_fingerprint(), pooled.metrics_fingerprint());
+    // The policies really behave differently (same workload+fabric, all
+    // three policies in one grid must not collapse to one fingerprint).
+    let venice_congested: Vec<_> = serial
+        .records()
+        .iter()
+        .filter(|r| r.point.fabric == SystemKind::Venice && r.point.workload == "congested")
+        .collect();
+    assert_eq!(venice_congested.len(), 3);
+    let backoff = venice_congested
+        .iter()
+        .find(|r| r.point.policy == DispatchPolicyKind::ConflictBackoff)
+        .expect("backoff point");
+    assert!(
+        backoff.metrics.dispatch.skipped_backoff > 0,
+        "congested Venice must actually exercise backoff"
+    );
+}
+
+/// Resumable sweeps: a second run of the same grid reuses every on-disk
+/// point record (simulating nothing) yet converges to the same manifest
+/// fingerprint, a changed grid is not resumed, and `fresh` forces
+/// re-execution.
+#[test]
+fn resumable_sweeps_skip_existing_points() {
+    use venice_bench::sweep::{SweepGrid, WorkerPool};
+    use venice_workloads::WorkloadAxis;
+
+    let base = std::env::temp_dir().join("venice-resume-test");
+    let _ = std::fs::remove_dir_all(&base);
+    let grid = SweepGrid::new("resume")
+        .config(SsdConfig::performance_optimized())
+        .workload(WorkloadAxis::catalog("hm_0").expect("catalog"))
+        .fabrics(&[SystemKind::Baseline, SystemKind::Venice])
+        .requests(80);
+    let pool = WorkerPool::new(2);
+
+    let first = grid.run_resumable(&base, &pool, false);
+    assert_eq!(first.reused_count(), 0, "nothing on disk yet");
+    assert_eq!(first.executed().len(), 2);
+
+    // Point records persist as they complete (no write() call yet), so a
+    // killed sweep resumes from the points it finished.
+    let second = grid.run_resumable(&base, &pool, false);
+    assert_eq!(second.reused_count(), 2, "all records reused");
+    assert!(second.executed().is_empty());
+    assert_eq!(second.metrics_fingerprint(), first.metrics_fingerprint());
+    assert_eq!(second.manifest_json().len(), first.manifest_json().len());
+    first.write().expect("write artifact");
+    assert!(first.dir().join("manifest.json").is_file());
+    assert!(first.dir().join("grid.json").is_file());
+
+    // Deleting one record resumes exactly the missing point.
+    let victim = &first.points()[1];
+    std::fs::remove_file(first.dir().join(victim.file_name())).expect("remove one record");
+    let third = grid.run_resumable(&base, &pool, false);
+    assert_eq!(third.reused_count(), 1);
+    assert_eq!(third.executed().len(), 1);
+    assert_eq!(third.executed()[0].0, victim.id);
+    assert_eq!(third.metrics_fingerprint(), first.metrics_fingerprint());
+
+    // A different grid definition must not reuse the artifact.
+    let other = SweepGrid::new("resume")
+        .config(SsdConfig::performance_optimized())
+        .workload(WorkloadAxis::catalog("hm_0").expect("catalog"))
+        .fabrics(&[SystemKind::Baseline, SystemKind::Venice])
+        .requests(90);
+    let fourth = other.run_resumable(&base, &pool, false);
+    assert_eq!(fourth.reused_count(), 0, "grid definition changed");
+    let stamp = std::fs::read_to_string(fourth.dir().join("grid.json"))
+        .expect("stamp written before simulation");
+    assert!(stamp.contains("\"requests\": 90"), "stamp follows the new grid");
+
+    // A torn (truncated) record is never trusted, even under a matching
+    // stamp: the structural filter forces that point to re-run.
+    let torn = fourth.dir().join(fourth.points()[0].file_name());
+    std::fs::write(&torn, "{\"system\": \"Base").expect("plant torn record");
+    let healed = other.run_resumable(&base, &pool, false);
+    assert_eq!(healed.reused_count(), 1, "whole record reused");
+    assert_eq!(healed.executed().len(), 1, "torn record re-executed");
+    assert_eq!(healed.executed()[0].0, fourth.points()[0].id);
+    assert_eq!(healed.metrics_fingerprint(), fourth.metrics_fingerprint());
+
+    // And --fresh bypasses matching records.
+    let fifth = grid.run_resumable(&base, &pool, true);
+    assert_eq!(fifth.reused_count(), 0);
+    assert_eq!(fifth.executed().len(), 2);
+    assert_eq!(fifth.metrics_fingerprint(), first.metrics_fingerprint());
+    let _ = std::fs::remove_dir_all(&base);
+}
+
 #[test]
 fn catalog_sweep_is_deterministic_across_parallelism() {
     // The parallel sweep runner must produce bit-identical RunMetrics

@@ -56,12 +56,15 @@ fn scout_walk_is_atomic() {
 /// The bucketed time-wheel calendar delivers the exact pop sequence of the
 /// reference binary heap — ordering, FIFO tie-breaks among equal
 /// timestamps, and `now()` monotonicity — under randomized schedules that
-/// cross bucket boundaries and the overflow horizon.
+/// cross bucket boundaries and the overflow horizon, at every bucket width
+/// the auto-tuner can pick (256 ns default, 512 ns z-nand, 4096 ns tlc-3d).
 #[test]
 fn event_calendar_matches_reference_heap() {
     for seed in 1..=20u64 {
+        // Cycle the widths across seeds so each width sees several schedules.
+        let bucket_ns = [256u64, 512, 4096][(seed % 3) as usize];
         let mut rng = Xorshift64Star::new(seed);
-        let mut wheel = EventQueue::new();
+        let mut wheel = EventQueue::with_bucket_ns(bucket_ns);
         let mut heap = ReferenceHeapQueue::new();
         let mut id = 0u64;
         let mut last_time = SimTime::ZERO;
