@@ -1,0 +1,224 @@
+//! Microbenchmark + perf-smoke for the incremental ready-set dispatcher.
+//!
+//! Runs congestion-heavy workloads on growing meshes with the dispatch
+//! round implemented both ways — the default incremental ready-set engine
+//! and the retained full-scan reference (`DispatchScanKind`) — asserts the
+//! two produce bit-identical metrics, and records the events/sec gain in
+//! `results/bench_dispatch.json` (per-engine ns/iter also lands in
+//! `results/bench_dispatch_scan.json` via the shared microbench harness).
+//!
+//! **Perf-smoke contract:** when a checked-in baseline
+//! (`results/bench_dispatch_baseline.json`) exists, the run fails (exit 1)
+//! if any scenario's incremental-over-full-scan speedup regressed more than
+//! 30% below the baseline's. Set `VENICE_PERF_WARN_ONLY=1` to downgrade the
+//! failure to a warning on noisy runners. Speedups are wall-clock *ratios*
+//! on the same machine and binary, so the gate is robust to absolute
+//! machine speed.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use venice_bench::microbench::Runner;
+use venice_interconnect::FabricKind;
+use venice_ssd::{DispatchPolicyKind, DispatchScanKind, RunMetrics, SsdConfig, SsdSim};
+use venice_workloads::WorkloadAxis;
+
+/// One benched (mesh shape × fabric × policy × request budget) coordinate.
+struct Scenario {
+    name: &'static str,
+    rows: u16,
+    cols: u16,
+    fabric: FabricKind,
+    policy: DispatchPolicyKind,
+    requests: usize,
+}
+
+/// Big congested meshes under two regimes. Under `RetryAll` on Venice the
+/// run cost is dominated by the failed scout walks themselves (the policy
+/// layer's territory, not the scan's), so the headline ready-set scenarios
+/// are NoSSD — whose per-attempt cost is a cheap XY probe, leaving the
+/// round scan as the overhead — and Venice under its `Auto`-selected
+/// backoff, where most rounds dispatch little and the O(chips) scan is
+/// pure waste for the reference engine.
+const SCENARIOS: [Scenario; 4] = [
+    Scenario {
+        name: "congested_8x8_venice",
+        rows: 8,
+        cols: 8,
+        fabric: FabricKind::Venice,
+        policy: DispatchPolicyKind::RetryAll,
+        requests: 400,
+    },
+    Scenario {
+        name: "congested_16x16_nossd",
+        rows: 16,
+        cols: 16,
+        fabric: FabricKind::NoSsd,
+        policy: DispatchPolicyKind::RetryAll,
+        requests: 400,
+    },
+    Scenario {
+        name: "congested_16x16_venice_auto",
+        rows: 16,
+        cols: 16,
+        fabric: FabricKind::Venice,
+        policy: DispatchPolicyKind::Auto,
+        requests: 400,
+    },
+    Scenario {
+        name: "congested_32x32_nossd",
+        rows: 32,
+        cols: 32,
+        fabric: FabricKind::NoSsd,
+        policy: DispatchPolicyKind::RetryAll,
+        requests: 250,
+    },
+];
+
+/// Fraction of the baseline speedup a scenario may lose before the smoke
+/// fails (>30% events/sec regression).
+const REGRESSION_FLOOR: f64 = 0.7;
+
+fn run(cfg: &SsdConfig, fabric: FabricKind, trace: &venice_workloads::Trace) -> RunMetrics {
+    let sized = cfg.clone().sized_for_footprint(trace.footprint_bytes());
+    SsdSim::new(sized, fabric, trace).run()
+}
+
+/// Extracts the float right after `"key": ` occurrences in hand-rolled
+/// JSON, in document order (enough for the baseline file's fixed schema).
+fn json_f64_fields(json: &str, key: &str) -> Vec<f64> {
+    let needle = format!("\"{key}\": ");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(at) = rest.find(&needle) {
+        rest = &rest[at + needle.len()..];
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+            .unwrap_or(rest.len());
+        if let Ok(v) = rest[..end].parse() {
+            out.push(v);
+        }
+    }
+    out
+}
+
+fn json_str_fields(json: &str, key: &str) -> Vec<String> {
+    let needle = format!("\"{key}\": \"");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(at) = rest.find(&needle) {
+        rest = &rest[at + needle.len()..];
+        if let Some(end) = rest.find('"') {
+            out.push(rest[..end].to_string());
+        }
+    }
+    out
+}
+
+fn main() {
+    let mut r = Runner::new("dispatch_scan").sample_budget(Duration::from_millis(250));
+    let mut summary = String::from("{\n  \"bench\": \"dispatch_scan\",\n  \"scenarios\": [\n");
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+    for (i, s) in SCENARIOS.iter().enumerate() {
+        let trace = WorkloadAxis::congested().trace(s.requests);
+        let base = SsdConfig::performance_optimized()
+            .with_mesh(s.rows, s.cols)
+            .with_dispatch_policy(s.policy);
+        let incr_cfg = base.clone().with_dispatch_scan(DispatchScanKind::Incremental);
+        let full_cfg = base.clone().with_dispatch_scan(DispatchScanKind::FullScan);
+        // Correctness first: the two engines must agree bit-for-bit.
+        let m_incr = run(&incr_cfg, s.fabric, &trace);
+        let m_full = run(&full_cfg, s.fabric, &trace);
+        assert_eq!(m_incr, m_full, "{}: engines diverged", s.name);
+        let events = m_incr.events;
+
+        let mut timed: Vec<f64> = Vec::new();
+        for (tag, cfg) in [("incremental", &incr_cfg), ("full_scan", &full_cfg)] {
+            let ms = {
+                r.bench(&format!("{}_{}", s.name, tag), || {
+                    black_box(run(cfg, s.fabric, black_box(&trace)));
+                });
+                r_last_ns(&r)
+            };
+            timed.push(ms);
+        }
+        let (ns_incr, ns_full) = (timed[0], timed[1]);
+        let evps_incr = events as f64 / (ns_incr / 1e9);
+        let evps_full = events as f64 / (ns_full / 1e9);
+        let speedup = evps_incr / evps_full;
+        println!(
+            "dispatch_scan {:<28} {:>7.2}M ev/s incremental vs {:>7.2}M full-scan  ({:.2}x)",
+            s.name,
+            evps_incr / 1e6,
+            evps_full / 1e6,
+            speedup
+        );
+        summary.push_str(&format!(
+            "    {{\"name\": \"{}\", \"shape\": \"{}x{}\", \"fabric\": \"{}\", \
+             \"policy\": \"{}\", \
+             \"requests\": {}, \"events\": {}, \"events_per_sec_incremental\": {:.0}, \
+             \"events_per_sec_full_scan\": {:.0}, \"speedup\": {:.3}}}{}\n",
+            s.name,
+            s.rows,
+            s.cols,
+            s.fabric.label(),
+            s.policy.label(),
+            s.requests,
+            events,
+            evps_incr,
+            evps_full,
+            speedup,
+            if i + 1 == SCENARIOS.len() { "" } else { "," }
+        ));
+        speedups.push((s.name.to_string(), speedup));
+    }
+    summary.push_str("  ]\n}\n");
+    r.finish();
+
+    let dir = venice_bench::results_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let out = dir.join("bench_dispatch.json");
+    match std::fs::write(&out, &summary) {
+        Ok(()) => println!("dispatch summary -> {}", out.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", out.display()),
+    }
+
+    // Perf-smoke gate against the checked-in baseline ratios.
+    let baseline_path = dir.join("bench_dispatch_baseline.json");
+    let Ok(baseline) = std::fs::read_to_string(&baseline_path) else {
+        println!("no baseline at {}; skipping regression gate", baseline_path.display());
+        return;
+    };
+    let names = json_str_fields(&baseline, "name");
+    let base_speedups = json_f64_fields(&baseline, "speedup");
+    let warn_only = std::env::var("VENICE_PERF_WARN_ONLY").is_ok();
+    let mut regressed = false;
+    for (name, base) in names.iter().zip(&base_speedups) {
+        let Some((_, now)) = speedups.iter().find(|(n, _)| n == name) else {
+            continue;
+        };
+        let floor = base * REGRESSION_FLOOR;
+        if *now < floor {
+            regressed = true;
+            eprintln!(
+                "PERF REGRESSION {name}: speedup {now:.2}x < {floor:.2}x \
+                 (baseline {base:.2}x - 30%)"
+            );
+        } else {
+            println!("perf-smoke {name}: {now:.2}x vs baseline {base:.2}x ok");
+        }
+    }
+    if regressed {
+        if warn_only {
+            eprintln!("VENICE_PERF_WARN_ONLY set: reporting only");
+        } else {
+            eprintln!("dispatch_scan perf-smoke failed (set VENICE_PERF_WARN_ONLY=1 on noisy runners)");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The ns/iter of the most recent [`Runner::bench`] call.
+fn r_last_ns(r: &Runner) -> f64 {
+    r.last_ns_per_iter().expect("bench just ran")
+}

@@ -10,10 +10,14 @@
 //!
 //! Grids: `mini` (3 workloads × Baseline/Venice smoke test, 200 requests
 //! unless overridden), `table2` (the whole catalog × all six systems),
-//! `mixes` (Table 3), `shapes` (4×16 / 8×8 / 16×4 axis), `nand` (z-nand vs
-//! tlc-3d timing axis), `qd` (queue-depth axis), `design` (shape × timing ×
-//! queue-depth cross on a workload subset), `policy` (dispatch-policy
-//! ablation on the congested bursty workload plus two catalog entries).
+//! `mixes` (Table 3), `shapes` (4×16 / 8×8 / 16×4 reshapes plus the 16×16 /
+//! 32×32 big meshes), `nand` (z-nand vs tlc-3d timing axis), `qd`
+//! (queue-depth axis), `design` (shape × timing × queue-depth cross on a
+//! workload subset), `policy` (dispatch-policy ablation on the congested
+//! bursty workload plus two catalog entries), `bigmesh` (8×8 / 16×16 /
+//! 32×32 meshes × retry-all/auto policies on congestion-heavy traffic —
+//! the incremental ready-set dispatcher is what makes these cheap enough
+//! to sweep).
 //!
 //! Sweeps are *resumable*: when `results/sweep_<grid>/` already holds a
 //! manifest with this grid's exact grid hash, points whose record file
@@ -21,7 +25,7 @@
 //! re-run.
 //!
 //! Flags: `--grid <name>`, `--requests <n>` (default: `VENICE_REQUESTS`,
-//! except `mini`/`policy` which have their own defaults), `--par <n>`
+//! except `mini`/`policy`/`bigmesh` which have their own defaults), `--par <n>`
 //! (dedicated pool size; default: the shared pool), `--systems a,b,c`
 //! (override the fabric axis by label, e.g. `Baseline,Venice`),
 //! `--fresh`, `--list`.
@@ -63,7 +67,7 @@ fn named_grid(name: &str, requests: Option<usize>) -> Option<SweepGrid> {
             .fabrics(&all_systems()),
         "shapes" => SweepGrid::new("shapes")
             .workloads(subset_axes())
-            .shapes(&[(4, 16), (8, 8), (16, 4)])
+            .shapes(&[(4, 16), (8, 8), (16, 4), (16, 16), (32, 32)])
             .fabrics(&[
                 FabricKind::Baseline,
                 FabricKind::NoSsd,
@@ -91,17 +95,25 @@ fn named_grid(name: &str, requests: Option<usize>) -> Option<SweepGrid> {
             .policies(&DispatchPolicyKind::ALL)
             .fabrics(&[FabricKind::Baseline, FabricKind::Venice])
             .requests(requests.unwrap_or(800)),
+        "bigmesh" => SweepGrid::new("bigmesh")
+            .workload(WorkloadAxis::congested())
+            .workload(WorkloadAxis::catalog("src2_1").expect("catalog"))
+            .shapes(&[(8, 8), (16, 16), (32, 32)])
+            .policies(&[DispatchPolicyKind::RetryAll, DispatchPolicyKind::Auto])
+            .fabrics(&[FabricKind::Baseline, FabricKind::NoSsd, FabricKind::Venice])
+            .requests(requests.unwrap_or(400)),
         _ => return None,
     };
     let grid = grid.config(SsdConfig::performance_optimized());
+    let own_default = matches!(name, "mini" | "policy" | "bigmesh");
     Some(match requests {
-        Some(r) if name != "mini" && name != "policy" => grid.requests(r),
+        Some(r) if !own_default => grid.requests(r),
         _ => grid,
     })
 }
 
-const GRID_NAMES: [&str; 8] = [
-    "mini", "table2", "mixes", "shapes", "nand", "qd", "design", "policy",
+const GRID_NAMES: [&str; 9] = [
+    "mini", "table2", "mixes", "shapes", "nand", "qd", "design", "policy", "bigmesh",
 ];
 
 fn main() {

@@ -106,6 +106,13 @@ impl Runner {
         });
     }
 
+    /// The ns/iter of the most recent [`Runner::bench`] call, if any —
+    /// for benches that post-process their own timings (e.g. into
+    /// events/sec) on top of the recorded trajectory.
+    pub fn last_ns_per_iter(&self) -> Option<f64> {
+        self.measurements.last().map(|m| m.ns_per_iter)
+    }
+
     /// Writes `results/bench_<target>.json` and returns the measurements.
     ///
     /// JSON is emitted by hand (no serde in this workspace); the schema is

@@ -237,8 +237,11 @@ impl SweepGrid {
         self
     }
 
-    /// Extends the array-shape axis (`rows × cols` controller layouts; each
-    /// must preserve the base config's chip count).
+    /// Extends the array-shape axis (`rows × cols` controller layouts).
+    /// Shapes preserving the base config's chip count reshape it (the
+    /// Figure 15 sweep); larger meshes — 16×16, 32×32 — resize the chip
+    /// array with the fabric (`SsdConfig::with_mesh`), putting big-mesh
+    /// scaling on the grid.
     pub fn shapes(mut self, shapes: &[(u16, u16)]) -> Self {
         self.shapes.extend_from_slice(shapes);
         self
@@ -293,8 +296,9 @@ impl SweepGrid {
     ///
     /// # Panics
     ///
-    /// Panics if a shape-axis value does not preserve a base config's chip
-    /// count (fail-fast, before any simulation runs).
+    /// Panics if a shape-axis value is degenerate (zero rows/cols or a
+    /// chip count beyond the u16 id space) — fail-fast, before any
+    /// simulation runs.
     pub fn build_points(&self) -> Vec<SweepPoint> {
         let configs = self.effective_configs();
         let workloads = self.effective_workloads();
@@ -329,7 +333,7 @@ impl SweepGrid {
                                 for &fabric in &fabrics {
                                     let config = base
                                         .clone()
-                                        .with_shape(rows, cols)
+                                        .with_mesh(rows, cols)
                                         .with_timing(timing)
                                         .with_queue_depth(depth)
                                         .with_dispatch_policy(policy);
@@ -1168,7 +1172,7 @@ mod tests {
             .fabrics(&[FabricKind::Venice])
             .requests(50);
         let points = grid.build_points();
-        assert_eq!(points.len(), 3);
+        assert_eq!(points.len(), DispatchPolicyKind::ALL.len());
         for (p, kind) in points.iter().zip(DispatchPolicyKind::ALL) {
             assert_eq!(p.policy, kind);
             assert_eq!(p.config.dispatch, kind, "policy must reach the config");
@@ -1180,7 +1184,8 @@ mod tests {
         let def = grid.definition_json();
         assert!(
             def.contains(
-                "\"policies\": [\"retry-all\", \"conflict-backoff\", \"round-robin-quota\"]"
+                "\"policies\": [\"retry-all\", \"conflict-backoff\", \"round-robin-quota\", \
+                 \"auto\"]"
             ),
             "definition must carry the policy axis: {def}"
         );

@@ -6,7 +6,7 @@ use venice_interconnect::FabricParams;
 use venice_nand::{ChipGeometry, NandTiming, OpEnergy};
 use venice_sim::SimDuration;
 
-use crate::DispatchPolicyKind;
+use crate::{DispatchPolicyKind, DispatchScanKind};
 
 /// Static (load-independent) power draw of the SSD, used by the Figure 14
 /// energy model: controller, DRAM, and per-chip standby power.
@@ -60,6 +60,11 @@ pub struct SsdConfig {
     /// [`DispatchPolicyKind::RetryAll`] reproduces the pre-policy engine
     /// bit-for-bit).
     pub dispatch: DispatchPolicyKind,
+    /// Dispatch-round implementation: the incremental ready-set engine
+    /// (default) or the retained full-scan reference. Metrics are
+    /// bit-identical either way; this is a performance/cross-check knob,
+    /// not a behavioral axis.
+    pub scan: DispatchScanKind,
 }
 
 impl SsdConfig {
@@ -90,6 +95,7 @@ impl SsdConfig {
             ftl_latency: SimDuration::from_nanos(250),
             static_power: StaticPower::default(),
             dispatch: DispatchPolicyKind::RetryAll,
+            scan: DispatchScanKind::Incremental,
         }
     }
 
@@ -115,6 +121,7 @@ impl SsdConfig {
             ftl_latency: SimDuration::from_nanos(250),
             static_power: StaticPower::default(),
             dispatch: DispatchPolicyKind::RetryAll,
+            scan: DispatchScanKind::Incremental,
         }
     }
 
@@ -135,6 +142,50 @@ impl SsdConfig {
             cols,
             ..self.fabric
         };
+        self
+    }
+
+    /// Resizes the flash array to a `rows × cols` mesh: the fabric shape
+    /// *and* the chip count become `rows × cols` (per-chip geometry is
+    /// kept). For shapes that preserve the current chip count this is
+    /// exactly [`SsdConfig::with_shape`]; larger meshes (16×16, 32×32 — the
+    /// big-mesh sweep entries) grow the array, scaling chip-level
+    /// parallelism with the fabric. Capacity is re-derived per workload by
+    /// [`SsdConfig::sized_for_footprint`], so over-provisioning pressure is
+    /// unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero or exceeds 256 (controller ids
+    /// are `u8`: one controller per row, and pnSSD drives column buses by
+    /// controller index too), or if the chip count exceeds the `u16`
+    /// chip-id space.
+    pub fn with_mesh(mut self, rows: u16, cols: u16) -> Self {
+        assert!(rows > 0 && cols > 0, "mesh must be non-empty");
+        assert!(
+            rows <= 256 && cols <= 256,
+            "mesh {rows}x{cols} exceeds the u8 controller-id space (max 256 rows/cols)"
+        );
+        let chips = u32::from(rows) * u32::from(cols);
+        assert!(
+            u16::try_from(chips).is_ok(),
+            "mesh {rows}x{cols} exceeds the u16 chip-id space"
+        );
+        self.array.chips = chips as u16;
+        self.fabric = FabricParams {
+            rows,
+            cols,
+            ..self.fabric
+        };
+        self
+    }
+
+    /// Selects the dispatch-round implementation (incremental ready-set
+    /// engine vs the retained full-scan reference). Metrics are
+    /// bit-identical for both — this knob exists for cross-checks and the
+    /// `dispatch_scan` microbench, not for sweeps.
+    pub fn with_dispatch_scan(mut self, scan: DispatchScanKind) -> Self {
+        self.scan = scan;
         self
     }
 
@@ -248,6 +299,44 @@ mod tests {
     #[should_panic(expected = "preserve the chip count")]
     fn bad_shape_rejected() {
         SsdConfig::performance_optimized().with_shape(4, 4);
+    }
+
+    #[test]
+    fn with_mesh_resizes_the_array_with_the_fabric() {
+        // Count-preserving meshes behave exactly like with_shape.
+        let same = SsdConfig::performance_optimized().with_mesh(4, 16);
+        assert_eq!(same.array.chips, 64);
+        assert_eq!((same.fabric.rows, same.fabric.cols), (4, 16));
+        same.validate();
+        // Big meshes grow the chip array to match.
+        for (r, c) in [(16u16, 16u16), (32, 32)] {
+            let big = SsdConfig::performance_optimized().with_mesh(r, c);
+            assert_eq!(big.array.chips, r * c);
+            assert_eq!((big.fabric.rows, big.fabric.cols), (r, c));
+            big.validate();
+            // Capacity sizing still tracks the workload footprint.
+            let sized = big.sized_for_footprint(256 << 20);
+            assert!(sized.array.chip.blocks_per_plane >= 8);
+            sized.validate();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "controller-id space")]
+    fn with_mesh_rejects_meshes_beyond_the_controller_id_space() {
+        // 300 rows would alias FcId(44..) onto FcId(0..) through the u8
+        // controller ids — must fail fast, not corrupt fabric bookkeeping.
+        SsdConfig::performance_optimized().with_mesh(300, 2);
+    }
+
+    #[test]
+    fn dispatch_scan_defaults_to_incremental() {
+        let cfg = SsdConfig::performance_optimized();
+        assert_eq!(cfg.scan, DispatchScanKind::Incremental);
+        assert_eq!(cfg.scan.label(), "incremental");
+        let full = cfg.with_dispatch_scan(DispatchScanKind::FullScan);
+        assert_eq!(full.scan, DispatchScanKind::FullScan);
+        assert_eq!(full.scan.label(), "full-scan");
     }
 
     #[test]

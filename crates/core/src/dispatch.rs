@@ -43,7 +43,7 @@
 
 use std::fmt;
 
-use venice_interconnect::AcquireError;
+use venice_interconnect::{AcquireError, FabricKind};
 
 /// Maximum rounds a chip can be backed off for (cap of the exponential).
 pub const BACKOFF_MAX_ROUNDS: u64 = 64;
@@ -67,14 +67,27 @@ pub enum DispatchPolicyKind {
     ConflictBackoff,
     /// At most [`ATTEMPT_QUOTA`] acquisition attempts per chip per round.
     RoundRobinQuota,
+    /// Pick the best measured policy for the fabric under test: mesh
+    /// designs run [`DispatchPolicyKind::ConflictBackoff`] (1.43× engine
+    /// events/sec on congested Venice for a ~6% simulated-exec-time cost —
+    /// `results/policy_ablation.json`); bus designs run
+    /// [`DispatchPolicyKind::RetryAll`] (on the congested Baseline, backoff
+    /// inflates the *simulated* SSD's execution time by ~13% for a marginal
+    /// engine gain — a bus conflict is cheap to probe and frees at burst
+    /// granularity, so deferring the retry mostly just delays service).
+    /// Resolution happens once, at simulator construction
+    /// ([`DispatchPolicyKind::resolve_for`]); `RunMetrics.policy` reports
+    /// `auto`, so sweep-point round-trips stay exact.
+    Auto,
 }
 
 impl DispatchPolicyKind {
     /// All policies, in presentation order.
-    pub const ALL: [DispatchPolicyKind; 3] = [
+    pub const ALL: [DispatchPolicyKind; 4] = [
         DispatchPolicyKind::RetryAll,
         DispatchPolicyKind::ConflictBackoff,
         DispatchPolicyKind::RoundRobinQuota,
+        DispatchPolicyKind::Auto,
     ];
 
     /// Stable label used in sweep-point labels, manifests, and JSON.
@@ -83,6 +96,7 @@ impl DispatchPolicyKind {
             DispatchPolicyKind::RetryAll => "retry-all",
             DispatchPolicyKind::ConflictBackoff => "conflict-backoff",
             DispatchPolicyKind::RoundRobinQuota => "round-robin-quota",
+            DispatchPolicyKind::Auto => "auto",
         }
     }
 
@@ -92,6 +106,26 @@ impl DispatchPolicyKind {
         DispatchPolicyKind::ALL
             .into_iter()
             .find(|k| k.label().eq_ignore_ascii_case(label))
+    }
+
+    /// The concrete policy this kind runs on `fabric` — the per-fabric
+    /// default table behind [`DispatchPolicyKind::Auto`], chosen from the
+    /// `results/policy_ablation.json` ablation: backoff pays on the mesh
+    /// fabrics (failed scout walks are expensive and skippable) and on the
+    /// bus designs costs simulated SSD performance for little engine gain
+    /// (a bus conflict is cheap to probe and frees at burst granularity).
+    /// Every non-`Auto` kind resolves to itself.
+    pub fn resolve_for(&self, fabric: FabricKind) -> DispatchPolicyKind {
+        match self {
+            DispatchPolicyKind::Auto => match fabric {
+                FabricKind::NoSsd | FabricKind::Venice => DispatchPolicyKind::ConflictBackoff,
+                FabricKind::Baseline
+                | FabricKind::Pssd
+                | FabricKind::PnSsd
+                | FabricKind::Ideal => DispatchPolicyKind::RetryAll,
+            },
+            other => *other,
+        }
     }
 }
 
@@ -116,11 +150,44 @@ pub struct DispatchStats {
     pub failed_walks: u64,
 }
 
+/// Which dispatch-round implementation the engine runs. Both produce
+/// bit-identical [`crate::RunMetrics`] for every `(config, policy, system,
+/// trace)` quadruple — the scan kind is a pure performance knob, never an
+/// axis of behavior — enforced by the randomized cross-check in
+/// `tests/properties.rs`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum DispatchScanKind {
+    /// Incremental ready-set dispatch (the default): rounds visit only
+    /// chips with dispatchable work, via dense bit sets maintained at TSU
+    /// enqueue/pop and data-burst arrival, and a round that ended on an
+    /// exhausted controller pool parks until a release frees one.
+    #[default]
+    Incremental,
+    /// The retained full-scan reference dispatcher: every round walks all
+    /// chips (data bursts) and linearly scans the TSU for busy chips.
+    /// O(chips) per round; kept for cross-checking the incremental engine.
+    FullScan,
+}
+
+impl DispatchScanKind {
+    /// Diagnostic label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DispatchScanKind::Incremental => "incremental",
+            DispatchScanKind::FullScan => "full-scan",
+        }
+    }
+}
+
 /// Live per-simulation policy state: the [`DispatchPolicyKind`] plus dense
 /// per-chip arrays (see the module docs for the storage rule).
 #[derive(Clone, Debug)]
 pub(crate) struct PolicyState {
-    kind: DispatchPolicyKind,
+    /// The configured kind (what `RunMetrics.policy` reports; may be
+    /// [`DispatchPolicyKind::Auto`]).
+    configured: DispatchPolicyKind,
+    /// The concrete policy driving decisions (never `Auto`).
+    active: DispatchPolicyKind,
     /// Current dispatch round (monotone; one `begin_round` per round).
     round: u64,
     /// ConflictBackoff: first round in which the chip may be attempted again.
@@ -139,9 +206,12 @@ pub(crate) struct PolicyState {
 }
 
 impl PolicyState {
-    pub(crate) fn new(kind: DispatchPolicyKind, chips: usize) -> Self {
+    pub(crate) fn new(kind: DispatchPolicyKind, fabric: FabricKind, chips: usize) -> Self {
+        let resolved = kind.resolve_for(fabric);
+        debug_assert_ne!(resolved, DispatchPolicyKind::Auto, "Auto must resolve");
         PolicyState {
-            kind,
+            configured: kind,
+            active: resolved,
             round: 0,
             backoff_until: vec![0; chips],
             backoff_exp: vec![0; chips],
@@ -153,8 +223,16 @@ impl PolicyState {
         }
     }
 
+    /// The configured kind, for reporting (`Auto` stays `Auto` so sweep
+    /// labels and manifests round-trip).
     pub(crate) fn kind(&self) -> DispatchPolicyKind {
-        self.kind
+        self.configured
+    }
+
+    /// The concrete policy driving decisions (what `Auto` resolved to).
+    #[cfg(test)]
+    pub(crate) fn resolved(&self) -> DispatchPolicyKind {
+        self.active
     }
 
     /// Starts a dispatch round.
@@ -174,7 +252,7 @@ impl PolicyState {
     #[inline]
     pub(crate) fn try_attempt(&mut self, chip: u16, queue_age_ns: u64) -> bool {
         let c = usize::from(chip);
-        match self.kind {
+        match self.active {
             DispatchPolicyKind::RetryAll => {}
             DispatchPolicyKind::ConflictBackoff => {
                 if self.round < self.backoff_until[c] {
@@ -202,6 +280,9 @@ impl PolicyState {
                 }
                 self.quota_used[c] += 1;
             }
+            DispatchPolicyKind::Auto => {
+                unreachable!("Auto resolves to a concrete policy at construction")
+            }
         }
         self.stats.attempts += 1;
         true
@@ -211,7 +292,7 @@ impl PolicyState {
     #[inline]
     pub(crate) fn note_success(&mut self, chip: u16) {
         self.dispatched_this_round = true;
-        if self.kind == DispatchPolicyKind::ConflictBackoff {
+        if self.active == DispatchPolicyKind::ConflictBackoff {
             let c = usize::from(chip);
             self.backoff_until[c] = 0;
             self.backoff_exp[c] = 0;
@@ -227,7 +308,7 @@ impl PolicyState {
             return;
         }
         self.stats.failed_walks += 1;
-        if self.kind == DispatchPolicyKind::ConflictBackoff {
+        if self.active == DispatchPolicyKind::ConflictBackoff {
             let c = usize::from(chip);
             let wait = (1u64 << self.backoff_exp[c]).min(BACKOFF_MAX_ROUNDS);
             self.backoff_until[c] = self.round + 1 + wait;
@@ -272,8 +353,47 @@ mod tests {
     }
 
     #[test]
+    fn auto_resolves_per_fabric_and_reports_itself() {
+        for fabric in FabricKind::ALL {
+            let expect = match fabric {
+                FabricKind::NoSsd | FabricKind::Venice => DispatchPolicyKind::ConflictBackoff,
+                _ => DispatchPolicyKind::RetryAll,
+            };
+            assert_eq!(DispatchPolicyKind::Auto.resolve_for(fabric), expect, "{fabric}");
+            let p = PolicyState::new(DispatchPolicyKind::Auto, fabric, 4);
+            assert_eq!(p.kind(), DispatchPolicyKind::Auto, "metrics report `auto`");
+            assert_eq!(p.resolved(), expect, "{fabric}");
+            // Concrete kinds resolve to themselves on every fabric.
+            for kind in [
+                DispatchPolicyKind::RetryAll,
+                DispatchPolicyKind::ConflictBackoff,
+                DispatchPolicyKind::RoundRobinQuota,
+            ] {
+                assert_eq!(kind.resolve_for(fabric), kind);
+            }
+        }
+    }
+
+    #[test]
+    fn auto_backs_off_like_conflict_backoff_on_mesh_fabrics() {
+        let mut p = PolicyState::new(DispatchPolicyKind::Auto, FabricKind::Venice, 1);
+        p.begin_round();
+        assert!(p.try_attempt(0, 0));
+        p.note_failure(0, &CONFLICT);
+        p.begin_round();
+        assert!(!p.try_attempt(0, 0), "auto-on-mesh backs off after a conflict");
+        // On a bus fabric Auto is RetryAll: never skips.
+        let mut bus = PolicyState::new(DispatchPolicyKind::Auto, FabricKind::Baseline, 1);
+        bus.begin_round();
+        assert!(bus.try_attempt(0, 0));
+        bus.note_failure(0, &CONFLICT);
+        bus.begin_round();
+        assert!(bus.try_attempt(0, 0), "auto-on-bus retries everything");
+    }
+
+    #[test]
     fn retry_all_never_skips() {
-        let mut p = PolicyState::new(DispatchPolicyKind::RetryAll, 4);
+        let mut p = PolicyState::new(DispatchPolicyKind::RetryAll, FabricKind::Venice, 4);
         for _ in 0..10 {
             p.begin_round();
             for chip in 0..4 {
@@ -291,7 +411,7 @@ mod tests {
 
     #[test]
     fn backoff_grows_exponentially_and_resets_on_success() {
-        let mut p = PolicyState::new(DispatchPolicyKind::ConflictBackoff, 2);
+        let mut p = PolicyState::new(DispatchPolicyKind::ConflictBackoff, FabricKind::Venice, 2);
         // First failure: skipped for 1 round, then eligible again.
         p.begin_round();
         assert!(p.try_attempt(0, 0));
@@ -322,7 +442,7 @@ mod tests {
 
     #[test]
     fn busy_chip_failures_do_not_back_off() {
-        let mut p = PolicyState::new(DispatchPolicyKind::ConflictBackoff, 1);
+        let mut p = PolicyState::new(DispatchPolicyKind::ConflictBackoff, FabricKind::Venice, 1);
         p.begin_round();
         assert!(p.try_attempt(0, 0));
         p.note_failure(0, &AcquireError::ChannelBusy);
@@ -334,7 +454,7 @@ mod tests {
 
     #[test]
     fn starving_chips_bypass_backoff() {
-        let mut p = PolicyState::new(DispatchPolicyKind::ConflictBackoff, 1);
+        let mut p = PolicyState::new(DispatchPolicyKind::ConflictBackoff, FabricKind::Venice, 1);
         p.begin_round();
         assert!(p.try_attempt(0, 0));
         p.note_failure(0, &CONFLICT);
@@ -347,7 +467,7 @@ mod tests {
 
     #[test]
     fn quota_caps_attempts_per_round() {
-        let mut p = PolicyState::new(DispatchPolicyKind::RoundRobinQuota, 2);
+        let mut p = PolicyState::new(DispatchPolicyKind::RoundRobinQuota, FabricKind::Venice, 2);
         p.begin_round();
         for _ in 0..ATTEMPT_QUOTA {
             assert!(p.try_attempt(0, 0));
@@ -361,7 +481,7 @@ mod tests {
 
     #[test]
     fn backoff_wait_caps_at_max_rounds() {
-        let mut p = PolicyState::new(DispatchPolicyKind::ConflictBackoff, 1);
+        let mut p = PolicyState::new(DispatchPolicyKind::ConflictBackoff, FabricKind::Venice, 1);
         for _ in 0..20 {
             p.begin_round();
             if p.try_attempt(0, 0) {

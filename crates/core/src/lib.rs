@@ -48,7 +48,8 @@ mod ssd;
 
 pub use config::{SsdConfig, StaticPower};
 pub use dispatch::{
-    DispatchPolicyKind, DispatchStats, ATTEMPT_QUOTA, BACKOFF_MAX_ROUNDS, STARVATION_NS,
+    DispatchPolicyKind, DispatchScanKind, DispatchStats, ATTEMPT_QUOTA, BACKOFF_MAX_ROUNDS,
+    STARVATION_NS,
 };
 pub use experiment::{
     all_systems, enter_shared_pool, run_single, run_systems, shared_pool_active,

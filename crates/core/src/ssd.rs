@@ -29,6 +29,27 @@
 //! performs no hashing and no per-event allocation; scratch buffers
 //! (same-instant event batches, busy-chip lists, migration partitions) are
 //! reused across events.
+//!
+//! # Incremental ready-set dispatch
+//!
+//! Dispatch rounds cost O(ready chips), not O(all chips): chips with a
+//! pending read-data burst live in a dense bit set (`data_ready`,
+//! maintained at burst arrival/drain), chips with queued TSU work come
+//! from the TSU's own busy set, and a round that ended on an exhausted
+//! controller pool parks (`parked_on_controllers`) until a fabric release
+//! reports a controller freed. The visit order — circular ascending from
+//! the rotating fairness cursor, busy-list rotation by
+//! `cursor % busy.len()` — is *exactly* the order the retained full-scan
+//! dispatcher ([`crate::DispatchScanKind::FullScan`]) produces, so the two
+//! engines emit bit-identical `RunMetrics` (randomized cross-check in
+//! `tests/properties.rs`). The `RetryAll` golden hash in
+//! `tests/integration.rs` additionally pins every *simulated-behavior*
+//! field — execution time, events, transactions, conflicts, acquisitions,
+//! energy — to the pre-policy dispatcher; dispatcher-*effort* stats
+//! (`rounds`/`attempts`/`controller_unavailable`) may run lower than
+//! PR 3's on pool-exhausting workloads because parked rounds stop
+//! counting doomed probes. See `docs/ARCHITECTURE.md` § "ready-set
+//! dispatch & wake lists" for the re-arming invariants.
 
 use std::collections::VecDeque;
 
@@ -37,13 +58,15 @@ use venice_ftl::{
     TransactionScheduler, TxnId, TxnKind,
 };
 use venice_hil::{HostInterface, HostRequest};
-use venice_interconnect::{build_fabric, AcquireError, Fabric, FabricKind, NodeId, PathGrant};
+use venice_interconnect::{
+    build_fabric, AcquireError, Fabric, FabricKind, NodeId, PathGrant, ReleaseInfo,
+};
 use venice_nand::{ChipId, FlashChip, NandCommandKind, PageAddr, PhysicalPageAddr};
 use venice_sim::stats::LatencySamples;
-use venice_sim::{EventQueue, SimDuration, SimTime};
+use venice_sim::{DenseBitSet, EventQueue, SimDuration, SimTime};
 use venice_workloads::{IoOp, Trace};
 
-use crate::dispatch::PolicyState;
+use crate::dispatch::{DispatchScanKind, PolicyState};
 use crate::{RunMetrics, SsdConfig};
 
 /// Simulator events.
@@ -214,9 +237,22 @@ pub struct SsdSim {
     dispatch_cursor: usize,
     /// The dispatch policy's per-chip state (see `crate::dispatch`).
     policy: PolicyState,
+    /// Ready set: chips with at least one read-data burst waiting for a
+    /// path out (mirrors "`data_pending[c]` non-empty"), maintained at
+    /// burst arrival and drain so incremental dispatch rounds visit only
+    /// these chips instead of walking every chip.
+    data_ready: DenseBitSet,
+    /// Parked-until-controller-free: set when a dispatch round ended on
+    /// [`AcquireError::NoFreeController`] (a pooled fabric's controllers
+    /// are all mid-transfer, so *no* acquisition can succeed); dispatch
+    /// rounds no-op — advancing only the fairness cursor — until a fabric
+    /// release reports a controller freed ([`ReleaseInfo::controller`]).
+    parked_on_controllers: bool,
 
     /// Reusable scratch: busy-chip list for dispatch rounds.
     busy_scratch: Vec<u16>,
+    /// Reusable scratch: ready-chip list for incremental data-burst passes.
+    data_scratch: Vec<u16>,
     /// Reusable scratch: migration pages served from the write buffer.
     mig_buffered: Vec<(u64, Gppa)>,
     /// Reusable scratch: migration pages needing a flash read.
@@ -302,8 +338,11 @@ impl SsdSim {
             erases_since_wear_check: 0,
             dispatch_pending: false,
             dispatch_cursor: 0,
-            policy: PolicyState::new(config.dispatch, chip_count),
+            policy: PolicyState::new(config.dispatch, kind, chip_count),
+            data_ready: DenseBitSet::with_capacity(chip_count),
+            parked_on_controllers: false,
             busy_scratch: Vec::new(),
+            data_scratch: Vec::new(),
             mig_buffered: Vec::new(),
             mig_flash: Vec::new(),
             latencies: LatencySamples::new(),
@@ -655,6 +694,23 @@ impl SsdSim {
 
     fn on_dispatch(&mut self, now: SimTime) {
         self.dispatch_pending = false;
+        if self.parked_on_controllers {
+            // Parked-until-controller-free: every controller of a pooled
+            // fabric is mid-transfer, so no acquisition can succeed until a
+            // release reports one freed (`note_release`, which also
+            // schedules a dispatch). The round no-ops; the fairness cursor
+            // still advances so rotation stays aligned with a round that
+            // ran and failed. Relative to an engine without parking this
+            // changes only dispatcher-*effort* accounting (`rounds`,
+            // `attempts`, `controller_unavailable` stop counting doomed
+            // probes) — never simulated behavior: nothing could have
+            // dispatched, so execution time, latencies, conflict counts,
+            // acquisitions, and event scheduling are untouched. Both scan
+            // kinds park identically, keeping incremental vs full-scan
+            // metrics bit-identical.
+            self.dispatch_cursor = self.dispatch_cursor.wrapping_add(1);
+            return;
+        }
         self.policy.begin_round();
         // Two passes implement the paper's controller-affinity policy: first
         // serve chips whose *home-row* controller is free (short, row-local
@@ -671,7 +727,13 @@ impl SsdSim {
             }
         }
         self.dispatch_cursor = self.dispatch_cursor.wrapping_add(1);
-        if self.policy.round_needs_probe() {
+        if no_controller {
+            // The round ended on an exhausted controller pool: park. The
+            // next release is guaranteed (the pool is exhausted because
+            // grants are outstanding) and wakes dispatch, so skipped chips
+            // cannot strand and no probe is needed.
+            self.parked_on_controllers = true;
+        } else if self.policy.round_needs_probe() {
             // Every attempt this round was suppressed and nothing was
             // dispatched: no in-flight completion is guaranteed to wake the
             // dispatcher, so schedule a probe round ourselves. Rounds are
@@ -684,54 +746,101 @@ impl SsdSim {
         }
     }
 
+    /// Consumes a fabric release report (the wake list): a freed controller
+    /// un-parks dispatch. The resource component (`bus` / `channel` / mesh
+    /// region, see [`venice_interconnect::FreedResource`]) names which
+    /// chips could have been unblocked; the engine's ready sets already
+    /// bound round cost by *queued* work, so per-resource re-arming is left
+    /// to future policies.
+    fn note_release(&mut self, info: &ReleaseInfo) {
+        if info.controller.is_some() {
+            self.parked_on_controllers = false;
+        }
+    }
+
     /// Pending read-data bursts (they hold their die's page register, so
     /// they go before new commands). Returns true when the fabric ran out of
     /// controllers.
+    ///
+    /// The pass visits chips in circular ascending order from the fairness
+    /// cursor. Incrementally, the visit list comes from the `data_ready`
+    /// set (O(ready chips)); the retained full scan enumerates every chip —
+    /// chips with no pending burst contribute nothing either way, so the
+    /// acquisition sequence is bit-identical between the two.
     fn dispatch_data_bursts(&mut self, now: SimTime, home_only: bool) -> bool {
         let chip_count = self.chips.len();
-        for off in 0..chip_count {
-            let c = (self.dispatch_cursor + off) % chip_count;
-            if home_only && !self.fabric.home_controller_free(NodeId(c as u16)) {
-                continue;
-            }
-            while let Some(&txn_id) = self.data_pending[c].front() {
-                // Data bursts hold their die's page register, so the TSU
-                // queue age does not apply; pass zero (no starvation
-                // override — the backoff bound alone caps the deferral).
-                if !self.policy.try_attempt(c as u16, 0) {
-                    break;
-                }
-                match self.fabric.try_acquire(NodeId(c as u16)) {
-                    Ok(grant) => {
-                        self.policy.note_success(c as u16);
-                        self.data_pending[c].pop_front();
-                        let bytes = self.config.page_bytes();
-                        let d = self.fabric.transfer(&grant, bytes);
-                        let inf = self.slot_mut(txn_id);
-                        inf.phase = Phase::DataOut;
-                        inf.grant = Some(grant);
-                        self.queue.schedule(now + d, Event::DataSent(txn_id));
-                    }
-                    Err(e) => {
-                        self.policy.note_failure(c as u16, &e);
-                        let req = self.slot(txn_id).txn.request;
-                        self.note_acquire_failure(txn_id, req, e);
-                        if e == AcquireError::NoFreeController {
-                            return true;
-                        }
-                        break;
-                    }
-                }
+        let mut ready = std::mem::take(&mut self.data_scratch);
+        match self.config.scan {
+            DispatchScanKind::Incremental => self
+                .data_ready
+                .collect_into_from(self.dispatch_cursor % chip_count, &mut ready),
+            DispatchScanKind::FullScan => {
+                ready.clear();
+                ready.extend(
+                    (0..chip_count).map(|off| ((self.dispatch_cursor + off) % chip_count) as u16),
+                );
             }
         }
-        false
+        let ran_out = 'out: {
+            for &chip in &ready {
+                let c = usize::from(chip);
+                if home_only && !self.fabric.home_controller_free(NodeId(chip)) {
+                    continue;
+                }
+                while let Some(&txn_id) = self.data_pending[c].front() {
+                    // Data bursts hold their die's page register, so the TSU
+                    // queue age does not apply; pass zero (no starvation
+                    // override — the backoff bound alone caps the deferral).
+                    if !self.policy.try_attempt(chip, 0) {
+                        break;
+                    }
+                    match self.fabric.try_acquire(NodeId(chip)) {
+                        Ok(grant) => {
+                            self.policy.note_success(chip);
+                            self.data_pending[c].pop_front();
+                            if self.data_pending[c].is_empty() {
+                                self.data_ready.remove(c);
+                            }
+                            let bytes = self.config.page_bytes();
+                            let d = self.fabric.transfer(&grant, bytes);
+                            let inf = self.slot_mut(txn_id);
+                            inf.phase = Phase::DataOut;
+                            inf.grant = Some(grant);
+                            self.queue.schedule(now + d, Event::DataSent(txn_id));
+                        }
+                        Err(e) => {
+                            self.policy.note_failure(chip, &e);
+                            let req = self.slot(txn_id).txn.request;
+                            self.note_acquire_failure(txn_id, req, e);
+                            if e == AcquireError::NoFreeController {
+                                break 'out true;
+                            }
+                            break;
+                        }
+                    }
+                }
+            }
+            false
+        };
+        self.data_scratch = ready;
+        ran_out
     }
 
     /// Command (and command+data) bursts for queued transactions. Returns
     /// true when the fabric ran out of controllers.
+    ///
+    /// The busy-chip list is in ascending chip-id order and the rotation
+    /// start is `cursor % busy.len()`, so the list must contain *every*
+    /// chip with queued work — including chips whose head die is busy (they
+    /// cost one peek) — or the rotation would drift between engines.
+    /// Incrementally the list comes from the TSU's busy set (O(busy));
+    /// the retained full scan walks every chip's queues. Identical output.
     fn dispatch_command_bursts(&mut self, now: SimTime, home_only: bool) -> bool {
         let mut busy = std::mem::take(&mut self.busy_scratch);
-        self.tsu.busy_chips_into(&mut busy);
+        match self.config.scan {
+            DispatchScanKind::Incremental => self.tsu.busy_chips_into(&mut busy),
+            DispatchScanKind::FullScan => self.tsu.busy_chips_scan_into(&mut busy),
+        }
         let ran_out = 'out: {
             if busy.is_empty() {
                 break 'out false;
@@ -813,7 +922,8 @@ impl SsdSim {
         inf.phase = Phase::ArrayOp;
         let grant = inf.grant.take().expect("command held a grant");
         let txn = inf.txn;
-        self.fabric.release(grant);
+        let released = self.fabric.release(grant);
+        self.note_release(&released);
         let kind = if txn.kind.is_read() {
             NandCommandKind::Read
         } else if txn.kind.is_write() {
@@ -835,6 +945,7 @@ impl SsdSim {
             // Data waits in the page register for a path out; the die stays
             // claimed until the burst drains.
             self.data_pending[usize::from(txn.target.chip.0)].push_back(txn_id);
+            self.data_ready.insert(usize::from(txn.target.chip.0));
         } else {
             let die = self.die_key(txn.target);
             self.die_busy[die] = false;
@@ -848,7 +959,8 @@ impl SsdSim {
         let inf = self.slot_mut(txn_id);
         debug_assert_eq!(inf.phase, Phase::DataOut);
         let grant = inf.grant.take().expect("data burst held a grant");
-        self.fabric.release(grant);
+        let released = self.fabric.release(grant);
+        self.note_release(&released);
         let (txn, migration) = self.free_txn(txn_id);
         let die = self.die_key(txn.target);
         self.die_busy[die] = false;
@@ -1218,6 +1330,54 @@ mod tests {
         assert_eq!(a.conflicted_requests, b.conflicted_requests);
         assert_eq!(a.transactions, b.transactions);
         assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn deep_queue_cannot_starve_row_neighbors_under_retry_all() {
+        // Fairness regression for the dispatch_cursor rotation: chips 0..=3
+        // share row 0's bus on the Baseline fabric. Chip 0 gets a deep
+        // queue, its neighbors one transaction each. If rotation works, the
+        // neighbors' singletons drain while chip 0's queue is still mostly
+        // full; a dispatcher stuck at chip 0 would drain the hog first.
+        let trace = WorkloadSpec::new("empty", 50.0, 8.0, 10.0)
+            .footprint_mb(32)
+            .generate(0);
+        let cfg = SsdConfig::performance_optimized().sized_for_footprint(32 << 20);
+        let mut sim = SsdSim::new(cfg, FabricKind::Baseline, &trace);
+        let now = SimTime::ZERO;
+        const HOG_DEPTH: usize = 40;
+        for _ in 0..HOG_DEPTH {
+            sim.spawn_txn(now, TxnKind::MapRead, __test_target(0), Some(0), None, NO_MIGRATION);
+        }
+        for chip in 1..=3u16 {
+            sim.spawn_txn(
+                now,
+                TxnKind::MapRead,
+                __test_target(chip),
+                Some(0),
+                None,
+                NO_MIGRATION,
+            );
+        }
+        let mut batch = Vec::new();
+        let mut hog_left_when_neighbors_drained = None;
+        while let Some(t) = sim.queue.pop_batch(&mut batch) {
+            for ev in batch.drain(..) {
+                sim.handle(t, ev);
+            }
+            if hog_left_when_neighbors_drained.is_none()
+                && (1..=3u16).all(|c| sim.tsu.pending_for(c) == 0)
+            {
+                hog_left_when_neighbors_drained = Some(sim.tsu.pending_for(0));
+            }
+        }
+        assert_eq!(sim.live_txns, 0, "all transactions must complete");
+        let left = hog_left_when_neighbors_drained.expect("neighbors drained");
+        assert!(
+            left >= HOG_DEPTH - 10,
+            "rotation must serve the neighbors early: hog still had {left} of \
+             {HOG_DEPTH} queued when they drained"
+        );
     }
 
     #[test]

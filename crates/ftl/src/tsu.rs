@@ -13,7 +13,7 @@
 
 use std::collections::VecDeque;
 
-use venice_sim::SimTime;
+use venice_sim::{DenseBitSet, SimTime};
 
 use crate::Transaction;
 #[cfg(test)]
@@ -83,6 +83,10 @@ impl ChipQueues {
 pub struct TransactionScheduler {
     chips: Vec<ChipQueues>,
     pending: usize,
+    /// Chips with at least one queued transaction, maintained incrementally
+    /// at enqueue/pop so the dispatcher's busy-chip collection costs
+    /// O(words + busy) instead of a linear scan over every chip.
+    busy_set: DenseBitSet,
 }
 
 impl TransactionScheduler {
@@ -91,6 +95,7 @@ impl TransactionScheduler {
         TransactionScheduler {
             chips: (0..chips).map(|_| ChipQueues::new()).collect(),
             pending: 0,
+            busy_set: DenseBitSet::with_capacity(chips),
         }
     }
 
@@ -117,7 +122,8 @@ impl TransactionScheduler {
     /// Enqueues a transaction on its target chip's class queue, stamped
     /// with the current simulation time `now`.
     pub fn enqueue(&mut self, txn: Transaction, now: SimTime) {
-        let q = &mut self.chips[usize::from(txn.target.chip.0)];
+        let chip = usize::from(txn.target.chip.0);
+        let q = &mut self.chips[chip];
         let e = Queued { txn, at: now };
         if txn.kind.is_read() {
             q.reads.push_back(e);
@@ -127,6 +133,7 @@ impl TransactionScheduler {
             q.erases.push_back(e);
         }
         self.pending += 1;
+        self.busy_set.insert(chip);
     }
 
     /// The next transaction that would dispatch on `chip`: the oldest read
@@ -150,6 +157,9 @@ impl TransactionScheduler {
             .or_else(|| q.erases.pop_front());
         if t.is_some() {
             self.pending -= 1;
+            if q.len() == 0 {
+                self.busy_set.remove(usize::from(chip));
+            }
         }
         t.map(|e| e.txn)
     }
@@ -168,7 +178,10 @@ impl TransactionScheduler {
             .map_or(0, |at| now.saturating_since(at).as_nanos())
     }
 
-    /// Iterates over chips that have at least one queued transaction.
+    /// Iterates over chips that have at least one queued transaction, by
+    /// linearly scanning every chip's queues (O(chips)). Retained as the
+    /// reference for [`TransactionScheduler::busy_chips_into`] — the
+    /// full-scan dispatcher and the randomized cross-checks use it.
     pub fn busy_chips(&self) -> impl Iterator<Item = u16> + '_ {
         self.chips
             .iter()
@@ -177,10 +190,22 @@ impl TransactionScheduler {
             .map(|(i, _)| i as u16)
     }
 
-    /// Collects the busy chips into `out` (cleared first) without
-    /// allocating in steady state — the dispatcher's per-round scratch
-    /// buffer keeps its capacity across calls.
+    /// Collects the busy chips into `out` (cleared first), in ascending
+    /// chip-id order, without allocating in steady state — the dispatcher's
+    /// per-round scratch buffer keeps its capacity across calls.
+    ///
+    /// Backed by the incrementally maintained busy set, so the cost is
+    /// O(words + busy chips) rather than a scan of every chip; the output
+    /// is bit-identical to collecting [`TransactionScheduler::busy_chips`].
     pub fn busy_chips_into(&self, out: &mut Vec<u16>) {
+        self.busy_set.collect_into_from(0, out);
+    }
+
+    /// [`TransactionScheduler::busy_chips_into`] via the linear reference
+    /// scan (O(chips)). The retained full-scan dispatcher uses this so the
+    /// incremental engine can be cross-checked against an implementation
+    /// that shares none of its ready-set bookkeeping.
+    pub fn busy_chips_scan_into(&self, out: &mut Vec<u16>) {
         out.clear();
         if self.pending == 0 {
             return;
@@ -193,7 +218,8 @@ impl TransactionScheduler {
     /// acquire a path and must be retried without losing its position or
     /// its age).
     pub fn requeue_front(&mut self, txn: Transaction, at: SimTime) {
-        let q = &mut self.chips[usize::from(txn.target.chip.0)];
+        let chip = usize::from(txn.target.chip.0);
+        let q = &mut self.chips[chip];
         let e = Queued { txn, at };
         if txn.kind.is_read() {
             q.reads.push_front(e);
@@ -203,6 +229,7 @@ impl TransactionScheduler {
             q.erases.push_front(e);
         }
         self.pending += 1;
+        self.busy_set.insert(chip);
     }
 }
 
@@ -276,6 +303,35 @@ mod tests {
         assert_eq!(tsu.pending(), 2);
         assert!(!tsu.is_empty());
         assert_eq!(tsu.chip_count(), 4);
+    }
+
+    #[test]
+    fn incremental_busy_set_matches_the_linear_scan() {
+        // Drive a little enqueue/pop churn and require the set-backed
+        // collection to stay bit-identical to the O(chips) reference scan.
+        let mut tsu = TransactionScheduler::new(16);
+        let check = |tsu: &TransactionScheduler| {
+            let (mut fast, mut slow) = (Vec::new(), Vec::new());
+            tsu.busy_chips_into(&mut fast);
+            tsu.busy_chips_scan_into(&mut slow);
+            assert_eq!(fast, slow);
+        };
+        for (id, chip) in [(1u64, 9u16), (2, 3), (3, 9), (4, 15), (5, 0)] {
+            tsu.enqueue(txn(id, TxnKind::UserRead, chip), at(id));
+            check(&tsu);
+        }
+        for chip in [9, 9, 0, 3, 15] {
+            tsu.pop(chip);
+            check(&tsu);
+        }
+        assert!(tsu.is_empty());
+        let mut out = vec![7u16];
+        tsu.busy_chips_into(&mut out);
+        assert!(out.is_empty(), "collection clears the buffer");
+        // requeue_front re-marks an emptied chip as busy.
+        let head = txn(9, TxnKind::UserWrite, 5);
+        tsu.requeue_front(head, at(1));
+        check(&tsu);
     }
 
     #[test]

@@ -265,6 +265,89 @@ impl PathGrant {
     }
 }
 
+/// Which shared resource a [`Fabric::release`] just freed — the fabric's
+/// *wake list*.
+///
+/// Freeing a resource is the only fabric state change that can turn a
+/// failing [`Fabric::try_acquire`] into a success, so the release report is
+/// what an incremental dispatcher keys its re-arming on. The contract every
+/// fabric must honor: the report names the resource whose links/slots the
+/// release returned to the pool. Bus fabrics name the bus; the ideal SSD
+/// names the chip's dedicated channel; mesh fabrics name the bounding box
+/// of the released circuit. For the bus and channel designs the resource
+/// maps exactly onto the chips it gates; for adaptive mesh routing the box
+/// is a locality hint only (see [`FreedResource::may_unblock`]), which is
+/// why the engine's re-arming keys on the freed *controller* plus its
+/// queued-work ready sets rather than on per-chip region tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FreedResource {
+    /// A row-shared channel bus (Baseline, pSSD, pnSSD row buses).
+    RowBus(u16),
+    /// A pnSSD column bus.
+    ColBus(u16),
+    /// The ideal SSD's dedicated per-chip channel.
+    Channel(NodeId),
+    /// The mesh region a released circuit occupied, as a node bounding box
+    /// (`min_row..=max_row` × `min_col..=max_col`).
+    MeshRegion {
+        /// Topmost row the circuit touched.
+        min_row: u16,
+        /// Bottommost row the circuit touched.
+        max_row: u16,
+        /// Leftmost column the circuit touched.
+        min_col: u16,
+        /// Rightmost column the circuit touched.
+        max_col: u16,
+    },
+}
+
+impl FreedResource {
+    /// Whether the chip `chip`, sitting at `(row, col)`, is on this
+    /// resource's wake list — i.e. whether freeing the resource could
+    /// unblock a transfer to that chip.
+    ///
+    /// `RowBus`/`ColBus`/`Channel` are exact: bus designs gate a chip on
+    /// precisely its row/column bus, and a dedicated channel can only have
+    /// blocked its own chip. `MeshRegion` is a *heuristic* hint, not a
+    /// guarantee: adaptive (non-minimal) mesh routes can depend on links
+    /// outside any box-derived test, so a re-arming policy consuming it
+    /// must keep a fallback that eventually retries every chip with queued
+    /// work — the engine's ready sets and probe rounds already are one.
+    pub fn may_unblock(&self, chip: NodeId, row: u16, col: u16) -> bool {
+        match *self {
+            FreedResource::RowBus(r) => r == row,
+            FreedResource::ColBus(c) => c == col,
+            FreedResource::Channel(freed) => freed == chip,
+            FreedResource::MeshRegion {
+                min_row,
+                max_row,
+                min_col,
+                max_col,
+            } => {
+                // Heuristic: a minimal route to (row, col) shares the
+                // box's rows or columns; misrouted/backtracked circuits
+                // may not (see the doc above for the fallback requirement).
+                (min_row..=max_row).contains(&row) || (min_col..=max_col).contains(&col)
+            }
+        }
+    }
+}
+
+/// What a [`Fabric::release`] freed: the controller returned to the pool
+/// (when the design has one) plus the path resource on the wake list.
+///
+/// The SSD engine consumes `controller` to clear its
+/// parked-until-controller-free dispatch state; `resource` is the per-chip
+/// wake list available to finer-grained re-arming policies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReleaseInfo {
+    /// The flash controller freed, for designs with a controller pool
+    /// (`None` for the ideal SSD, whose per-chip channels are not pooled).
+    pub controller: Option<FcId>,
+    /// The freed path resource.
+    pub resource: FreedResource,
+}
+
 /// Cumulative fabric statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct FabricStats {
@@ -331,8 +414,11 @@ pub trait Fabric {
     /// reservation latency. Also accrues transfer energy into the stats.
     fn transfer(&mut self, grant: &PathGrant, bytes: u64) -> SimDuration;
 
-    /// Releases the grant's controller and path.
-    fn release(&mut self, grant: PathGrant);
+    /// Releases the grant's controller and path, reporting what freed (the
+    /// wake list an incremental dispatcher re-arms from — see
+    /// [`ReleaseInfo`] and [`FreedResource`] for the contract new fabrics
+    /// must honor).
+    fn release(&mut self, grant: PathGrant) -> ReleaseInfo;
 
     /// Cumulative statistics.
     fn stats(&self) -> FabricStats;
@@ -472,12 +558,17 @@ impl Fabric for BusFabric {
         d
     }
 
-    fn release(&mut self, grant: PathGrant) {
+    fn release(&mut self, grant: PathGrant) -> ReleaseInfo {
         let Route::Bus { bus, .. } = grant.route else {
             panic!("bus fabric received a non-bus grant");
         };
         debug_assert!(self.bus_busy[usize::from(bus)]);
         self.bus_busy[usize::from(bus)] = false;
+        // The row's controller is the bus driver: freeing one frees both.
+        ReleaseInfo {
+            controller: Some(grant.fc),
+            resource: FreedResource::RowBus(bus),
+        }
     }
 
     fn home_controller_free(&self, chip: NodeId) -> bool {
@@ -566,12 +657,20 @@ impl Fabric for PnSsdFabric {
         d
     }
 
-    fn release(&mut self, grant: PathGrant) {
+    fn release(&mut self, grant: PathGrant) -> ReleaseInfo {
         let Route::Bus { bus, .. } = grant.route else {
             panic!("pnSSD fabric received a non-bus grant");
         };
         self.bus_busy[usize::from(bus)] = false;
         self.fc_busy[usize::from(grant.fc.0)] = false;
+        ReleaseInfo {
+            controller: Some(grant.fc),
+            resource: if bus < self.params.rows {
+                FreedResource::RowBus(bus)
+            } else {
+                FreedResource::ColBus(bus - self.params.rows)
+            },
+        }
     }
 
     fn home_controller_free(&self, chip: NodeId) -> bool {
@@ -661,12 +760,22 @@ impl Fabric for NoSsdFabric {
         d
     }
 
-    fn release(&mut self, grant: PathGrant) {
+    fn release(&mut self, grant: PathGrant) -> ReleaseInfo {
         let Route::Wormhole { path } = grant.route else {
             panic!("NoSSD fabric received a non-wormhole grant");
         };
+        let (min_row, max_row, min_col, max_col) = path.extent(&self.params.mesh());
         self.mesh.release_owned(path);
         self.fcs.release(grant.fc);
+        ReleaseInfo {
+            controller: Some(grant.fc),
+            resource: FreedResource::MeshRegion {
+                min_row,
+                max_row,
+                min_col,
+                max_col,
+            },
+        }
     }
 
     fn home_controller_free(&self, chip: NodeId) -> bool {
@@ -783,12 +892,22 @@ impl Fabric for VeniceFabric {
         d
     }
 
-    fn release(&mut self, grant: PathGrant) {
+    fn release(&mut self, grant: PathGrant) -> ReleaseInfo {
         let Route::Circuit { path, .. } = grant.route else {
             panic!("Venice fabric received a non-circuit grant");
         };
+        let (min_row, max_row, min_col, max_col) = path.extent(&self.params.mesh());
         self.mesh.release_owned(path);
         self.fcs.release(grant.fc);
+        ReleaseInfo {
+            controller: Some(grant.fc),
+            resource: FreedResource::MeshRegion {
+                min_row,
+                max_row,
+                min_col,
+                max_col,
+            },
+        }
     }
 
     fn home_controller_free(&self, chip: NodeId) -> bool {
@@ -861,12 +980,18 @@ impl Fabric for IdealFabric {
         d
     }
 
-    fn release(&mut self, grant: PathGrant) {
+    fn release(&mut self, grant: PathGrant) -> ReleaseInfo {
         let Route::Dedicated { chip } = grant.route else {
             panic!("ideal fabric received a non-dedicated grant");
         };
         debug_assert!(self.chan_busy[usize::from(chip.0)]);
         self.chan_busy[usize::from(chip.0)] = false;
+        // Channels are per chip, not pooled: no controller returns to a
+        // pool, and only the chip itself can have been waiting.
+        ReleaseInfo {
+            controller: None,
+            resource: FreedResource::Channel(chip),
+        }
     }
 
     fn home_controller_free(&self, chip: NodeId) -> bool {
@@ -1054,6 +1179,60 @@ mod tests {
         for g in holds_v {
             venice.release(g);
         }
+    }
+
+    #[test]
+    fn release_reports_the_freed_resource() {
+        let params = FabricParams::table1();
+        // Baseline: chip 9 sits on row 1; its bus and controller free together.
+        let mut base = build_fabric(FabricKind::Baseline, params);
+        let g = acquire_ok(base.as_mut(), 9);
+        let info = base.release(g);
+        assert_eq!(info.controller, Some(FcId(1)));
+        assert_eq!(info.resource, FreedResource::RowBus(1));
+        assert!(info.resource.may_unblock(NodeId(13), 1, 5));
+        assert!(!info.resource.may_unblock(NodeId(21), 2, 5));
+
+        // pnSSD: row bus first, then the column bus fallback.
+        let mut pn = build_fabric(FabricKind::PnSsd, params);
+        let g_row = acquire_ok(pn.as_mut(), 3);
+        let g_col = acquire_ok(pn.as_mut(), 3); // row 0 busy → column bus 3
+        assert_eq!(pn.release(g_col).resource, FreedResource::ColBus(3));
+        assert_eq!(pn.release(g_row).resource, FreedResource::RowBus(0));
+
+        // Mesh fabrics: the freed region must cover the circuit's endpoints.
+        for kind in [FabricKind::NoSsd, FabricKind::Venice] {
+            let mut f = build_fabric(kind, params);
+            let g = acquire_ok(f.as_mut(), 2 * 8 + 5); // chip (2, 5)
+            let fc = g.fc;
+            let info = f.release(g);
+            assert_eq!(info.controller, Some(fc), "{kind}");
+            let FreedResource::MeshRegion {
+                min_row,
+                max_row,
+                min_col,
+                max_col,
+            } = info.resource
+            else {
+                panic!("{kind}: mesh release must report a region");
+            };
+            assert!((min_row..=max_row).contains(&2), "{kind}");
+            assert!((min_col..=max_col).contains(&5), "{kind}");
+            assert!(
+                info.resource.may_unblock(NodeId(2 * 8 + 5), 2, 5),
+                "{kind}: target on wake list"
+            );
+        }
+
+        // Ideal: per-chip channel, no pooled controller. The freed channel's
+        // own chip is the one chip it can have blocked.
+        let mut ideal = build_fabric(FabricKind::Ideal, params);
+        let g = acquire_ok(ideal.as_mut(), 42);
+        let info = ideal.release(g);
+        assert_eq!(info.controller, None);
+        assert_eq!(info.resource, FreedResource::Channel(NodeId(42)));
+        assert!(info.resource.may_unblock(NodeId(42), 5, 2), "own chip woken");
+        assert!(!info.resource.may_unblock(NodeId(43), 5, 3), "nobody else");
     }
 
     #[test]

@@ -47,6 +47,6 @@ mod topology;
 pub use area_power::{table4, AreaModel, LinkPower, Table4Row};
 pub use fabric::{
     build_fabric, AcquireError, ConflictReason, Fabric, FabricKind, FabricParams, FabricStats,
-    PathGrant,
+    FreedResource, PathGrant, ReleaseInfo,
 };
 pub use topology::{Direction, FcId, LinkId, Mesh2D, NodeId};

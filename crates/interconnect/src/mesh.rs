@@ -29,6 +29,25 @@ impl ReservedPath {
     pub fn hops(&self) -> u32 {
         self.links.len() as u32
     }
+
+    /// Bounding box of the path's nodes as `(min_row, max_row, min_col,
+    /// max_col)` in `topo` — the *mesh region* a release reports on its
+    /// wake list (any chip whose route could cross this box may have been
+    /// unblocked by freeing these links).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path is empty (granted paths never are: they carry at
+    /// least the source node).
+    pub fn extent(&self, topo: &crate::Mesh2D) -> (u16, u16, u16, u16) {
+        assert!(!self.nodes.is_empty(), "extent of an empty path");
+        let mut ext = (u16::MAX, 0u16, u16::MAX, 0u16);
+        for &n in &self.nodes {
+            let (r, c) = (topo.row(n), topo.col(n));
+            ext = (ext.0.min(r), ext.1.max(r), ext.2.min(c), ext.3.max(c));
+        }
+        ext
+    }
 }
 
 /// Why a scout walk failed to reserve a path.

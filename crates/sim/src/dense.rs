@@ -1,0 +1,234 @@
+//! A dense, ordered bit set over small integer ids.
+//!
+//! This is the storage behind the engine's *ready sets*: membership flags
+//! for a fixed universe of ids (flash chips, dies) that must support O(1)
+//! insert/remove/contains **and** iteration in ascending-id order — the
+//! property that lets an incremental dispatcher visit exactly the ids a
+//! full linear scan would have visited, in the same order, without paying
+//! `O(universe)` per round. Per the workspace's hot-path rule it is a plain
+//! word array: no hashing, no allocation after construction.
+//!
+//! Iteration cost is `O(words + members)`, where `words = universe / 64`;
+//! for the mesh sizes the simulator sweeps (64–1024 chips) the word walk is
+//! 1–16 machine words, which is what makes the ready-set dispatcher's
+//! rounds effectively proportional to the number of *ready* chips.
+
+/// A fixed-universe dense bit set with ascending-order iteration.
+///
+/// # Example
+///
+/// ```
+/// use venice_sim::DenseBitSet;
+///
+/// let mut s = DenseBitSet::with_capacity(200);
+/// s.insert(7);
+/// s.insert(130);
+/// s.insert(64);
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![7, 64, 130]);
+/// // Circular iteration from a start id (the dispatcher's rotation).
+/// assert_eq!(s.iter_from(64).collect::<Vec<_>>(), vec![64, 130, 7]);
+/// s.remove(64);
+/// assert_eq!(s.len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DenseBitSet {
+    words: Vec<u64>,
+    /// Universe size (ids are `0..capacity`).
+    capacity: usize,
+    /// Current member count (kept incrementally; `len()` is O(1)).
+    len: usize,
+}
+
+impl DenseBitSet {
+    /// Creates an empty set over the universe `0..capacity`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        DenseBitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+            len: 0,
+        }
+    }
+
+    /// The universe size the set was constructed with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no id is a member.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Membership test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the universe.
+    #[inline]
+    pub fn contains(&self, id: usize) -> bool {
+        assert!(id < self.capacity, "id {id} outside universe {}", self.capacity);
+        self.words[id / 64] & (1u64 << (id % 64)) != 0
+    }
+
+    /// Inserts `id`; returns true when it was not already a member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the universe.
+    #[inline]
+    pub fn insert(&mut self, id: usize) -> bool {
+        assert!(id < self.capacity, "id {id} outside universe {}", self.capacity);
+        let (w, b) = (id / 64, 1u64 << (id % 64));
+        let fresh = self.words[w] & b == 0;
+        self.words[w] |= b;
+        self.len += usize::from(fresh);
+        fresh
+    }
+
+    /// Removes `id`; returns true when it was a member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the universe.
+    #[inline]
+    pub fn remove(&mut self, id: usize) -> bool {
+        assert!(id < self.capacity, "id {id} outside universe {}", self.capacity);
+        let (w, b) = (id / 64, 1u64 << (id % 64));
+        let was = self.words[w] & b != 0;
+        self.words[w] &= !b;
+        self.len -= usize::from(was);
+        was
+    }
+
+    /// Removes every member (O(words)).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+
+    /// Iterates members in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            // `wrapping_sub`: `successors` computes the next value while
+            // yielding the current one, so the clear-lowest-set-bit step
+            // also runs on the 0 terminator `take_while` stops at.
+            std::iter::successors(Some(w), |&rest| Some(rest & rest.wrapping_sub(1)))
+                .take_while(|&rest| rest != 0)
+                .map(move |rest| wi * 64 + rest.trailing_zeros() as usize)
+        })
+    }
+
+    /// Iterates members in *circular* ascending order starting at `start`:
+    /// first the members `>= start` ascending, then the members `< start`
+    /// ascending. This reproduces a rotated full scan
+    /// (`(start + off) % capacity` for `off` in `0..capacity`) restricted to
+    /// members — the dispatcher's fairness rotation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is outside the universe (an empty universe admits
+    /// only `start == 0`).
+    pub fn iter_from(&self, start: usize) -> impl Iterator<Item = usize> + '_ {
+        assert!(
+            start < self.capacity || (start == 0 && self.capacity == 0),
+            "start {start} outside universe {}",
+            self.capacity
+        );
+        self.iter()
+            .filter(move |&id| id >= start)
+            .chain(self.iter().filter(move |&id| id < start))
+    }
+
+    /// Collects the members into `out` (cleared first) in circular ascending
+    /// order from `start`, reusing `out`'s capacity — the allocation-free
+    /// form the dispatcher's per-round scratch buffer uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is outside the universe, or if a member does not
+    /// fit in `u16` (the engine's chip-id width).
+    pub fn collect_into_from(&self, start: usize, out: &mut Vec<u16>) {
+        out.clear();
+        out.extend(self.iter_from(start).map(|id| {
+            debug_assert!(id <= usize::from(u16::MAX));
+            id as u16
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains_len() {
+        let mut s = DenseBitSet::with_capacity(130);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(129), "double insert reports existing");
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(0) && s.contains(129) && !s.contains(64));
+        assert!(s.remove(0));
+        assert!(!s.remove(0), "double remove reports missing");
+        assert_eq!(s.len(), 1);
+        s.clear();
+        assert!(s.is_empty() && !s.contains(129));
+        assert_eq!(s.capacity(), 130);
+    }
+
+    #[test]
+    fn iteration_is_ascending_and_matches_a_linear_scan() {
+        let mut s = DenseBitSet::with_capacity(256);
+        let members = [3usize, 5, 63, 64, 65, 127, 128, 200, 255];
+        for &m in &members {
+            s.insert(m);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), members);
+    }
+
+    #[test]
+    fn circular_iteration_matches_a_rotated_full_scan() {
+        let mut s = DenseBitSet::with_capacity(64);
+        for m in [1usize, 8, 9, 40, 63] {
+            s.insert(m);
+        }
+        for start in 0..64 {
+            let expect: Vec<usize> = (0..64)
+                .map(|off| (start + off) % 64)
+                .filter(|&id| s.contains(id))
+                .collect();
+            assert_eq!(
+                s.iter_from(start).collect::<Vec<_>>(),
+                expect,
+                "start {start}"
+            );
+        }
+    }
+
+    #[test]
+    fn collect_into_reuses_the_buffer() {
+        let mut s = DenseBitSet::with_capacity(100);
+        s.insert(10);
+        s.insert(90);
+        let mut out = Vec::new();
+        s.collect_into_from(50, &mut out);
+        assert_eq!(out, vec![90, 10]);
+        let cap = out.capacity();
+        s.collect_into_from(0, &mut out);
+        assert_eq!(out, vec![10, 90]);
+        assert_eq!(out.capacity(), cap, "no reallocation for same-size output");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn out_of_universe_ids_are_rejected() {
+        let mut s = DenseBitSet::with_capacity(8);
+        s.insert(8);
+    }
+}

@@ -9,6 +9,9 @@
 //!   time-wheel event calendar (binary-heap overflow tier for the far
 //!   future) generic over the event payload, with [`EventQueue::pop_batch`]
 //!   for draining same-instant bursts,
+//! * [`DenseBitSet`] — a fixed-universe ordered bit set (O(1)
+//!   insert/remove, ascending and circular iteration): the storage behind
+//!   the SSD engine's incremental ready sets,
 //! * [`rng`] — small deterministic generators: an `xorshift64*` PRNG with the
 //!   distributions the workload generators need, and the 2-bit linear-feedback
 //!   shift register the Venice router uses for random output-port selection,
@@ -36,10 +39,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod dense;
 mod event;
 pub mod rng;
 pub mod stats;
 mod time;
 
+pub use dense::DenseBitSet;
 pub use event::{EventQueue, ReferenceHeapQueue, BUCKET_NS, WHEEL_BUCKETS};
 pub use time::{SimDuration, SimTime};

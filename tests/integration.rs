@@ -255,7 +255,7 @@ fn policies_are_deterministic_across_pool_sizes() {
         .requests(150);
     let serial = grid.run_on(&WorkerPool::new(1));
     let pooled = grid.run_on(&WorkerPool::new(4));
-    assert_eq!(serial.records().len(), 12); // 2 workloads × 3 policies × 2 fabrics
+    assert_eq!(serial.records().len(), 16); // 2 workloads × 4 policies × 2 fabrics
     for (a, b) in serial.records().iter().zip(pooled.records()) {
         assert_eq!(a.point.policy, b.point.policy);
         assert_eq!(a.metrics.policy, a.point.policy, "metrics must carry the policy");
@@ -279,7 +279,7 @@ fn policies_are_deterministic_across_pool_sizes() {
         .iter()
         .filter(|r| r.point.fabric == SystemKind::Venice && r.point.workload == "congested")
         .collect();
-    assert_eq!(venice_congested.len(), 3);
+    assert_eq!(venice_congested.len(), 4);
     let backoff = venice_congested
         .iter()
         .find(|r| r.point.policy == DispatchPolicyKind::ConflictBackoff)
@@ -288,6 +288,39 @@ fn policies_are_deterministic_across_pool_sizes() {
         backoff.metrics.dispatch.skipped_backoff > 0,
         "congested Venice must actually exercise backoff"
     );
+    // Auto resolves to ConflictBackoff on Venice: behaviorally identical to
+    // the explicit backoff point, differing only in the reported policy.
+    let auto = venice_congested
+        .iter()
+        .find(|r| r.point.policy == DispatchPolicyKind::Auto)
+        .expect("auto point");
+    assert_eq!(auto.metrics.policy, DispatchPolicyKind::Auto);
+    assert_eq!(auto.metrics.execution_time, backoff.metrics.execution_time);
+    assert_eq!(auto.metrics.dispatch, backoff.metrics.dispatch);
+    // And on the bus fabric Auto is RetryAll.
+    let base_auto = serial
+        .records()
+        .iter()
+        .find(|r| {
+            r.point.fabric == SystemKind::Baseline
+                && r.point.workload == "congested"
+                && r.point.policy == DispatchPolicyKind::Auto
+        })
+        .expect("baseline auto point");
+    let base_retry = serial
+        .records()
+        .iter()
+        .find(|r| {
+            r.point.fabric == SystemKind::Baseline
+                && r.point.workload == "congested"
+                && r.point.policy == DispatchPolicyKind::RetryAll
+        })
+        .expect("baseline retry-all point");
+    assert_eq!(
+        base_auto.metrics.execution_time,
+        base_retry.metrics.execution_time
+    );
+    assert_eq!(base_auto.metrics.dispatch, base_retry.metrics.dispatch);
 }
 
 /// Resumable sweeps: a second run of the same grid reuses every on-disk

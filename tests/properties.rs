@@ -178,6 +178,77 @@ fn traces_are_well_formed() {
     }
 }
 
+/// The incremental ready-set dispatcher must be *bit-identical* to the
+/// retained full-scan reference dispatcher — same `RunMetrics`, same JSON
+/// bytes — for every fabric and policy, under randomized workloads. This
+/// is the correctness contract that lets the ready-set engine ship as the
+/// default: `DispatchScanKind` is a performance knob, never a behavioral
+/// axis.
+#[test]
+fn incremental_dispatch_matches_the_full_scan_reference() {
+    use venice::ssd::{run_single, DispatchPolicyKind, DispatchScanKind, SsdConfig};
+    use venice::interconnect::FabricKind;
+
+    let mut rng = Xorshift64Star::new(0xD15);
+    for case in 0..4u64 {
+        // Rotate through the policy table so every policy sees random
+        // traffic on every fabric across the case set.
+        let policy = DispatchPolicyKind::ALL[(case % 4) as usize];
+        let read_pct = 40.0 + rng.next_f64() * 60.0;
+        let kb = 4.0 + rng.next_f64() * 28.0;
+        let us = 1.0 + rng.next_f64() * 15.0;
+        let n = 80 + rng.next_bounded(120) as usize;
+        let trace = WorkloadSpec::new("xcheck", read_pct, kb, us)
+            .footprint_mb(48)
+            .burst_mean(1.0 + rng.next_f64() * 24.0)
+            .generate(n);
+        let base = SsdConfig::performance_optimized().with_dispatch_policy(policy);
+        for fabric in FabricKind::ALL {
+            let incr = run_single(
+                &base.clone().with_dispatch_scan(DispatchScanKind::Incremental),
+                fabric,
+                &trace,
+            );
+            let full = run_single(
+                &base.clone().with_dispatch_scan(DispatchScanKind::FullScan),
+                fabric,
+                &trace,
+            );
+            assert_eq!(
+                incr, full,
+                "case {case}: {fabric}/{policy}: engines diverged"
+            );
+            assert_eq!(
+                incr.to_json(),
+                full.to_json(),
+                "case {case}: {fabric}/{policy}: JSON records diverged"
+            );
+        }
+    }
+
+    // Big meshes are where the ready set pays — and where an ordering bug
+    // would hide: cross-check 16×16 under congestion-heavy traffic too.
+    let trace = venice::workloads::WorkloadAxis::congested().trace(150);
+    for fabric in [FabricKind::NoSsd, FabricKind::Venice] {
+        for policy in [DispatchPolicyKind::RetryAll, DispatchPolicyKind::Auto] {
+            let base = SsdConfig::performance_optimized()
+                .with_mesh(16, 16)
+                .with_dispatch_policy(policy);
+            let incr = run_single(
+                &base.clone().with_dispatch_scan(DispatchScanKind::Incremental),
+                fabric,
+                &trace,
+            );
+            let full = run_single(
+                &base.clone().with_dispatch_scan(DispatchScanKind::FullScan),
+                fabric,
+                &trace,
+            );
+            assert_eq!(incr, full, "16x16 {fabric}/{policy}: engines diverged");
+        }
+    }
+}
+
 /// Page-address packing over arbitrary geometry is a bijection.
 #[test]
 fn gppa_roundtrip() {
