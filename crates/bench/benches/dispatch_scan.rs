@@ -84,37 +84,6 @@ fn run(cfg: &SsdConfig, fabric: FabricKind, trace: &venice_workloads::Trace) -> 
     SsdSim::new(sized, fabric, trace).run()
 }
 
-/// Extracts the float right after `"key": ` occurrences in hand-rolled
-/// JSON, in document order (enough for the baseline file's fixed schema).
-fn json_f64_fields(json: &str, key: &str) -> Vec<f64> {
-    let needle = format!("\"{key}\": ");
-    let mut out = Vec::new();
-    let mut rest = json;
-    while let Some(at) = rest.find(&needle) {
-        rest = &rest[at + needle.len()..];
-        let end = rest
-            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
-            .unwrap_or(rest.len());
-        if let Ok(v) = rest[..end].parse() {
-            out.push(v);
-        }
-    }
-    out
-}
-
-fn json_str_fields(json: &str, key: &str) -> Vec<String> {
-    let needle = format!("\"{key}\": \"");
-    let mut out = Vec::new();
-    let mut rest = json;
-    while let Some(at) = rest.find(&needle) {
-        rest = &rest[at + needle.len()..];
-        if let Some(end) = rest.find('"') {
-            out.push(rest[..end].to_string());
-        }
-    }
-    out
-}
-
 fn main() {
     let mut r = Runner::new("dispatch_scan").sample_budget(Duration::from_millis(250));
     let mut summary = String::from("{\n  \"bench\": \"dispatch_scan\",\n  \"scenarios\": [\n");
@@ -184,38 +153,12 @@ fn main() {
     }
 
     // Perf-smoke gate against the checked-in baseline ratios.
-    let baseline_path = dir.join("bench_dispatch_baseline.json");
-    let Ok(baseline) = std::fs::read_to_string(&baseline_path) else {
-        println!("no baseline at {}; skipping regression gate", baseline_path.display());
-        return;
-    };
-    let names = json_str_fields(&baseline, "name");
-    let base_speedups = json_f64_fields(&baseline, "speedup");
-    let warn_only = std::env::var("VENICE_PERF_WARN_ONLY").is_ok();
-    let mut regressed = false;
-    for (name, base) in names.iter().zip(&base_speedups) {
-        let Some((_, now)) = speedups.iter().find(|(n, _)| n == name) else {
-            continue;
-        };
-        let floor = base * REGRESSION_FLOOR;
-        if *now < floor {
-            regressed = true;
-            eprintln!(
-                "PERF REGRESSION {name}: speedup {now:.2}x < {floor:.2}x \
-                 (baseline {base:.2}x - 30%)"
-            );
-        } else {
-            println!("perf-smoke {name}: {now:.2}x vs baseline {base:.2}x ok");
-        }
-    }
-    if regressed {
-        if warn_only {
-            eprintln!("VENICE_PERF_WARN_ONLY set: reporting only");
-        } else {
-            eprintln!("dispatch_scan perf-smoke failed (set VENICE_PERF_WARN_ONLY=1 on noisy runners)");
-            std::process::exit(1);
-        }
-    }
+    venice_bench::microbench::enforce_speedup_baseline(
+        "dispatch_scan",
+        &dir.join("bench_dispatch_baseline.json"),
+        &speedups,
+        REGRESSION_FLOOR,
+    );
 }
 
 /// The ns/iter of the most recent [`Runner::bench`] call.

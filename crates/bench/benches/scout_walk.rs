@@ -1,0 +1,201 @@
+//! Microbenchmark + perf-smoke for the generation-stamped scout fast-fail
+//! cache.
+//!
+//! Runs congestion-heavy workloads on scout-walk-bound Venice meshes with
+//! the fast-fail cache off and on (`ScoutCacheKind`), asserts the two
+//! engines produce bit-identical *simulated behavior* (only the cache's own
+//! effort counters — fast-fails and invalidations — may differ), and
+//! records the events/sec gain in `results/bench_scout.json` (per-engine
+//! ns/iter also lands in `results/bench_scout_walk.json` via the shared
+//! microbench harness).
+//!
+//! **Perf-smoke contract:** when a checked-in baseline
+//! (`results/bench_scout_baseline.json`) exists, the run fails (exit 1) if
+//! any scenario's cache-on-over-cache-off speedup regressed more than 30%
+//! below the baseline's. Set `VENICE_PERF_WARN_ONLY=1` to downgrade the
+//! failure to a warning on noisy runners. Speedups are wall-clock *ratios*
+//! on the same machine and binary, so the gate is robust to absolute
+//! machine speed.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use venice_bench::microbench::Runner;
+use venice_interconnect::FabricKind;
+use venice_ssd::{DispatchPolicyKind, RunMetrics, ScoutCacheKind, SsdConfig, SsdSim};
+use venice_workloads::WorkloadAxis;
+
+/// One benched (mesh shape × queue depth × policy × request budget)
+/// coordinate; the fabric is always Venice — the only design with scout
+/// walks to skip.
+struct Scenario {
+    name: &'static str,
+    rows: u16,
+    cols: u16,
+    queue_depth: usize,
+    policy: DispatchPolicyKind,
+    requests: usize,
+}
+
+/// Congested big meshes under the two relevant dispatch regimes. Under
+/// `RetryAll` every queued chip re-attempts every round, so the engine is
+/// maximally scout-walk-bound — the cache's headline case; the deep-queue
+/// variants saturate the dispatch rounds with conflicted chips, raising
+/// the number of attempts between fabric state changes (which is what the
+/// cache's hit rate is made of). Under the `Auto`-selected backoff most
+/// doomed attempts are already suppressed, so the remaining walks are the
+/// hard residue; the cache must still not cost anything there, since it
+/// rides the per-fabric default path.
+const SCENARIOS: [Scenario; 5] = [
+    Scenario {
+        name: "congested_16x16_venice",
+        rows: 16,
+        cols: 16,
+        queue_depth: 8,
+        policy: DispatchPolicyKind::RetryAll,
+        requests: 400,
+    },
+    Scenario {
+        name: "congested_16x16_venice_qd32",
+        rows: 16,
+        cols: 16,
+        queue_depth: 32,
+        policy: DispatchPolicyKind::RetryAll,
+        requests: 400,
+    },
+    Scenario {
+        name: "congested_32x32_venice",
+        rows: 32,
+        cols: 32,
+        queue_depth: 8,
+        policy: DispatchPolicyKind::RetryAll,
+        requests: 250,
+    },
+    Scenario {
+        name: "congested_32x32_venice_qd64",
+        rows: 32,
+        cols: 32,
+        queue_depth: 64,
+        policy: DispatchPolicyKind::RetryAll,
+        requests: 250,
+    },
+    Scenario {
+        name: "congested_32x32_venice_auto",
+        rows: 32,
+        cols: 32,
+        queue_depth: 8,
+        policy: DispatchPolicyKind::Auto,
+        requests: 250,
+    },
+];
+
+/// Fraction of the baseline speedup a scenario may lose before the smoke
+/// fails (>30% events/sec regression).
+const REGRESSION_FLOOR: f64 = 0.7;
+
+fn run(cfg: &SsdConfig, trace: &venice_workloads::Trace) -> RunMetrics {
+    let sized = cfg.clone().sized_for_footprint(trace.footprint_bytes());
+    SsdSim::new(sized, FabricKind::Venice, trace).run()
+}
+
+/// Asserts the cache-on run is bit-identical to the cache-off run in every
+/// simulated-behavior field. The only legal deltas are the cache's own
+/// effort counters (`scout_fastfails`, `scout_cache_invalidations`) and
+/// the reported cache label itself.
+fn assert_behaviorally_identical(off: &RunMetrics, on: &RunMetrics, name: &str) {
+    let mut masked = on.clone();
+    masked.scout_cache = off.scout_cache;
+    masked.fabric.scout_fastfails = off.fabric.scout_fastfails;
+    masked.fabric.scout_cache_invalidations = off.fabric.scout_cache_invalidations;
+    assert_eq!(
+        &masked, off,
+        "{name}: cache-on run diverged from cache-off beyond effort counters"
+    );
+}
+
+fn main() {
+    let mut r = Runner::new("scout_walk").sample_budget(Duration::from_millis(250));
+    let mut summary = String::from("{\n  \"bench\": \"scout_walk\",\n  \"scenarios\": [\n");
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+    for (i, s) in SCENARIOS.iter().enumerate() {
+        let trace = WorkloadAxis::congested().trace(s.requests);
+        let base = SsdConfig::performance_optimized()
+            .with_mesh(s.rows, s.cols)
+            .with_queue_depth(s.queue_depth)
+            .with_dispatch_policy(s.policy);
+        let off_cfg = base.clone().with_scout_cache(ScoutCacheKind::Off);
+        let on_cfg = base.clone().with_scout_cache(ScoutCacheKind::On);
+        // Correctness first: the cached engine must be bit-identical in
+        // every simulated-behavior field.
+        let m_off = run(&off_cfg, &trace);
+        let m_on = run(&on_cfg, &trace);
+        assert_behaviorally_identical(&m_off, &m_on, s.name);
+        let events = m_off.events;
+        let fastfails = m_on.fabric.scout_fastfails;
+        let invalidations = m_on.fabric.scout_cache_invalidations;
+        let failed_steps = m_off.fabric.scout_failed_steps;
+
+        let mut timed: Vec<f64> = Vec::new();
+        for (tag, cfg) in [("cache_off", &off_cfg), ("cache_on", &on_cfg)] {
+            r.bench(&format!("{}_{}", s.name, tag), || {
+                black_box(run(cfg, black_box(&trace)));
+            });
+            timed.push(r.last_ns_per_iter().expect("bench just ran"));
+        }
+        let (ns_off, ns_on) = (timed[0], timed[1]);
+        let evps_off = events as f64 / (ns_off / 1e9);
+        let evps_on = events as f64 / (ns_on / 1e9);
+        let speedup = evps_on / evps_off;
+        println!(
+            "scout_walk {:<30} {:>7.2}M ev/s cache-on vs {:>7.2}M cache-off  ({:.2}x, \
+             {} fast-fails / {} invalidations)",
+            s.name,
+            evps_on / 1e6,
+            evps_off / 1e6,
+            speedup,
+            fastfails,
+            invalidations
+        );
+        summary.push_str(&format!(
+            "    {{\"name\": \"{}\", \"shape\": \"{}x{}\", \"fabric\": \"Venice\", \
+             \"queue_depth\": {}, \"policy\": \"{}\", \"requests\": {}, \"events\": {}, \
+             \"scout_failed_steps\": {}, \"scout_fastfails\": {}, \
+             \"scout_cache_invalidations\": {}, \
+             \"events_per_sec_cache_on\": {:.0}, \
+             \"events_per_sec_cache_off\": {:.0}, \"speedup\": {:.3}}}{}\n",
+            s.name,
+            s.rows,
+            s.cols,
+            s.queue_depth,
+            s.policy.label(),
+            s.requests,
+            events,
+            failed_steps,
+            fastfails,
+            invalidations,
+            evps_on,
+            evps_off,
+            speedup,
+            if i + 1 == SCENARIOS.len() { "" } else { "," }
+        ));
+        speedups.push((s.name.to_string(), speedup));
+    }
+    summary.push_str("  ]\n}\n");
+    r.finish();
+
+    let dir = venice_bench::results_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let out = dir.join("bench_scout.json");
+    match std::fs::write(&out, &summary) {
+        Ok(()) => println!("scout summary -> {}", out.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", out.display()),
+    }
+
+    // Perf-smoke gate against the checked-in baseline ratios.
+    venice_bench::microbench::enforce_speedup_baseline(
+        "scout_walk",
+        &dir.join("bench_scout_baseline.json"),
+        &speedups,
+        REGRESSION_FLOOR,
+    );
+}

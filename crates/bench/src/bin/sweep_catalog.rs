@@ -17,7 +17,9 @@
 //! bursty workload plus two catalog entries), `bigmesh` (8×8 / 16×16 /
 //! 32×32 meshes × retry-all/auto policies on congestion-heavy traffic —
 //! the incremental ready-set dispatcher is what makes these cheap enough
-//! to sweep).
+//! to sweep), `scoutcache` (the scout fast-fail cache ablation: cache-off
+//! vs cache-on Venice on congested 16×16/32×32 meshes; diff the two
+//! halves with the `sweep_diff` bin).
 //!
 //! Sweeps are *resumable*: when `results/sweep_<grid>/` already holds a
 //! manifest with this grid's exact grid hash, points whose record file
@@ -25,16 +27,17 @@
 //! re-run.
 //!
 //! Flags: `--grid <name>`, `--requests <n>` (default: `VENICE_REQUESTS`,
-//! except `mini`/`policy`/`bigmesh` which have their own defaults), `--par <n>`
-//! (dedicated pool size; default: the shared pool), `--systems a,b,c`
-//! (override the fabric axis by label, e.g. `Baseline,Venice`),
-//! `--fresh`, `--list`.
+//! except `mini`/`policy`/`bigmesh`/`scoutcache` which have their own
+//! defaults), `--par <n>` (dedicated pool size; default: the shared pool),
+//! `--systems a,b,c` (override the fabric axis by label, e.g.
+//! `Baseline,Venice`), `--scout-cache <off|on|checked>` (override the
+//! scout fast-fail-cache axis), `--fresh`, `--list`.
 
 use venice_bench::report_resumed;
 use venice_bench::sweep::{SweepGrid, WorkerPool};
 use venice_interconnect::FabricKind;
 use venice_nand::NandTiming;
-use venice_ssd::{all_systems, DispatchPolicyKind, SsdConfig};
+use venice_ssd::{all_systems, DispatchPolicyKind, ScoutCacheKind, SsdConfig};
 use venice_workloads::WorkloadAxis;
 
 /// The read-intensity-diverse workload subset used by the multi-axis grids
@@ -102,18 +105,27 @@ fn named_grid(name: &str, requests: Option<usize>) -> Option<SweepGrid> {
             .policies(&[DispatchPolicyKind::RetryAll, DispatchPolicyKind::Auto])
             .fabrics(&[FabricKind::Baseline, FabricKind::NoSsd, FabricKind::Venice])
             .requests(requests.unwrap_or(400)),
+        "scoutcache" => SweepGrid::new("scoutcache")
+            .workload(WorkloadAxis::congested())
+            .workload(WorkloadAxis::catalog("src2_1").expect("catalog"))
+            .shapes(&[(16, 16), (32, 32)])
+            .policies(&[DispatchPolicyKind::RetryAll, DispatchPolicyKind::Auto])
+            .scout_caches(&[ScoutCacheKind::Off, ScoutCacheKind::On])
+            .fabrics(&[FabricKind::Venice])
+            .requests(requests.unwrap_or(400)),
         _ => return None,
     };
     let grid = grid.config(SsdConfig::performance_optimized());
-    let own_default = matches!(name, "mini" | "policy" | "bigmesh");
+    let own_default = matches!(name, "mini" | "policy" | "bigmesh" | "scoutcache");
     Some(match requests {
         Some(r) if !own_default => grid.requests(r),
         _ => grid,
     })
 }
 
-const GRID_NAMES: [&str; 9] = [
+const GRID_NAMES: [&str; 10] = [
     "mini", "table2", "mixes", "shapes", "nand", "qd", "design", "policy", "bigmesh",
+    "scoutcache",
 ];
 
 fn main() {
@@ -122,6 +134,7 @@ fn main() {
     let mut requests: Option<usize> = None;
     let mut par: Option<usize> = None;
     let mut systems: Option<Vec<FabricKind>> = None;
+    let mut scout_cache: Option<ScoutCacheKind> = None;
     let mut fresh = false;
     let mut i = 0;
     while i < args.len() {
@@ -145,6 +158,12 @@ fn main() {
                 requests = Some(flag_value(&mut i).parse().expect("--requests takes a number"))
             }
             "--par" => par = Some(flag_value(&mut i).parse().expect("--par takes a number")),
+            "--scout-cache" => {
+                let v = flag_value(&mut i);
+                scout_cache = Some(ScoutCacheKind::by_label(&v).unwrap_or_else(|| {
+                    panic!("unknown scout-cache mode {v:?} (off|on|checked)")
+                }));
+            }
             "--fresh" => fresh = true,
             "--systems" => {
                 systems = Some(
@@ -166,6 +185,9 @@ fn main() {
     });
     if let Some(systems) = systems {
         grid = grid.replace_fabrics(&systems);
+    }
+    if let Some(cache) = scout_cache {
+        grid = grid.replace_scout_caches(&[cache]);
     }
     let results = venice_bench::results_dir();
     let outcome = match par {

@@ -10,6 +10,7 @@
 //! `VENICE_RESULTS_DIR`) so successive runs leave a comparable perf
 //! trajectory on disk.
 
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 /// One measured benchmark result.
@@ -142,5 +143,93 @@ impl Runner {
             println!("bench results -> {}", path.display());
         }
         self.measurements
+    }
+}
+
+/// Extracts the float right after every `"key": ` occurrence in one of the
+/// workspace's hand-rolled JSON documents, in document order (enough for
+/// the perf-baseline files' fixed schemas).
+pub fn json_f64_fields(json: &str, key: &str) -> Vec<f64> {
+    let needle = format!("\"{key}\": ");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(at) = rest.find(&needle) {
+        rest = &rest[at + needle.len()..];
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+            .unwrap_or(rest.len());
+        if let Ok(v) = rest[..end].parse() {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Extracts the string value of every `"key": "..."` occurrence, in
+/// document order.
+pub fn json_str_fields(json: &str, key: &str) -> Vec<String> {
+    let needle = format!("\"{key}\": \"");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(at) = rest.find(&needle) {
+        rest = &rest[at + needle.len()..];
+        if let Some(end) = rest.find('"') {
+            out.push(rest[..end].to_string());
+        }
+    }
+    out
+}
+
+/// The perf-smoke gate shared by the ratio benches (`dispatch_scan`,
+/// `scout_walk`): compares each measured `(scenario name, speedup)` ratio
+/// against the matching `"name"`/`"speedup"` pair in the checked-in
+/// baseline file and **exits the process with status 1** when any scenario
+/// fell below `floor_fraction` of its baseline ratio. Speedups are
+/// wall-clock ratios on the same machine and binary, so the gate is robust
+/// to absolute machine speed. A missing baseline skips the gate (first run
+/// on a fresh machine); `VENICE_PERF_WARN_ONLY=1` downgrades failures to
+/// warnings on noisy runners.
+pub fn enforce_speedup_baseline(
+    bench: &str,
+    baseline_path: &Path,
+    speedups: &[(String, f64)],
+    floor_fraction: f64,
+) {
+    let Ok(baseline) = std::fs::read_to_string(baseline_path) else {
+        println!(
+            "no baseline at {}; skipping regression gate",
+            baseline_path.display()
+        );
+        return;
+    };
+    let names = json_str_fields(&baseline, "name");
+    let base_speedups = json_f64_fields(&baseline, "speedup");
+    let warn_only = std::env::var("VENICE_PERF_WARN_ONLY").is_ok();
+    let mut regressed = false;
+    for (name, base) in names.iter().zip(&base_speedups) {
+        let Some((_, now)) = speedups.iter().find(|(n, _)| n == name) else {
+            continue;
+        };
+        let floor = base * floor_fraction;
+        if *now < floor {
+            regressed = true;
+            eprintln!(
+                "PERF REGRESSION {name}: speedup {now:.2}x < {floor:.2}x \
+                 (baseline {base:.2}x - {:.0}%)",
+                (1.0 - floor_fraction) * 100.0
+            );
+        } else {
+            println!("perf-smoke {name}: {now:.2}x vs baseline {base:.2}x ok");
+        }
+    }
+    if regressed {
+        if warn_only {
+            eprintln!("VENICE_PERF_WARN_ONLY set: reporting only");
+        } else {
+            eprintln!(
+                "{bench} perf-smoke failed (set VENICE_PERF_WARN_ONLY=1 on noisy runners)"
+            );
+            std::process::exit(1);
+        }
     }
 }

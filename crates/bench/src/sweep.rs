@@ -44,7 +44,7 @@ use std::time::Instant;
 use venice_interconnect::FabricKind;
 use venice_nand::NandTiming;
 use venice_ssd::report::json_str;
-use venice_ssd::{run_single, DispatchPolicyKind, RunMetrics, SsdConfig};
+use venice_ssd::{run_single, DispatchPolicyKind, RunMetrics, ScoutCacheKind, SsdConfig};
 use venice_workloads::{Trace, WorkloadAxis};
 
 use crate::{CatalogRow, SweepSummary};
@@ -160,10 +160,10 @@ impl WorkerPool {
 /// Empty axes fall back to the base: no `configs` means the Table 1
 /// performance-optimized preset, no `fabrics` means all six systems, no
 /// `workloads` means the whole Table 2 catalog, and no `shapes` /
-/// `timings` / `queue_depths` / `policies` means each config's own values.
-/// Expansion order is fixed — configs ▸ workloads ▸ shapes ▸ timings ▸
-/// queue depths ▸ policies ▸ fabrics (innermost) — so point ids are stable
-/// for a given grid.
+/// `timings` / `queue_depths` / `policies` / `scout_caches` means each
+/// config's own values. Expansion order is fixed — configs ▸ workloads ▸
+/// shapes ▸ timings ▸ queue depths ▸ policies ▸ scout caches ▸ fabrics
+/// (innermost) — so point ids are stable for a given grid.
 #[derive(Clone, Debug)]
 pub struct SweepGrid {
     name: String,
@@ -174,6 +174,7 @@ pub struct SweepGrid {
     timings: Vec<NandTiming>,
     queue_depths: Vec<usize>,
     policies: Vec<DispatchPolicyKind>,
+    scout_caches: Vec<ScoutCacheKind>,
     fabrics: Vec<FabricKind>,
 }
 
@@ -191,6 +192,7 @@ impl SweepGrid {
             timings: Vec::new(),
             queue_depths: Vec::new(),
             policies: Vec::new(),
+            scout_caches: Vec::new(),
             fabrics: Vec::new(),
         }
     }
@@ -265,6 +267,22 @@ impl SweepGrid {
         self
     }
 
+    /// Extends the scout fast-fail-cache axis (the Venice cache ablation).
+    pub fn scout_caches(mut self, caches: &[ScoutCacheKind]) -> Self {
+        self.scout_caches.extend_from_slice(caches);
+        self
+    }
+
+    /// Replaces the scout fast-fail-cache axis wholesale (the CLI
+    /// `--scout-cache` override — like [`SweepGrid::replace_fabrics`],
+    /// so overriding a grid that already sets the axis restricts it
+    /// instead of appending duplicate points).
+    pub fn replace_scout_caches(mut self, caches: &[ScoutCacheKind]) -> Self {
+        self.scout_caches.clear();
+        self.scout_caches.extend_from_slice(caches);
+        self
+    }
+
     /// Resolved workload axis (Table 2 catalog when none was set).
     fn effective_workloads(&self) -> Vec<WorkloadAxis> {
         if self.workloads.is_empty() {
@@ -325,44 +343,54 @@ impl SweepGrid {
             } else {
                 self.policies.clone()
             };
+            let caches: Vec<ScoutCacheKind> = if self.scout_caches.is_empty() {
+                vec![base.scout_cache()]
+            } else {
+                self.scout_caches.clone()
+            };
             for (workload_idx, workload) in workloads.iter().enumerate() {
                 for &(rows, cols) in &shapes {
                     for &timing in &timings {
                         for &depth in &depths {
                             for &policy in &policies {
-                                for &fabric in &fabrics {
-                                    let config = base
-                                        .clone()
-                                        .with_mesh(rows, cols)
-                                        .with_timing(timing)
-                                        .with_queue_depth(depth)
-                                        .with_dispatch_policy(policy);
-                                    let timing_name =
-                                        timing.preset_name().unwrap_or("custom").to_string();
-                                    let label = format!(
-                                        "{}/{}/{}x{}/{}/qd{}/{}/{}",
-                                        base.name,
-                                        workload.name(),
-                                        rows,
-                                        cols,
-                                        timing_name,
-                                        depth,
-                                        policy.label(),
-                                        fabric.label()
-                                    );
-                                    points.push(SweepPoint {
-                                        id: points.len(),
-                                        label,
-                                        workload_idx,
-                                        workload: workload.name().to_string(),
-                                        config_name: base.name,
-                                        shape: (rows, cols),
-                                        timing_name,
-                                        queue_depth: depth,
-                                        policy,
-                                        fabric,
-                                        config,
-                                    });
+                                for &scout_cache in &caches {
+                                    for &fabric in &fabrics {
+                                        let config = base
+                                            .clone()
+                                            .with_mesh(rows, cols)
+                                            .with_timing(timing)
+                                            .with_queue_depth(depth)
+                                            .with_dispatch_policy(policy)
+                                            .with_scout_cache(scout_cache);
+                                        let timing_name =
+                                            timing.preset_name().unwrap_or("custom").to_string();
+                                        let label = format!(
+                                            "{}/{}/{}x{}/{}/qd{}/{}/{}/{}",
+                                            base.name,
+                                            workload.name(),
+                                            rows,
+                                            cols,
+                                            timing_name,
+                                            depth,
+                                            policy.label(),
+                                            scout_cache.label(),
+                                            fabric.label()
+                                        );
+                                        points.push(SweepPoint {
+                                            id: points.len(),
+                                            label,
+                                            workload_idx,
+                                            workload: workload.name().to_string(),
+                                            config_name: base.name,
+                                            shape: (rows, cols),
+                                            timing_name,
+                                            queue_depth: depth,
+                                            policy,
+                                            scout_cache,
+                                            fabric,
+                                            config,
+                                        });
+                                    }
                                 }
                             }
                         }
@@ -580,10 +608,19 @@ impl SweepGrid {
         } else {
             self.policies.iter().map(|p| p.label().to_string()).collect()
         };
+        let caches: Vec<String> = if self.scout_caches.is_empty() {
+            vec!["base".to_string()]
+        } else {
+            self.scout_caches
+                .iter()
+                .map(|c| c.label().to_string())
+                .collect()
+        };
         format!(
             "{{\"name\": {}, \"requests\": {}, \"configs\": {}, \
              \"workloads\": {}, \"shapes\": {}, \"timings\": {}, \
-             \"queue_depths\": {}, \"policies\": {}, \"fabrics\": {}}}",
+             \"queue_depths\": {}, \"policies\": {}, \"scout_caches\": {}, \
+             \"fabrics\": {}}}",
             json_str(&self.name),
             self.requests,
             json_str_list(&configs),
@@ -592,6 +629,7 @@ impl SweepGrid {
             json_str_list(&timings),
             json_str_list(&depths),
             json_str_list(&policies),
+            json_str_list(&caches),
             json_str_list(&fabrics),
         )
     }
@@ -621,6 +659,8 @@ pub struct SweepPoint {
     pub queue_depth: usize,
     /// Dispatch policy under test.
     pub policy: DispatchPolicyKind,
+    /// Scout fast-fail cache mode under test.
+    pub scout_cache: ScoutCacheKind,
     /// The fabric under test.
     pub fabric: FabricKind,
     /// The fully resolved configuration this point simulates.
@@ -739,11 +779,11 @@ impl SweepOutcome {
     /// figure renderers consume.
     ///
     /// A row is one full non-fabric coordinate — (config, workload, shape,
-    /// timing, queue depth, policy) — so metrics from different
-    /// configurations are never merged into one row: on a grid where
-    /// `filter` leaves several configs/shapes/timings/depths/policies, the
-    /// same workload name simply appears once per coordinate. Within a
-    /// row, metrics are in fabric-axis order.
+    /// timing, queue depth, policy, scout cache) — so metrics from
+    /// different configurations are never merged into one row: on a grid
+    /// where `filter` leaves several configs/shapes/timings/depths/
+    /// policies/caches, the same workload name simply appears once per
+    /// coordinate. Within a row, metrics are in fabric-axis order.
     pub fn rows_by_workload(
         &self,
         filter: impl Fn(&SweepPoint) -> bool,
@@ -756,6 +796,7 @@ impl SweepOutcome {
                 p.timing_name.clone(),
                 p.queue_depth,
                 p.policy,
+                p.scout_cache,
             )
         };
         let mut rows: Vec<CatalogRow> = Vec::new();

@@ -2,7 +2,7 @@
 
 use venice_ftl::ArrayGeometry;
 use venice_hil::HilConfig;
-use venice_interconnect::FabricParams;
+use venice_interconnect::{FabricParams, ScoutCacheKind};
 use venice_nand::{ChipGeometry, NandTiming, OpEnergy};
 use venice_sim::SimDuration;
 
@@ -213,6 +213,22 @@ impl SsdConfig {
     pub fn with_dispatch_policy(mut self, policy: DispatchPolicyKind) -> Self {
         self.dispatch = policy;
         self
+    }
+
+    /// Selects the Venice scout fast-fail cache mode (a sweep-engine axis;
+    /// only the Venice fabric consults it). `Off` (the default) reproduces
+    /// the pre-cache engine bit-for-bit; `On` is pinned bit-identical in
+    /// every simulated-behavior field by the `Checked` cross-check — only
+    /// the cache's own effort counters (`scout_fastfails`,
+    /// `scout_cache_invalidations`) differ.
+    pub fn with_scout_cache(mut self, cache: ScoutCacheKind) -> Self {
+        self.fabric.scout_cache = cache;
+        self
+    }
+
+    /// The configured scout fast-fail cache mode.
+    pub fn scout_cache(&self) -> ScoutCacheKind {
+        self.fabric.scout_cache
     }
 
     /// Scales the per-plane block count so that the physical capacity is

@@ -57,3 +57,6 @@ pub use experiment::{
 };
 pub use metrics::RunMetrics;
 pub use ssd::SsdSim;
+// Re-exported for config/sweep ergonomics: the scout fast-fail cache mode is
+// an `SsdConfig` knob and a sweep axis, like `DispatchPolicyKind`.
+pub use venice_interconnect::ScoutCacheKind;

@@ -25,6 +25,9 @@ pub struct RunMetrics {
     pub config: &'static str,
     /// Dispatch policy the run used.
     pub policy: DispatchPolicyKind,
+    /// Scout fast-fail cache mode the run used (Venice-only knob; other
+    /// fabrics carry it as configured but never consult it).
+    pub scout_cache: venice_interconnect::ScoutCacheKind,
     /// Requests completed.
     pub completed_requests: u64,
     /// Overall execution time: first arrival to last completion (the paper's
@@ -126,7 +129,7 @@ impl RunMetrics {
         let dsp = &self.dispatch;
         format!(
             "{{\n  \"system\": {},\n  \"workload\": {},\n  \"config\": {},\n  \
-             \"policy\": {},\n  \
+             \"policy\": {},\n  \"scout_cache\": {},\n  \
              \"completed_requests\": {},\n  \"execution_time_ns\": {},\n  \
              \"iops\": {},\n  \"latency\": {{\"samples\": {}, \"mean_ns\": {}, \
              \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}},\n  \
@@ -135,7 +138,9 @@ impl RunMetrics {
              \"fabric\": {{\"acquisitions\": {}, \"conflicts\": {}, \
              \"controller_unavailable\": {}, \"channel_busy\": {}, \
              \"transfers\": {}, \"bytes\": {}, \"transfer_energy_nj\": {}, \
-             \"scout_steps\": {}, \"scout_detours\": {}, \"hops_total\": {}}},\n  \
+             \"scout_steps\": {}, \"scout_detours\": {}, \"scout_misroutes\": {}, \
+             \"scout_failed_steps\": {}, \"scout_fastfails\": {}, \
+             \"scout_cache_invalidations\": {}, \"hops_total\": {}}},\n  \
              \"ftl\": {{\"user_writes\": {}, \"user_reads\": {}, \
              \"gc_relocations\": {}, \"gc_erases\": {}, \"wear_relocations\": {}, \
              \"wear_erases\": {}, \"stale_relocations\": {}, \
@@ -149,6 +154,7 @@ impl RunMetrics {
             json_str(&self.workload),
             json_str(self.config),
             json_str(self.policy.label()),
+            json_str(self.scout_cache.label()),
             self.completed_requests,
             self.execution_time.as_nanos(),
             json_f64(self.iops()),
@@ -171,6 +177,10 @@ impl RunMetrics {
             json_f64(fb.transfer_energy_nj),
             fb.scout_steps,
             fb.scout_detours,
+            fb.scout_misroutes,
+            fb.scout_failed_steps,
+            fb.scout_fastfails,
+            fb.scout_cache_invalidations,
             fb.hops_total,
             ftl.user_writes,
             ftl.user_reads,
@@ -210,6 +220,7 @@ mod tests {
             workload: "t".into(),
             config: "test",
             policy: DispatchPolicyKind::RetryAll,
+            scout_cache: venice_interconnect::ScoutCacheKind::Off,
             completed_requests: requests,
             execution_time: SimDuration::from_micros(exec_us),
             latencies,

@@ -1190,6 +1190,7 @@ impl SsdSim {
             workload: self.trace.name().to_string(),
             config: self.config.name,
             policy: self.policy.kind(),
+            scout_cache: self.config.fabric.scout_cache,
             completed_requests: self.completed,
             execution_time: exec,
             latencies: self.latencies,
@@ -1378,6 +1379,53 @@ mod tests {
             "rotation must serve the neighbors early: hog still had {left} of \
              {HOG_DEPTH} queued when they drained"
         );
+    }
+
+    #[test]
+    fn cached_fastfails_do_not_park_chips_under_backoff() {
+        // Liveness regression for the scout fast-fail cache (extends the
+        // PR 3 liveness-probe contract): under ConflictBackoff a chip
+        // whose every walk fast-fails is only *deferred* — the policy's
+        // probe rounds re-attempt it after the backoff window, a fast-fail
+        // is charged exactly like a live failed walk (so backoff
+        // accounting is unchanged), and any release intersecting the
+        // cached extent invalidates the entry and re-runs the real walk.
+        // Completion of every request under sustained congestion is the
+        // no-permanent-suppression proof.
+        use crate::DispatchPolicyKind;
+        use venice_interconnect::ScoutCacheKind;
+
+        let trace = venice_workloads::WorkloadAxis::congested().trace(150);
+        let base = SsdConfig::performance_optimized()
+            .with_mesh(16, 16)
+            .with_dispatch_policy(DispatchPolicyKind::ConflictBackoff)
+            .sized_for_footprint(trace.footprint_bytes());
+        let cached = SsdSim::new(
+            base.clone().with_scout_cache(ScoutCacheKind::On),
+            FabricKind::Venice,
+            &trace,
+        )
+        .run();
+        assert_eq!(cached.completed_requests, 150, "no chip may strand");
+        assert!(
+            cached.dispatch.skipped_backoff > 0,
+            "congestion must actually exercise backoff"
+        );
+        assert!(
+            cached.fabric.scout_fastfails > 0,
+            "congestion must actually exercise the fast-fail path"
+        );
+        assert!(
+            cached.fabric.scout_cache_invalidations > 0,
+            "releases must invalidate intersecting entries"
+        );
+        // And the cache changes nothing the simulation can observe: the
+        // uncached run completes identically.
+        let uncached = SsdSim::new(base, FabricKind::Venice, &trace).run();
+        assert_eq!(cached.execution_time, uncached.execution_time);
+        assert_eq!(cached.latencies, uncached.latencies);
+        assert_eq!(cached.dispatch, uncached.dispatch);
+        assert_eq!(cached.fabric.conflicts, uncached.fabric.conflicts);
     }
 
     #[test]

@@ -49,4 +49,5 @@ pub use fabric::{
     build_fabric, AcquireError, ConflictReason, Fabric, FabricKind, FabricParams, FabricStats,
     FreedResource, PathGrant, ReleaseInfo,
 };
+pub use scout::{FailedWalk, ScoutCache, ScoutCacheKind};
 pub use topology::{Direction, FcId, LinkId, Mesh2D, NodeId};

@@ -60,6 +60,23 @@ pub struct ScoutFailure {
     /// usable port out of the source was already held: purely local
     /// congestion that a different controller choice might sidestep.
     pub advanced: bool,
+    /// Misroute (non-minimal port) selections made before giving up.
+    pub misroutes: u32,
+    /// LFSR bits the walk consumed (tie-breaks + misroute picks).
+    pub lfsr_draws: u32,
+    /// True when the livelock entry cap rejected at least one port that
+    /// passed every other usability test. A capped walk's exploration tree
+    /// depends on visit order (and therefore on the LFSR phase it started
+    /// from), so its failure is **not cacheable**: only cap-free failures
+    /// have phase-invariant verdict/steps/draws (see
+    /// [`crate::scout::ScoutCache`]).
+    pub cap_pruned: bool,
+    /// Bounding box `(min_row, max_row, min_col, max_col)` of every router
+    /// the scout *entered*. Every link whose state the walk observed has at
+    /// least one endpoint in this box, so any later reservation-state change
+    /// inside the box is a superset of the changes that could alter the
+    /// walk's outcome — the fast-fail cache's invalidation extent.
+    pub extent: (u16, u16, u16, u16),
 }
 
 /// Outcome statistics of a successful scout walk.
@@ -70,6 +87,10 @@ pub struct ScoutOutcome {
     /// True if the walk ever had to misroute (take a non-minimal port) or
     /// backtrack — i.e. a minimal path was not cleanly available.
     pub detoured: bool,
+    /// Misroute (non-minimal port) selections made along the way.
+    pub misroutes: u32,
+    /// LFSR bits the walk consumed (tie-breaks + misroute picks).
+    pub lfsr_draws: u32,
 }
 
 /// One DFS frame of a scout walk.
@@ -110,6 +131,21 @@ pub struct MeshState {
     /// connecting link, or `None` at the mesh edge. Avoids the row/column
     /// arithmetic of [`Mesh2D::neighbor`] in the scout inner loop.
     adj: Vec<[Option<(NodeId, LinkId)>; 4]>,
+    /// Monotone change sequence: bumped once per reservation-state change
+    /// (a circuit installed or released). Failed scout walks restore every
+    /// link they touched and do **not** bump it.
+    change_seq: u64,
+    /// Per-router generation stamp: the [`MeshState::change_seq`] value of
+    /// the last reservation change that touched the router. A region whose
+    /// stamps are all ≤ some snapshot is bit-identical to how it looked at
+    /// snapshot time — the contract the scout fast-fail cache keys on.
+    stamps: Vec<u64>,
+    /// Second level over [`MeshState::stamps`]: the maximum stamp in each
+    /// mesh row, so a validity scan skips whole clean rows in O(1) — on a
+    /// saturated 32×32 mesh a fast-fail's extent is often the entire mesh,
+    /// and without this tier the O(rows × cols) tile scan eats a good part
+    /// of the skipped walk's savings.
+    row_stamps: Vec<u64>,
 }
 
 impl MeshState {
@@ -134,6 +170,72 @@ impl MeshState {
                     })
                 })
                 .collect(),
+            change_seq: 0,
+            stamps: vec![0; topo.node_count()],
+            row_stamps: vec![0; usize::from(topo.rows())],
+        }
+    }
+
+    /// The current reservation-change sequence number (see
+    /// [`MeshState::region_changed_since`]). Snapshot it when recording a
+    /// failed-walk cache entry.
+    pub fn change_seq(&self) -> u64 {
+        self.change_seq
+    }
+
+    /// The change-sequence stamp of the last reservation change touching
+    /// router `n` (0 when never touched).
+    pub fn node_stamp(&self, n: NodeId) -> u64 {
+        self.stamps[n.0 as usize]
+    }
+
+    /// True when any router inside the `(min_row, max_row, min_col,
+    /// max_col)` box has seen a reservation change after `snapshot` — the
+    /// O(extent tiles) validity test of the scout fast-fail cache.
+    pub fn region_changed_since(
+        &self,
+        snapshot: u64,
+        extent: (u16, u16, u16, u16),
+    ) -> bool {
+        // Every reservation change stamps at least one router, so an
+        // unchanged global sequence proves the whole mesh — a fortiori any
+        // region — is untouched: the O(1) common case for retries landing
+        // between two fabric state changes.
+        if self.change_seq <= snapshot {
+            return false;
+        }
+        let (min_row, max_row, min_col, max_col) = extent;
+        let full_width = min_col == 0 && max_col + 1 == self.topo.cols();
+        for r in min_row..=max_row {
+            // Row tier: a row whose maximum stamp is ≤ the snapshot cannot
+            // contain a changed tile; a dirty full-width row is decisive.
+            if self.row_stamps[usize::from(r)] <= snapshot {
+                continue;
+            }
+            if full_width {
+                return true;
+            }
+            for c in min_col..=max_col {
+                if self.stamps[self.topo.node_at(r, c).0 as usize] > snapshot {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Records one reservation-state change touching `nodes`: bumps the
+    /// change sequence and stamps every touched router with it. Both
+    /// installing and releasing a circuit stamp its nodes — a fast-fail
+    /// verdict is only replayable while the observed region is unchanged in
+    /// *either* direction (a freed link could un-block the walk; a newly
+    /// reserved one would change its exploration and LFSR draws).
+    fn stamp_nodes(&mut self, nodes: &[NodeId]) {
+        self.change_seq += 1;
+        let seq = self.change_seq;
+        for &n in nodes {
+            self.stamps[n.0 as usize] = seq;
+            self.row_stamps[usize::from(self.topo.row(n))] = seq;
         }
     }
 
@@ -223,6 +325,7 @@ impl MeshState {
         self.routers[last.0 as usize]
             .insert(packet_id, entry, Port::Ejection)
             .expect("router row free");
+        self.stamp_nodes(nodes);
         ReservedPath {
             packet_id,
             nodes: nodes.to_vec(),
@@ -244,6 +347,7 @@ impl MeshState {
         for &n in &path.nodes {
             self.routers[n.0 as usize].remove(path.packet_id);
         }
+        self.stamp_nodes(&path.nodes);
     }
 
     /// The dimension-order (XY) path from `src` to `dst`: X (columns) first,
@@ -289,6 +393,7 @@ impl MeshState {
         }
         // NoSSD routers are buffered and have no reservation table; rows are
         // only maintained for the Venice walk, so nothing to record here.
+        self.stamp_nodes(&path.nodes);
         true
     }
 
@@ -382,6 +487,12 @@ impl MeshState {
         let mut steps: u32 = 0;
         let mut detoured = false;
         let mut advanced = false;
+        let mut misroutes: u32 = 0;
+        let mut lfsr_draws: u32 = 0;
+        let mut cap_pruned = false;
+        // Bounding box of entered routers (the fast-fail cache's extent).
+        let (src_r, src_c) = (self.topo.row(src), self.topo.col(src));
+        let mut extent = (src_r, src_r, src_c, src_c);
         // Hard safety net: the DFS tries each (router, port) pair at most
         // once per episode, so steps are bounded; guard against logic bugs.
         let step_cap = (self.topo.node_count() as u32) * 16 + 64;
@@ -411,7 +522,16 @@ impl MeshState {
                     debug_assert_eq!(nb, f.node);
                     path.links.push(link);
                 }
-                return Ok((path, ScoutOutcome { steps, detoured }));
+                self.stamp_nodes(&path.nodes);
+                return Ok((
+                    path,
+                    ScoutOutcome {
+                        steps,
+                        detoured,
+                        misroutes,
+                        lfsr_draws,
+                    },
+                ));
             }
 
             // Candidate output ports, Algorithm 1: minimal first.
@@ -435,43 +555,58 @@ impl MeshState {
                 push_min(Direction::Up);
             }
 
-            let usable = |state: &Self,
-                          frame: &Frame,
-                          entries: &[u8],
-                          d: Direction|
-             -> bool {
+            // Port usability, with the livelock-cap rejection reported
+            // separately: a cap rejection makes the walk's exploration
+            // order-dependent, which disqualifies its failure from the
+            // fast-fail cache (see `ScoutFailure::cap_pruned`).
+            #[derive(Clone, Copy, PartialEq, Eq)]
+            enum PortCheck {
+                Usable,
+                Blocked,
+                CapPruned,
+            }
+            let check = |state: &Self,
+                         frame: &Frame,
+                         entries: &[u8],
+                         d: Direction|
+             -> PortCheck {
                 if frame.tried[d.index()] {
-                    return false;
+                    return PortCheck::Blocked;
                 }
                 let Some((nb, link)) = state.adj[cur.0 as usize][d.index()] else {
-                    return false;
+                    return PortCheck::Blocked;
                 };
                 if !state.link_free(link) {
-                    return false; // includes links held by our own partial path
+                    return PortCheck::Blocked; // incl. our own partial path
                 }
                 // A circuit may cross a router only once (one table row per
                 // packet), and the livelock rule bounds re-entries.
                 if state.routers[nb.0 as usize].entry(packet_id).is_some() {
-                    return false;
+                    return PortCheck::Blocked;
                 }
                 if entries[nb.0 as usize] >= MAX_ENTRIES_PER_ROUTER {
-                    return false;
+                    return PortCheck::CapPruned;
                 }
-                true
+                PortCheck::Usable
             };
 
             let mut candidates: [Option<Direction>; 2] = [None, None];
             let mut n_cand = 0;
             for d in minimal.iter().flatten().copied() {
-                if usable(self, frame, entries, d) {
-                    candidates[n_cand] = Some(d);
-                    n_cand += 1;
+                match check(self, frame, entries, d) {
+                    PortCheck::Usable => {
+                        candidates[n_cand] = Some(d);
+                        n_cand += 1;
+                    }
+                    PortCheck::CapPruned => cap_pruned = true,
+                    PortCheck::Blocked => {}
                 }
             }
 
             let choice = match n_cand {
                 2 => {
                     // Two minimal candidates: LFSR tie-break (Alg. 1 line 28).
+                    lfsr_draws += 1;
                     let pick = usize::from(lfsr.next_bit());
                     Some(candidates[pick].expect("two candidates present"))
                 }
@@ -483,9 +618,13 @@ impl MeshState {
                     let mut n_non_min = 0usize;
                     if allow_misroute {
                         for d in Direction::ALL {
-                            if usable(self, frame, entries, d) {
-                                non_min[n_non_min] = Some(d);
-                                n_non_min += 1;
+                            match check(self, frame, entries, d) {
+                                PortCheck::Usable => {
+                                    non_min[n_non_min] = Some(d);
+                                    n_non_min += 1;
+                                }
+                                PortCheck::CapPruned => cap_pruned = true,
+                                PortCheck::Blocked => {}
                             }
                         }
                     }
@@ -493,8 +632,10 @@ impl MeshState {
                         None
                     } else {
                         detoured = true;
+                        misroutes += 1;
                         // Select with successive LFSR bits: cheap hardware
                         // equivalent of a uniform pick among ≤ 4 options.
+                        lfsr_draws += 2;
                         let mut idx = usize::from(lfsr.next_bit()) * 2
                             + usize::from(lfsr.next_bit());
                         idx %= n_non_min;
@@ -515,6 +656,13 @@ impl MeshState {
                         .expect("row free: circuit visits a router once");
                     entries[nb.0 as usize] += 1;
                     advanced = true;
+                    let (r, c) = (self.topo.row(nb), self.topo.col(nb));
+                    extent = (
+                        extent.0.min(r),
+                        extent.1.max(r),
+                        extent.2.min(c),
+                        extent.3.max(c),
+                    );
                     stack.push(Frame {
                         node: nb,
                         entry: Port::Mesh(dir.opposite()),
@@ -527,7 +675,18 @@ impl MeshState {
                     let dead = stack.pop().expect("nonempty");
                     if stack.is_empty() {
                         // Scout arrived back at the controller: failure.
-                        return Err(ScoutFailure { steps, advanced });
+                        // The walk restored every link it touched, so no
+                        // generation stamp moves — that is what lets the
+                        // fast-fail cache treat "stamps unchanged" as "this
+                        // exact failure replays".
+                        return Err(ScoutFailure {
+                            steps,
+                            advanced,
+                            misroutes,
+                            lfsr_draws,
+                            cap_pruned,
+                            extent,
+                        });
                     }
                     let parent = stack.last().expect("nonempty after pop");
                     // Cancel the parent's row and free the link we came over:
@@ -719,6 +878,123 @@ mod tests {
         for &n in &p.nodes {
             assert!(m.router(n).entry(2).is_none());
         }
+    }
+
+    #[test]
+    fn generation_stamps_track_reservation_changes() {
+        let mut m = mesh(4, 4);
+        let t = m.topology();
+        assert_eq!(m.change_seq(), 0);
+        let p = m.reserve_explicit(0, &[t.node_at(1, 0), t.node_at(1, 1), t.node_at(1, 2)]);
+        // Installing a circuit stamps exactly its nodes.
+        assert_eq!(m.change_seq(), 1);
+        for n in [t.node_at(1, 0), t.node_at(1, 1), t.node_at(1, 2)] {
+            assert_eq!(m.node_stamp(n), 1);
+        }
+        assert_eq!(m.node_stamp(t.node_at(0, 0)), 0, "untouched router");
+        // A region containing a stamped node is "changed since 0"...
+        assert!(m.region_changed_since(0, (1, 1, 0, 2)));
+        // ...but not since the stamp itself, and untouched regions never.
+        assert!(!m.region_changed_since(1, (1, 1, 0, 2)));
+        assert!(!m.region_changed_since(0, (3, 3, 0, 3)));
+        // Releasing stamps the same nodes again with a new sequence.
+        m.release(&p);
+        assert_eq!(m.change_seq(), 2);
+        assert!(m.region_changed_since(1, (1, 1, 0, 2)));
+        // A failed walk is state-neutral: no stamp moves. Wall in a source
+        // and fail a walk out of it.
+        let mut m = mesh(3, 3);
+        let t = m.topology();
+        let src = t.node_at(1, 0);
+        m.reserve_explicit(0, &[t.node_at(0, 0), src, t.node_at(2, 0)]);
+        m.reserve_explicit(1, &[t.node_at(1, 1), src]);
+        let seq = m.change_seq();
+        let mut lfsr = Lfsr2::new();
+        m.scout_walk(2, src, t.node_at(1, 2), &mut lfsr).unwrap_err();
+        assert_eq!(m.change_seq(), seq, "failed walks must not stamp");
+    }
+
+    #[test]
+    fn successful_walks_stamp_their_path() {
+        let mut m = mesh(4, 4);
+        let t = m.topology();
+        let mut lfsr = Lfsr2::new();
+        let (p, _) = m.scout_walk(0, t.node_at(0, 0), t.node_at(0, 3), &mut lfsr).unwrap();
+        assert_eq!(m.change_seq(), 1);
+        for &n in &p.nodes {
+            assert_eq!(m.node_stamp(n), 1);
+        }
+        m.release(&p);
+        assert_eq!(m.change_seq(), 2);
+    }
+
+    #[test]
+    fn failed_walk_outcome_is_invariant_to_lfsr_phase() {
+        // The fast-fail cache's soundness contract: for a cap-free failure
+        // over an unchanged mesh region, the verdict, step count, misroute
+        // count, and LFSR draw count must not depend on the LFSR phase the
+        // walk starts from — that is what lets a fast-fail replay the
+        // recorded draw count and keep the register stream bit-identical.
+        // Build a deeply-blocked scenario (Figure 8 with the escape column
+        // also walled) so the scout advances, wanders, and fails.
+        let build = || {
+            let m2 = Mesh2D::new(4, 5);
+            let mut m = MeshState::new(m2, 4);
+            let n = |i: u16| NodeId(i);
+            m.reserve_explicit(0, &[n(0), n(1), n(2), n(3), n(4), n(9)]);
+            m.reserve_explicit(1, &[n(5), n(6), n(7), n(8)]);
+            m.reserve_explicit(2, &[n(10), n(11), n(12), n(13), n(14)]);
+            m
+        };
+        let mut reference: Option<ScoutFailure> = None;
+        for phase in 0..3u8 {
+            let mut m = build();
+            let mut lfsr = Lfsr2::with_seed(phase + 1);
+            let before = m.reserved_link_count();
+            let fail = m
+                .scout_walk(3, NodeId(15), NodeId(4), &mut lfsr)
+                .expect_err("destination is fully walled off");
+            assert_eq!(m.reserved_link_count(), before, "failure is atomic");
+            if fail.cap_pruned {
+                continue; // capped walks are excluded from the invariant
+            }
+            match &reference {
+                None => reference = Some(fail),
+                Some(r) => {
+                    assert_eq!(
+                        (r.steps, r.misroutes, r.lfsr_draws, r.advanced, r.extent),
+                        (
+                            fail.steps,
+                            fail.misroutes,
+                            fail.lfsr_draws,
+                            fail.advanced,
+                            fail.extent
+                        ),
+                        "phase {phase}: cap-free failure must be phase-invariant"
+                    );
+                }
+            }
+        }
+        let r = reference.expect("at least one cap-free failure");
+        assert!(r.advanced, "the scout advanced past the source");
+        assert!(r.steps > 1);
+    }
+
+    #[test]
+    fn failure_extent_covers_every_entered_router() {
+        // Wall in the source: the walk never leaves it, so the extent is
+        // exactly the source tile.
+        let m2 = Mesh2D::new(3, 3);
+        let mut m = MeshState::new(m2, 3);
+        let src = m2.node_at(1, 0);
+        m.reserve_explicit(0, &[m2.node_at(0, 0), src, m2.node_at(2, 0)]);
+        m.reserve_explicit(1, &[m2.node_at(1, 1), src]);
+        let mut lfsr = Lfsr2::new();
+        let fail = m.scout_walk(2, src, m2.node_at(1, 2), &mut lfsr).unwrap_err();
+        assert!(!fail.advanced);
+        assert_eq!(fail.extent, (1, 1, 0, 0), "source-blocked extent is one tile");
+        assert_eq!(fail.lfsr_draws, 0, "no candidates, no draws");
+        assert_eq!(fail.misroutes, 0);
     }
 
     #[test]

@@ -262,6 +262,19 @@ impl Lfsr2 {
         self.state
     }
 
+    /// Advances the register by `draws` output bits, discarding them — the
+    /// replay helper for paths that skip a deterministic computation whose
+    /// draw count is known (the scout fast-fail cache): the register ends in
+    /// exactly the state the skipped computation would have left it in.
+    ///
+    /// The 2-bit LFSR's state sequence has period 3, so only `draws % 3`
+    /// steps are taken; replay cost is O(1) regardless of the recorded count.
+    pub fn advance(&mut self, draws: u32) {
+        for _ in 0..(draws % 3) {
+            self.next_bit();
+        }
+    }
+
     /// Advances the register and returns the output bit.
     pub fn next_bit(&mut self) -> bool {
         let b1 = (self.state >> 1) & 1;

@@ -249,6 +249,119 @@ fn incremental_dispatch_matches_the_full_scan_reference() {
     }
 }
 
+/// The scout fast-fail cache must be *behaviorally invisible*: a cached
+/// Venice run is bit-identical to the uncached engine in every
+/// simulated-behavior field (execution time, latencies, conflicts,
+/// acquisitions, energy, events — everything except the cache's own
+/// `scout_fastfails` / `scout_cache_invalidations` effort counters), and
+/// `ScoutCacheKind::Checked` re-runs the full walk beside every cache
+/// verdict, panicking on any false fast-fail or replay mismatch (verdict,
+/// steps, misroutes, or LFSR draws). This is the randomized cross-check
+/// pattern that pinned the PR 4 dispatcher, applied to the cache.
+#[test]
+fn scout_fastfail_cache_is_bit_identical_and_checked() {
+    use venice::interconnect::FabricKind;
+    use venice::ssd::{run_single, DispatchPolicyKind, ScoutCacheKind, SsdConfig};
+
+    // A cached run equals the uncached run up to the cache's effort
+    // counters and its own reported label.
+    fn assert_behaviorally_identical(
+        off: &venice::ssd::RunMetrics,
+        cached: &venice::ssd::RunMetrics,
+        ctx: &str,
+    ) {
+        let mut masked = cached.clone();
+        masked.scout_cache = off.scout_cache;
+        masked.fabric.scout_fastfails = off.fabric.scout_fastfails;
+        masked.fabric.scout_cache_invalidations = off.fabric.scout_cache_invalidations;
+        assert_eq!(&masked, off, "{ctx}: cache changed simulated behavior");
+    }
+
+    let mut rng = Xorshift64Star::new(0xCAC4E);
+    for case in 0..4u64 {
+        let policy = venice::ssd::DispatchPolicyKind::ALL[(case % 4) as usize];
+        let read_pct = 40.0 + rng.next_f64() * 60.0;
+        let kb = 4.0 + rng.next_f64() * 28.0;
+        let us = 1.0 + rng.next_f64() * 10.0;
+        let n = 80 + rng.next_bounded(120) as usize;
+        let trace = WorkloadSpec::new("cache-xcheck", read_pct, kb, us)
+            .footprint_mb(48)
+            .burst_mean(1.0 + rng.next_f64() * 24.0)
+            .generate(n);
+        // The cache is a Venice knob, but run every fabric once in Checked
+        // mode on the first case: non-Venice fabrics must carry the knob
+        // inertly (same metrics, zero cache counters).
+        let fabrics: &[FabricKind] = if case == 0 {
+            &FabricKind::ALL
+        } else {
+            &[FabricKind::Venice]
+        };
+        for &fabric in fabrics {
+            let base = SsdConfig::performance_optimized().with_dispatch_policy(policy);
+            let off = run_single(
+                &base.clone().with_scout_cache(ScoutCacheKind::Off),
+                fabric,
+                &trace,
+            );
+            let on = run_single(
+                &base.clone().with_scout_cache(ScoutCacheKind::On),
+                fabric,
+                &trace,
+            );
+            // Checked runs the full walk beside every cache verdict and
+            // asserts agreement internally — completing is the check.
+            let checked = run_single(
+                &base.clone().with_scout_cache(ScoutCacheKind::Checked),
+                fabric,
+                &trace,
+            );
+            let ctx = format!("case {case}: {fabric}/{policy}");
+            assert_behaviorally_identical(&off, &on, &ctx);
+            assert_behaviorally_identical(&off, &checked, &ctx);
+            if fabric != FabricKind::Venice {
+                assert_eq!(on.fabric.scout_fastfails, 0, "{ctx}: knob must be inert");
+            }
+        }
+    }
+
+    // Big congested meshes are where the cache pays — and where a stale
+    // fast-fail or a draw-count mismatch would hide: cross-check 16×16
+    // under congestion-heavy traffic, in all three modes, for the two
+    // policies the per-fabric default table can select.
+    let trace = venice::workloads::WorkloadAxis::congested().trace(150);
+    for policy in [DispatchPolicyKind::RetryAll, DispatchPolicyKind::Auto] {
+        let base = SsdConfig::performance_optimized()
+            .with_mesh(16, 16)
+            .with_dispatch_policy(policy);
+        let off = run_single(
+            &base.clone().with_scout_cache(ScoutCacheKind::Off),
+            FabricKind::Venice,
+            &trace,
+        );
+        let on = run_single(
+            &base.clone().with_scout_cache(ScoutCacheKind::On),
+            FabricKind::Venice,
+            &trace,
+        );
+        let checked = run_single(
+            &base.clone().with_scout_cache(ScoutCacheKind::Checked),
+            FabricKind::Venice,
+            &trace,
+        );
+        let ctx = format!("congested 16x16 Venice/{policy}");
+        assert_behaviorally_identical(&off, &on, &ctx);
+        assert_behaviorally_identical(&off, &checked, &ctx);
+        assert!(
+            on.fabric.scout_fastfails > 0,
+            "{ctx}: congestion must exercise the fast-fail path"
+        );
+        assert!(
+            checked.fabric.scout_fastfails > 0,
+            "{ctx}: checked mode must verify live verdicts"
+        );
+    }
+}
+
 /// Page-address packing over arbitrary geometry is a bijection.
 #[test]
 fn gppa_roundtrip() {
