@@ -19,7 +19,10 @@
 //! the incremental ready-set dispatcher is what makes these cheap enough
 //! to sweep), `scoutcache` (the scout fast-fail cache ablation: cache-off
 //! vs cache-on Venice on congested 16×16/32×32 meshes; diff the two
-//! halves with the `sweep_diff` bin).
+//! halves with the `sweep_diff` bin), `faults` (the degraded-mode
+//! ablation: every fault plan × the five real fabrics on congestion-heavy
+//! traffic; also distills `results/fault_ablation.json` comparing Venice
+//! against the bus fabrics under a single link failure).
 //!
 //! Sweeps are *resumable*: when `results/sweep_<grid>/` already holds a
 //! manifest with this grid's exact grid hash, points whose record file
@@ -34,10 +37,11 @@
 //! scout fast-fail-cache axis), `--fresh`, `--list`.
 
 use venice_bench::report_resumed;
-use venice_bench::sweep::{SweepGrid, WorkerPool};
+use venice_bench::sweep::{ResumedSweep, SweepGrid, WorkerPool};
 use venice_interconnect::FabricKind;
 use venice_nand::NandTiming;
-use venice_ssd::{all_systems, DispatchPolicyKind, ScoutCacheKind, SsdConfig};
+use venice_ssd::report::{json_f64, json_str};
+use venice_ssd::{all_systems, DispatchPolicyKind, FaultPlan, ScoutCacheKind, SsdConfig};
 use venice_workloads::WorkloadAxis;
 
 /// The read-intensity-diverse workload subset used by the multi-axis grids
@@ -105,6 +109,18 @@ fn named_grid(name: &str, requests: Option<usize>) -> Option<SweepGrid> {
             .policies(&[DispatchPolicyKind::RetryAll, DispatchPolicyKind::Auto])
             .fabrics(&[FabricKind::Baseline, FabricKind::NoSsd, FabricKind::Venice])
             .requests(requests.unwrap_or(400)),
+        "faults" => SweepGrid::new("faults")
+            .workload(WorkloadAxis::congested())
+            .workload(WorkloadAxis::catalog("src2_1").expect("catalog"))
+            .fault_plans(&FaultPlan::ALL)
+            .fabrics(&[
+                FabricKind::Baseline,
+                FabricKind::Pssd,
+                FabricKind::PnSsd,
+                FabricKind::NoSsd,
+                FabricKind::Venice,
+            ])
+            .requests(requests.unwrap_or(400)),
         "scoutcache" => SweepGrid::new("scoutcache")
             .workload(WorkloadAxis::congested())
             .workload(WorkloadAxis::catalog("src2_1").expect("catalog"))
@@ -116,17 +132,113 @@ fn named_grid(name: &str, requests: Option<usize>) -> Option<SweepGrid> {
         _ => return None,
     };
     let grid = grid.config(SsdConfig::performance_optimized());
-    let own_default = matches!(name, "mini" | "policy" | "bigmesh" | "scoutcache");
+    let own_default = matches!(name, "mini" | "policy" | "bigmesh" | "scoutcache" | "faults");
     Some(match requests {
         Some(r) if !own_default => grid.requests(r),
         _ => grid,
     })
 }
 
-const GRID_NAMES: [&str; 10] = [
+const GRID_NAMES: [&str; 11] = [
     "mini", "table2", "mixes", "shapes", "nand", "qd", "design", "policy", "bigmesh",
-    "scoutcache",
+    "scoutcache", "faults",
 ];
+
+/// Extracts the raw numeric token after the first `"key": ` occurrence.
+fn json_num(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\": ");
+    let at = json.find(&needle)?;
+    let rest = &json[at + needle.len()..];
+    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Distills the `faults` grid into `results/fault_ablation.json`: one
+/// entry per point plus per-(plan × fabric) mean availability, with a
+/// headline comparing Venice against the bus fabrics under the single-link
+/// plan (the bus loses a whole row to one dead link; the mesh reroutes).
+/// Per-(fault plan, fabric) availability accumulator cell.
+type AvailabilityCell<'a> = ((&'a str, &'a str), (f64, u32));
+
+fn write_fault_ablation(outcome: &ResumedSweep, path: &std::path::Path) {
+    let mut point_lines = Vec::new();
+    // (plan label, fabric label) -> (availability sum, points)
+    let mut agg: Vec<AvailabilityCell> = Vec::new();
+    for (p, json) in outcome.points().iter().zip(outcome.point_jsons()) {
+        let avail = json_num(json, "availability").unwrap_or(0.0);
+        let failed = json_num(json, "failed_requests").unwrap_or(0.0) as u64;
+        let completed = json_num(json, "completed_requests").unwrap_or(0.0) as u64;
+        point_lines.push(format!(
+            "    {{\"label\": {}, \"workload\": {}, \"fabric\": {}, \
+             \"fault_plan\": {}, \"completed_requests\": {completed}, \
+             \"failed_requests\": {failed}, \"availability\": {}}}",
+            json_str(&p.label),
+            json_str(&p.workload),
+            json_str(p.fabric.label()),
+            json_str(p.fault_plan.label()),
+            json_f64(avail),
+        ));
+        let key = (p.fault_plan.label(), p.fabric.label());
+        match agg.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, (sum, n))) => {
+                *sum += avail;
+                *n += 1;
+            }
+            None => agg.push((key, (avail, 1))),
+        }
+    }
+    let mean = |plan: &str, fabric: &str| {
+        agg.iter()
+            .find(|((pl, fb), _)| *pl == plan && *fb == fabric)
+            .map(|(_, (sum, n))| sum / f64::from(*n))
+    };
+    let agg_lines: Vec<String> = agg
+        .iter()
+        .map(|((plan, fabric), (sum, n))| {
+            format!(
+                "    {{\"fault_plan\": {}, \"fabric\": {}, \"mean_availability\": {}}}",
+                json_str(plan),
+                json_str(fabric),
+                json_f64(sum / f64::from(*n)),
+            )
+        })
+        .collect();
+    // Two-tier headline. A single dead link strands a whole row on the
+    // row-bus designs (Baseline, pSSD) while the mesh reroutes; pnSSD's
+    // row+column redundancy genuinely survives one bus outage, so the
+    // all-bus comparison uses the crossing row+column pair (`link-cross`),
+    // where only the mesh fabrics still have path diversity left.
+    let venice_link = mean("link", "Venice").unwrap_or(0.0);
+    let best_row_bus = ["Baseline", "pSSD"]
+        .iter()
+        .filter_map(|b| mean("link", b))
+        .fold(0.0f64, f64::max);
+    let venice_cross = mean("link-cross", "Venice").unwrap_or(0.0);
+    let best_bus_cross = ["Baseline", "pSSD", "pnSSD"]
+        .iter()
+        .filter_map(|b| mean("link-cross", b))
+        .fold(0.0f64, f64::max);
+    let sustains = venice_link > best_row_bus && venice_cross > best_bus_cross;
+    let doc = format!(
+        "{{\n  \"name\": \"fault_ablation\",\n  \"grid\": \"faults\",\n  \
+         \"headline\": {{\"venice_sustains_higher\": {sustains}, \
+         \"single_link\": {{\"fault_plan\": \"link\", \"venice_availability\": {}, \
+         \"best_row_bus_availability\": {}}}, \
+         \"crossing_links\": {{\"fault_plan\": \"link-cross\", \"venice_availability\": {}, \
+         \"best_bus_availability\": {}}}}},\n  \
+         \"availability_by_plan\": [\n{}\n  ],\n  \"points\": [\n{}\n  ]\n}}\n",
+        json_f64(venice_link),
+        json_f64(best_row_bus),
+        json_f64(venice_cross),
+        json_f64(best_bus_cross),
+        agg_lines.join(",\n"),
+        point_lines.join(",\n"),
+    );
+    match std::fs::write(path, doc) {
+        Ok(()) => eprintln!("[venice-bench] fault ablation: {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -195,4 +307,7 @@ fn main() {
         None => grid.run_resumable(&results, WorkerPool::global(), fresh),
     };
     report_resumed(&outcome);
+    if grid_name == "faults" {
+        write_fault_ablation(&outcome, &results.join("fault_ablation.json"));
+    }
 }

@@ -28,6 +28,9 @@ use std::path::{Path, PathBuf};
 struct PointEntry {
     label: String,
     file: String,
+    /// `"complete"`, `"aborted"`, or `"failed"` (manifests written before
+    /// run status existed index as `"complete"`).
+    status: String,
     execution_time_ns: u64,
     events: u64,
 }
@@ -100,6 +103,7 @@ fn load_manifest(arg: &str) -> Manifest {
         points.push(PointEntry {
             label,
             file,
+            status: json_str_field(line, "status").unwrap_or_else(|| "complete".to_string()),
             execution_time_ns: json_u64_field(line, "execution_time_ns").unwrap_or(0),
             events: json_u64_field(line, "events").unwrap_or(0),
         });
@@ -172,6 +176,7 @@ fn main() {
 
     let mut mismatched_points = 0usize;
     let mut missing_in_b = 0usize;
+    let mut failed_points = 0usize;
     let mut compared = 0usize;
     // Pair points by (label, occurrence) in manifest order: labels can
     // legally repeat after `--ignore-scout-cache` folding (a manifest that
@@ -192,6 +197,18 @@ fn main() {
         };
         b_used[bi] = true;
         let pb = &b.points[bi];
+        // A panicked point's record is a placeholder, not metrics: report
+        // it instead of diffing meaningless zeros.
+        if pa.status == "failed" || pb.status == "failed" {
+            let side = match (pa.status.as_str(), pb.status.as_str()) {
+                ("failed", "failed") => "A and B",
+                ("failed", _) => "A",
+                _ => "B",
+            };
+            println!("{:<64} -- FAILED in {side} --", pa.label);
+            failed_points += 1;
+            continue;
+        }
         compared += 1;
         // Prefer the full point records for deeper metrics; fall back to
         // the manifest's headline numbers when a record is unreadable.
@@ -240,10 +257,12 @@ fn main() {
 
     println!(
         "\n{compared} points compared: {} identical, {mismatched_points} differing; \
-         {missing_in_b} only in A, {only_in_b} only in B",
+         {failed_points} failed, {missing_in_b} only in A, {only_in_b} only in B",
         compared - mismatched_points
     );
-    if strict && (mismatched_points > 0 || missing_in_b > 0 || only_in_b > 0) {
+    if strict
+        && (mismatched_points > 0 || missing_in_b > 0 || only_in_b > 0 || failed_points > 0)
+    {
         std::process::exit(1);
     }
 }

@@ -229,7 +229,17 @@ pub fn run_trace(config: &SsdConfig, systems: &[FabricKind], trace: &Trace) -> V
 /// tables use to find a point's Baseline sibling. Keyed on the workload
 /// axis *index* (not the display name): axis names are user-supplied and
 /// need not be unique.
-fn point_coord(p: &sweep::SweepPoint) -> (&'static str, usize, (u16, u16), String, usize, venice_ssd::DispatchPolicyKind) {
+fn point_coord(
+    p: &sweep::SweepPoint,
+) -> (
+    &'static str,
+    usize,
+    (u16, u16),
+    String,
+    usize,
+    venice_ssd::DispatchPolicyKind,
+    venice_ssd::FaultPlan,
+) {
     (
         p.config_name,
         p.workload_idx,
@@ -237,6 +247,7 @@ fn point_coord(p: &sweep::SweepPoint) -> (&'static str, usize, (u16, u16), Strin
         p.timing_name.clone(),
         p.queue_depth,
         p.policy,
+        p.fault_plan,
     )
 }
 

@@ -36,6 +36,7 @@
 //! println!("manifest at {}", dir.join("manifest.json").display());
 //! ```
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -44,7 +45,9 @@ use std::time::Instant;
 use venice_interconnect::FabricKind;
 use venice_nand::NandTiming;
 use venice_ssd::report::json_str;
-use venice_ssd::{run_single, DispatchPolicyKind, RunMetrics, ScoutCacheKind, SsdConfig};
+use venice_ssd::{
+    run_single, DispatchPolicyKind, FaultPlan, RunMetrics, ScoutCacheKind, SsdConfig,
+};
 use venice_workloads::{Trace, WorkloadAxis};
 
 use crate::{CatalogRow, SweepSummary};
@@ -160,10 +163,11 @@ impl WorkerPool {
 /// Empty axes fall back to the base: no `configs` means the Table 1
 /// performance-optimized preset, no `fabrics` means all six systems, no
 /// `workloads` means the whole Table 2 catalog, and no `shapes` /
-/// `timings` / `queue_depths` / `policies` / `scout_caches` means each
-/// config's own values. Expansion order is fixed — configs ▸ workloads ▸
-/// shapes ▸ timings ▸ queue depths ▸ policies ▸ scout caches ▸ fabrics
-/// (innermost) — so point ids are stable for a given grid.
+/// `timings` / `queue_depths` / `policies` / `scout_caches` / `faults`
+/// means each config's own values. Expansion order is fixed — configs ▸
+/// workloads ▸ shapes ▸ timings ▸ queue depths ▸ policies ▸ scout caches ▸
+/// fault plans ▸ fabrics (innermost) — so point ids are stable for a given
+/// grid.
 #[derive(Clone, Debug)]
 pub struct SweepGrid {
     name: String,
@@ -175,8 +179,18 @@ pub struct SweepGrid {
     queue_depths: Vec<usize>,
     policies: Vec<DispatchPolicyKind>,
     scout_caches: Vec<ScoutCacheKind>,
+    faults: Vec<FaultPlan>,
     fabrics: Vec<FabricKind>,
 }
+
+/// Watchdog event ceiling armed on every sweep point whose config does not
+/// set its own (generous: orders of magnitude above any healthy point, so
+/// it only ever fires on a genuinely runaway simulation).
+pub const SWEEP_MAX_EVENTS: u64 = 2_000_000_000;
+
+/// Watchdog simulated-time ceiling armed on every sweep point whose config
+/// does not set its own (one simulated hour).
+pub const SWEEP_MAX_SIM_NS: u64 = 3_600_000_000_000;
 
 impl SweepGrid {
     /// Creates an empty grid named `name` (the name keys the output
@@ -193,6 +207,7 @@ impl SweepGrid {
             queue_depths: Vec::new(),
             policies: Vec::new(),
             scout_caches: Vec::new(),
+            faults: Vec::new(),
             fabrics: Vec::new(),
         }
     }
@@ -283,6 +298,13 @@ impl SweepGrid {
         self
     }
 
+    /// Extends the fault-plan axis (the degraded-mode ablation: each plan
+    /// scripts a deterministic sequence of fabric/chip/NAND faults).
+    pub fn fault_plans(mut self, plans: &[FaultPlan]) -> Self {
+        self.faults.extend_from_slice(plans);
+        self
+    }
+
     /// Resolved workload axis (Table 2 catalog when none was set).
     fn effective_workloads(&self) -> Vec<WorkloadAxis> {
         if self.workloads.is_empty() {
@@ -348,48 +370,74 @@ impl SweepGrid {
             } else {
                 self.scout_caches.clone()
             };
+            let faults: Vec<FaultPlan> = if self.faults.is_empty() {
+                vec![base.fault_plan]
+            } else {
+                self.faults.clone()
+            };
             for (workload_idx, workload) in workloads.iter().enumerate() {
                 for &(rows, cols) in &shapes {
                     for &timing in &timings {
                         for &depth in &depths {
                             for &policy in &policies {
                                 for &scout_cache in &caches {
-                                    for &fabric in &fabrics {
-                                        let config = base
-                                            .clone()
-                                            .with_mesh(rows, cols)
-                                            .with_timing(timing)
-                                            .with_queue_depth(depth)
-                                            .with_dispatch_policy(policy)
-                                            .with_scout_cache(scout_cache);
-                                        let timing_name =
-                                            timing.preset_name().unwrap_or("custom").to_string();
-                                        let label = format!(
-                                            "{}/{}/{}x{}/{}/qd{}/{}/{}/{}",
-                                            base.name,
-                                            workload.name(),
-                                            rows,
-                                            cols,
-                                            timing_name,
-                                            depth,
-                                            policy.label(),
-                                            scout_cache.label(),
-                                            fabric.label()
-                                        );
-                                        points.push(SweepPoint {
-                                            id: points.len(),
-                                            label,
-                                            workload_idx,
-                                            workload: workload.name().to_string(),
-                                            config_name: base.name,
-                                            shape: (rows, cols),
-                                            timing_name,
-                                            queue_depth: depth,
-                                            policy,
-                                            scout_cache,
-                                            fabric,
-                                            config,
-                                        });
+                                    for &fault_plan in &faults {
+                                        for &fabric in &fabrics {
+                                            let config = base
+                                                .clone()
+                                                .with_mesh(rows, cols)
+                                                .with_timing(timing)
+                                                .with_queue_depth(depth)
+                                                .with_dispatch_policy(policy)
+                                                .with_scout_cache(scout_cache)
+                                                .with_fault_plan(fault_plan);
+                                            // Sweeps run unattended: arm the
+                                            // generous runaway-run watchdog
+                                            // unless the base config set its
+                                            // own ceilings.
+                                            let config = if config.max_events.is_none()
+                                                && config.max_sim_ns.is_none()
+                                            {
+                                                config.with_watchdog(
+                                                    Some(SWEEP_MAX_EVENTS),
+                                                    Some(SWEEP_MAX_SIM_NS),
+                                                )
+                                            } else {
+                                                config
+                                            };
+                                            let timing_name = timing
+                                                .preset_name()
+                                                .unwrap_or("custom")
+                                                .to_string();
+                                            let label = format!(
+                                                "{}/{}/{}x{}/{}/qd{}/{}/{}/{}/{}",
+                                                base.name,
+                                                workload.name(),
+                                                rows,
+                                                cols,
+                                                timing_name,
+                                                depth,
+                                                policy.label(),
+                                                scout_cache.label(),
+                                                fault_plan.label(),
+                                                fabric.label()
+                                            );
+                                            points.push(SweepPoint {
+                                                id: points.len(),
+                                                label,
+                                                workload_idx,
+                                                workload: workload.name().to_string(),
+                                                config_name: base.name,
+                                                shape: (rows, cols),
+                                                timing_name,
+                                                queue_depth: depth,
+                                                policy,
+                                                scout_cache,
+                                                fault_plan,
+                                                fabric,
+                                                config,
+                                            });
+                                        }
                                     }
                                 }
                             }
@@ -428,7 +476,7 @@ impl SweepGrid {
                 .iter()
                 .map(|point| {
                     let trace = &traces[point.workload_idx];
-                    move || run_single(&point.config, point.fabric, trace)
+                    move || run_point_guarded(point, trace)
                 })
                 .collect(),
         );
@@ -497,6 +545,9 @@ impl SweepGrid {
                     // suspenders: only a structurally whole document is
                     // trusted.
                     .filter(|s| s.starts_with('{') && s.trim_end().ends_with('}'))
+                    // A failed (panicked) point's placeholder record is
+                    // never reused: the resumed sweep retries it.
+                    .filter(|s| !s.contains("\"status\": \"failed\""))
             })
             .collect();
         let reused: Vec<bool> = jsons.iter().map(|j| j.is_some()).collect();
@@ -533,7 +584,7 @@ impl SweepGrid {
                         .as_ref()
                         .expect("trace generated for missing point");
                     move || {
-                        let m = run_single(&point.config, point.fabric, trace);
+                        let m = run_point_guarded(point, trace);
                         // Persist the record the moment the point finishes,
                         // so a killed sweep resumes from here (best-effort).
                         let json = m.to_json();
@@ -616,11 +667,16 @@ impl SweepGrid {
                 .map(|c| c.label().to_string())
                 .collect()
         };
+        let faults: Vec<String> = if self.faults.is_empty() {
+            vec!["base".to_string()]
+        } else {
+            self.faults.iter().map(|f| f.label().to_string()).collect()
+        };
         format!(
             "{{\"name\": {}, \"requests\": {}, \"configs\": {}, \
              \"workloads\": {}, \"shapes\": {}, \"timings\": {}, \
              \"queue_depths\": {}, \"policies\": {}, \"scout_caches\": {}, \
-             \"fabrics\": {}}}",
+             \"faults\": {}, \"fabrics\": {}}}",
             json_str(&self.name),
             self.requests,
             json_str_list(&configs),
@@ -630,6 +686,7 @@ impl SweepGrid {
             json_str_list(&depths),
             json_str_list(&policies),
             json_str_list(&caches),
+            json_str_list(&faults),
             json_str_list(&fabrics),
         )
     }
@@ -661,6 +718,8 @@ pub struct SweepPoint {
     pub policy: DispatchPolicyKind,
     /// Scout fast-fail cache mode under test.
     pub scout_cache: ScoutCacheKind,
+    /// Fault plan under test (`FaultPlan::None` on fault-free grids).
+    pub fault_plan: FaultPlan,
     /// The fabric under test.
     pub fabric: FabricKind,
     /// The fully resolved configuration this point simulates.
@@ -779,7 +838,7 @@ impl SweepOutcome {
     /// figure renderers consume.
     ///
     /// A row is one full non-fabric coordinate — (config, workload, shape,
-    /// timing, queue depth, policy, scout cache) — so metrics from
+    /// timing, queue depth, policy, scout cache, fault plan) — so metrics from
     /// different configurations are never merged into one row: on a grid
     /// where `filter` leaves several configs/shapes/timings/depths/
     /// policies/caches, the same workload name simply appears once per
@@ -797,6 +856,7 @@ impl SweepOutcome {
                 p.queue_depth,
                 p.policy,
                 p.scout_cache,
+                p.fault_plan,
             )
         };
         let mut rows: Vec<CatalogRow> = Vec::new();
@@ -1003,6 +1063,35 @@ impl ResumedSweep {
     }
 }
 
+/// Runs one point with panic isolation: a panicking simulation becomes a
+/// [`RunMetrics::failed`] placeholder (recorded with `"status": "failed"`)
+/// instead of killing the worker pool — the rest of the sweep continues,
+/// and a resumed sweep retries the point.
+fn run_point_guarded(point: &SweepPoint, trace: &Trace) -> RunMetrics {
+    catch_unwind(AssertUnwindSafe(|| {
+        run_single(&point.config, point.fabric, trace)
+    }))
+    .unwrap_or_else(|_| {
+        eprintln!(
+            "warning: sweep point {} panicked; recording a failed placeholder",
+            point.label
+        );
+        RunMetrics::failed(point.fabric, &point.workload, point.config_name)
+    })
+}
+
+/// The `"status"` of a point record (`"complete"` when the field is absent
+/// — records written before run status existed).
+fn json_status(json: &str) -> &'static str {
+    if json.contains("\"status\": \"failed\"") {
+        "failed"
+    } else if json.contains("\"status\": \"aborted\"") {
+        "aborted"
+    } else {
+        "complete"
+    }
+}
+
 /// FNV-1a 64-bit offset basis.
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
@@ -1053,11 +1142,12 @@ fn manifest_json_for(
     let mut index = String::from("[\n");
     for (i, (p, json)) in points.iter().zip(point_jsons).enumerate() {
         index.push_str(&format!(
-            "    {{\"id\": {}, \"label\": {}, \"file\": {}, \
+            "    {{\"id\": {}, \"label\": {}, \"file\": {}, \"status\": {}, \
              \"execution_time_ns\": {}, \"events\": {}}}{}\n",
             p.id,
             json_str(&p.label),
             json_str(&p.file_name()),
+            json_str(json_status(json)),
             json_u64_field(json, "execution_time_ns"),
             json_u64_field(json, "events"),
             if i + 1 == points.len() { "" } else { "," }

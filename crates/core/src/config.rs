@@ -6,7 +6,7 @@ use venice_interconnect::{FabricParams, ScoutCacheKind};
 use venice_nand::{ChipGeometry, NandTiming, OpEnergy};
 use venice_sim::SimDuration;
 
-use crate::{DispatchPolicyKind, DispatchScanKind};
+use crate::{DispatchPolicyKind, DispatchScanKind, FaultPlan};
 
 /// Static (load-independent) power draw of the SSD, used by the Figure 14
 /// energy model: controller, DRAM, and per-chip standby power.
@@ -65,6 +65,25 @@ pub struct SsdConfig {
     /// bit-identical either way; this is a performance/cross-check knob,
     /// not a behavioral axis.
     pub scan: DispatchScanKind,
+    /// Scripted fault plan delivered through the event calendar (a sweep
+    /// axis). [`FaultPlan::None`] (the default) schedules zero events and
+    /// reproduces the fault-free engine bit-for-bit.
+    pub fault_plan: FaultPlan,
+    /// Runaway-run watchdog: abort the run once this many calendar events
+    /// have been scheduled. `None` (the preset default) disables the check;
+    /// sweeps enable a generous ceiling so no fault scenario can spin the
+    /// calendar forever.
+    pub max_events: Option<u64>,
+    /// Runaway-run watchdog: abort the run once simulated time passes this
+    /// many nanoseconds. `None` disables the check.
+    pub max_sim_ns: Option<u64>,
+    /// Test-only fail point: panic the engine once this many calendar
+    /// events have been scheduled. Stands in for "any engine bug" in the
+    /// sweep-isolation tests (a panicking point must be caught and recorded
+    /// as failed without taking the sweep down). `None` — the only value
+    /// presets ever carry — compiles the check down to a branch that never
+    /// fires.
+    pub panic_after_events: Option<u64>,
 }
 
 impl SsdConfig {
@@ -96,6 +115,10 @@ impl SsdConfig {
             static_power: StaticPower::default(),
             dispatch: DispatchPolicyKind::RetryAll,
             scan: DispatchScanKind::Incremental,
+            fault_plan: FaultPlan::None,
+            max_events: None,
+            max_sim_ns: None,
+            panic_after_events: None,
         }
     }
 
@@ -122,6 +145,10 @@ impl SsdConfig {
             static_power: StaticPower::default(),
             dispatch: DispatchPolicyKind::RetryAll,
             scan: DispatchScanKind::Incremental,
+            fault_plan: FaultPlan::None,
+            max_events: None,
+            max_sim_ns: None,
+            panic_after_events: None,
         }
     }
 
@@ -229,6 +256,32 @@ impl SsdConfig {
     /// The configured scout fast-fail cache mode.
     pub fn scout_cache(&self) -> ScoutCacheKind {
         self.fabric.scout_cache
+    }
+
+    /// Selects the scripted fault plan (a sweep-engine axis).
+    /// [`FaultPlan::None`] reproduces the fault-free engine bit-for-bit —
+    /// it schedules zero calendar events.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Arms the runaway-run watchdog: the run aborts with a structured
+    /// [`crate::RunStatus::Aborted`] outcome once either ceiling is
+    /// crossed, instead of spinning the calendar forever. `None` leaves a
+    /// dimension unchecked.
+    pub fn with_watchdog(mut self, max_events: Option<u64>, max_sim_ns: Option<u64>) -> Self {
+        self.max_events = max_events;
+        self.max_sim_ns = max_sim_ns;
+        self
+    }
+
+    /// Arms the test-only fail point: the engine panics once `events`
+    /// calendar events have been scheduled. Exists so sweep-isolation tests
+    /// can inject a deterministic engine bug; never set it outside tests.
+    pub fn with_panic_after_events(mut self, events: u64) -> Self {
+        self.panic_after_events = Some(events);
+        self
     }
 
     /// Scales the per-plane block count so that the physical capacity is
@@ -374,6 +427,22 @@ mod tests {
         assert_eq!(cfg.array.chip.page_size, 4 * 1024);
         // Queue depth has a floor of one.
         assert_eq!(SsdConfig::performance_optimized().with_queue_depth(0).hil.queue_depth, 1);
+    }
+
+    #[test]
+    fn fault_plan_and_watchdog_default_off_and_apply() {
+        let cfg = SsdConfig::performance_optimized();
+        assert_eq!(cfg.fault_plan, FaultPlan::None);
+        assert_eq!(cfg.max_events, None);
+        assert_eq!(cfg.max_sim_ns, None);
+        assert_eq!(SsdConfig::cost_optimized().fault_plan, FaultPlan::None);
+        let armed = cfg
+            .with_fault_plan(FaultPlan::Link)
+            .with_watchdog(Some(1_000_000), Some(5_000_000_000));
+        assert_eq!(armed.fault_plan, FaultPlan::Link);
+        assert_eq!(armed.max_events, Some(1_000_000));
+        assert_eq!(armed.max_sim_ns, Some(5_000_000_000));
+        armed.validate();
     }
 
     #[test]

@@ -318,6 +318,13 @@ impl PolicyState {
         }
     }
 
+    /// True when this round acquired at least one path (the fault-mode
+    /// liveness probe re-arms dispatch only for rounds that moved nothing).
+    #[inline]
+    pub(crate) fn round_dispatched(&self) -> bool {
+        self.dispatched_this_round
+    }
+
     /// True when this round suppressed work without dispatching anything:
     /// the caller must schedule a future dispatch probe, because no
     /// in-flight event is guaranteed to re-trigger dispatch and the

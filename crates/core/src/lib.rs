@@ -42,6 +42,7 @@
 mod config;
 mod dispatch;
 mod experiment;
+mod fault;
 mod metrics;
 pub mod report;
 mod ssd;
@@ -55,7 +56,8 @@ pub use experiment::{
     all_systems, enter_shared_pool, run_single, run_systems, shared_pool_active,
     ExperimentBuilder, SharedPoolGuard, SystemKind,
 };
-pub use metrics::RunMetrics;
+pub use fault::{FaultAction, FaultPlan};
+pub use metrics::{RunMetrics, RunStatus};
 pub use ssd::SsdSim;
 // Re-exported for config/sweep ergonomics: the scout fast-fail cache mode is
 // an `SsdConfig` knob and a sweep axis, like `DispatchPolicyKind`.

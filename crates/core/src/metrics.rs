@@ -10,6 +10,33 @@ use crate::dispatch::DispatchStats;
 use crate::report::{json_f64, json_str};
 use crate::DispatchPolicyKind;
 
+/// How a run ended (part of [`RunMetrics`] and the sweep manifest's
+/// per-point `status` field).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum RunStatus {
+    /// The trace ran to completion (failed-with-error requests included:
+    /// they *complete*, with error status — see `failed_requests`).
+    #[default]
+    Complete,
+    /// The watchdog ended the run early (`SsdConfig::max_events` /
+    /// `max_sim_ns`): partial metrics, queue not drained.
+    Aborted,
+    /// The run panicked; a sweep worker caught it and recorded this
+    /// placeholder instead of a result (see `RunMetrics::failed`).
+    Failed,
+}
+
+impl RunStatus {
+    /// Stable label used in manifests and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RunStatus::Complete => "complete",
+            RunStatus::Aborted => "aborted",
+            RunStatus::Failed => "failed",
+        }
+    }
+}
+
 /// Metrics of one simulated run (one workload × one system × one config).
 ///
 /// Derives `PartialEq` so determinism tests can compare whole runs (the
@@ -57,6 +84,19 @@ pub struct RunMetrics {
     pub events: u64,
     /// Simulation end time.
     pub end_time: SimTime,
+    /// How the run ended (complete / watchdog-aborted / worker-failed).
+    pub status: RunStatus,
+    /// Fault-plan actions delivered (faults *and* repairs); zero under
+    /// [`crate::FaultPlan::None`].
+    pub faults_injected: u64,
+    /// Fabric faults still outstanding (unrepaired) at run end.
+    pub faults_active: u64,
+    /// NAND program/erase operations retried after a transient failure.
+    pub retried_ops: u64,
+    /// Requests that completed *with error status* because a chip or its
+    /// only path died. They count in `completed_requests` (the calendar
+    /// never stalls on them) but not toward availability.
+    pub failed_requests: u64,
 }
 
 impl RunMetrics {
@@ -94,6 +134,54 @@ impl RunMetrics {
     /// Mean end-to-end latency.
     pub fn mean_latency(&self) -> SimDuration {
         self.latencies.mean()
+    }
+
+    /// Fraction of completed requests that completed *successfully* (no
+    /// dead-chip / dead-path error): the fault ablation's availability
+    /// metric. 1.0 for a clean run; 0.0 when nothing completed.
+    pub fn availability(&self) -> f64 {
+        if self.completed_requests == 0 {
+            0.0
+        } else {
+            (self.completed_requests - self.failed_requests) as f64
+                / self.completed_requests as f64
+        }
+    }
+
+    /// A placeholder record for a sweep point whose run panicked: zero
+    /// metrics, [`RunStatus::Failed`], carrying just enough identity
+    /// (system / workload / config) for the manifest to report the failure
+    /// instead of erroring the whole sweep.
+    pub fn failed(
+        system: venice_interconnect::FabricKind,
+        workload: &str,
+        config: &'static str,
+    ) -> RunMetrics {
+        RunMetrics {
+            system,
+            workload: workload.to_string(),
+            config,
+            policy: DispatchPolicyKind::RetryAll,
+            scout_cache: venice_interconnect::ScoutCacheKind::Off,
+            completed_requests: 0,
+            execution_time: SimDuration::ZERO,
+            latencies: LatencySamples::new(),
+            conflicted_requests: 0,
+            energy_mj: 0.0,
+            avg_power_mw: 0.0,
+            fabric: FabricStats::default(),
+            ftl: FtlStats::default(),
+            hil: HilStats::default(),
+            dispatch: DispatchStats::default(),
+            transactions: 0,
+            events: 0,
+            end_time: SimTime::ZERO,
+            status: RunStatus::Failed,
+            faults_injected: 0,
+            faults_active: 0,
+            retried_ops: 0,
+            failed_requests: 0,
+        }
     }
 
     /// Serializes the run as one stable JSON object (the sweep engine's
@@ -149,6 +237,9 @@ impl RunMetrics {
              \"fetched\": {}, \"completed\": {}}},\n  \
              \"dispatch\": {{\"rounds\": {}, \"attempts\": {}, \
              \"skipped_backoff\": {}, \"failed_walks\": {}}},\n  \
+             \"status\": {},\n  \
+             \"faults\": {{\"injected\": {}, \"active\": {}, \"retried_ops\": {}, \
+             \"failed_requests\": {}, \"availability\": {}}},\n  \
              \"transactions\": {},\n  \"events\": {},\n  \"end_time_ns\": {}\n}}\n",
             json_str(self.system.label()),
             json_str(&self.workload),
@@ -198,6 +289,12 @@ impl RunMetrics {
             dsp.attempts,
             dsp.skipped_backoff,
             dsp.failed_walks,
+            json_str(self.status.label()),
+            self.faults_injected,
+            self.faults_active,
+            self.retried_ops,
+            self.failed_requests,
+            json_f64(self.availability()),
             self.transactions,
             self.events,
             self.end_time.as_nanos(),
@@ -234,6 +331,11 @@ mod tests {
             transactions: requests,
             events: requests * 4,
             end_time: SimTime::from_micros(exec_us),
+            status: RunStatus::Complete,
+            faults_injected: 0,
+            faults_active: 0,
+            retried_ops: 0,
+            failed_requests: 0,
         }
     }
 
@@ -263,6 +365,30 @@ mod tests {
         let m = metrics(0, 0);
         assert_eq!(m.iops(), 0.0);
         assert_eq!(m.conflict_pct(), 0.0);
+        assert_eq!(m.availability(), 0.0);
+    }
+
+    #[test]
+    fn availability_excludes_failed_completions() {
+        let mut m = metrics(1_000, 100);
+        assert_eq!(m.availability(), 1.0);
+        m.failed_requests = 25;
+        assert!((m.availability() - 0.75).abs() < 1e-12);
+        let json = m.to_json();
+        assert!(json.contains("\"failed_requests\": 25"));
+        assert!(json.contains("\"availability\": 0.75"));
+    }
+
+    #[test]
+    fn failed_placeholder_serializes_with_failed_status() {
+        let m = RunMetrics::failed(FabricKind::Venice, "wl", "test");
+        assert_eq!(m.status, RunStatus::Failed);
+        assert_eq!(m.status.label(), "failed");
+        let json = m.to_json();
+        assert!(json.contains("\"status\": \"failed\""));
+        assert!(json.contains("\"system\": \"Venice\""));
+        assert_eq!(RunStatus::Aborted.label(), "aborted");
+        assert_eq!(RunStatus::default(), RunStatus::Complete);
     }
 
     #[test]
@@ -279,6 +405,9 @@ mod tests {
             "\"execution_time_ns\": 1000000",
             "\"p99_ns\": 99000",
             "\"dispatch\": {\"rounds\": 0",
+            "\"status\": \"complete\"",
+            "\"faults\": {\"injected\": 0",
+            "\"availability\": 1",
             "\"events\": 400",
         ] {
             assert!(a.contains(needle), "missing {needle} in {a}");

@@ -67,7 +67,7 @@ use venice_sim::{DenseBitSet, EventQueue, SimDuration, SimTime};
 use venice_workloads::{IoOp, Trace};
 
 use crate::dispatch::{DispatchScanKind, PolicyState};
-use crate::{RunMetrics, SsdConfig};
+use crate::{FaultAction, FaultPlan, RunMetrics, RunStatus, SsdConfig};
 
 /// Simulator events.
 #[derive(Clone, Copy, Debug)]
@@ -86,6 +86,8 @@ enum Event {
     RequestDone(u64),
     /// Try to dispatch queued work (coalesced; scheduled on state changes).
     Dispatch,
+    /// Scripted fault-plan action `i` fires (see `crate::FaultPlan`).
+    Fault(usize),
 }
 
 /// Which wire/array phase an in-flight transaction is in.
@@ -104,6 +106,14 @@ const NO_MIGRATION: usize = usize::MAX;
 /// [`SsdSim::on_dispatch`]): one wheel-bucket-sized breather, long enough
 /// to advance the clock, short next to any array operation.
 const POLICY_PROBE_DELAY: SimDuration = SimDuration::from_nanos(256);
+
+/// Delay between fault-mode liveness probes: with faults in play a dispatch
+/// round can fail with no in-flight event guaranteed to re-trigger it
+/// (every path to a chip severed until a scripted repair), so the engine
+/// keeps probing at this cadence. Coarser than [`POLICY_PROBE_DELAY`] —
+/// outages last tens of microseconds — and only ever scheduled when the
+/// configured fault plan is not `FaultPlan::None`.
+const FAULT_PROBE_DELAY: SimDuration = SimDuration::from_micros(2);
 
 /// One slab slot of per-transaction state. The slot index *is* the
 /// transaction id; slots are recycled through a free list when the
@@ -126,6 +136,9 @@ struct ReqState {
     remaining: u32,
     conflicted: bool,
     live: bool,
+    /// At least one of the request's transactions failed on a dead chip or
+    /// dead path: the request completes with error status.
+    failed: bool,
 }
 
 struct MigrationState {
@@ -265,6 +278,23 @@ pub struct SsdSim {
     last_completion: SimTime,
     /// Reads served without flash access (never-written pages).
     zero_reads: u64,
+
+    /// The expanded fault-plan script (empty under `FaultPlan::None`);
+    /// entry `i` fires as `Event::Fault(i)`.
+    fault_script: Vec<(SimTime, FaultAction)>,
+    /// True when the configured fault plan schedules anything: gates the
+    /// fault-mode liveness probe so fault-free runs stay bit-identical.
+    fault_mode: bool,
+    /// Per-chip count of overlapping death causes (fabric blast radius +
+    /// scripted chip deaths); a chip is dead while its count is non-zero.
+    chip_dead: Vec<u8>,
+    /// Per-chip armed transient NAND failures: each charge fails one
+    /// program/erase once (retried after a full re-issue latency).
+    transient_charges: Vec<u32>,
+    faults_injected: u64,
+    faults_active: u64,
+    retried_ops: u64,
+    failed_requests: u64,
 }
 
 impl SsdSim {
@@ -351,6 +381,16 @@ impl SsdSim {
             first_arrival: trace.events().first().map_or(SimTime::ZERO, |e| e.arrival),
             last_completion: SimTime::ZERO,
             zero_reads: 0,
+            fault_script: config
+                .fault_plan
+                .events_for(config.fabric.rows, config.fabric.cols),
+            fault_mode: config.fault_plan != FaultPlan::None,
+            chip_dead: vec![0; chip_count],
+            transient_charges: vec![0; chip_count],
+            faults_injected: 0,
+            faults_active: 0,
+            retried_ops: 0,
+            failed_requests: 0,
             ftl,
             trace: trace.clone(),
             config,
@@ -374,25 +414,55 @@ impl SsdSim {
             self.queue
                 .schedule(self.trace.events()[0].arrival, Event::Arrival(0));
         }
+        // Fault-plan actions ride the same calendar as everything else;
+        // `FaultPlan::None` expands to nothing, so fault-free runs schedule
+        // zero extra events (the `events` metric feeds the golden hash).
+        for i in 0..self.fault_script.len() {
+            let at = self.fault_script[i].0;
+            self.queue.schedule(at, Event::Fault(i));
+        }
         let mut batch: Vec<Event> = Vec::new();
+        let mut status = RunStatus::Complete;
         while let Some(now) = self.queue.pop_batch(&mut batch) {
+            // Runaway-run watchdog: end with a structured aborted outcome
+            // instead of spinning the calendar forever.
+            if self
+                .config
+                .max_events
+                .is_some_and(|m| self.queue.scheduled_total() > m)
+                || self.config.max_sim_ns.is_some_and(|m| now.as_nanos() > m)
+            {
+                status = RunStatus::Aborted;
+                break;
+            }
+            // Test-only fail point (sweep-isolation tests): a deliberate,
+            // deterministic engine panic standing in for any engine bug.
+            if let Some(m) = self.config.panic_after_events {
+                assert!(
+                    self.queue.scheduled_total() <= m,
+                    "injected fail-point panic after {} scheduled events",
+                    self.queue.scheduled_total()
+                );
+            }
             for ev in batch.drain(..) {
                 self.handle(now, ev);
             }
         }
-        assert!(
-            self.tsu.is_empty()
-                && self.live_txns == 0
-                && self.stalled_arrival.is_none()
-                && self.throttled_writes.is_empty(),
-            "simulation drained its event queue with work still outstanding"
-        );
-        assert_eq!(
-            self.completed,
-            self.trace.len() as u64,
-            "all requests must complete"
-        );
-        self.finish()
+        if status == RunStatus::Complete {
+            assert!(
+                self.tsu.is_empty()
+                    && self.live_txns == 0
+                    && self.stalled_arrival.is_none()
+                    && self.throttled_writes.is_empty(),
+                "simulation drained its event queue with work still outstanding"
+            );
+            assert_eq!(
+                self.completed,
+                self.trace.len() as u64,
+                "all requests must complete"
+            );
+        }
+        self.finish(status)
     }
 
     fn handle(&mut self, now: SimTime, ev: Event) {
@@ -404,6 +474,7 @@ impl SsdSim {
             Event::DataSent(txn) => self.on_data_sent(now, txn),
             Event::RequestDone(req) => self.on_request_done(now, req),
             Event::Dispatch => self.on_dispatch(now),
+            Event::Fault(i) => self.on_fault(now, i),
         }
     }
 
@@ -531,6 +602,7 @@ impl SsdSim {
             remaining: txns,
             conflicted: false,
             live: true,
+            failed: false,
         };
         if txns == 0 {
             // Nothing touches flash (e.g. read of never-written data).
@@ -588,11 +660,16 @@ impl SsdSim {
         let st = &mut self.requests[req_id as usize];
         debug_assert!(st.live, "request {req_id} not tracked");
         st.live = false;
-        let (arrival, conflicted) = (st.arrival, st.conflicted);
+        let (arrival, conflicted, failed) = (st.arrival, st.conflicted, st.failed);
         self.hil.complete(req_id, now);
         self.latencies.record(now.saturating_since(arrival));
         if conflicted {
             self.conflicted_requests += 1;
+        }
+        if failed {
+            // The request reached the host with error status; it still counts
+            // as completed (the calendar drained it) but not as available.
+            self.failed_requests += 1;
         }
         self.completed += 1;
         self.last_completion = self.last_completion.max(now);
@@ -743,6 +820,20 @@ impl SsdSim {
             self.dispatch_pending = true;
             self.queue
                 .schedule(now + POLICY_PROBE_DELAY, Event::Dispatch);
+        } else if self.fault_mode
+            && !self.policy.round_dispatched()
+            && !self.dispatch_pending
+            && (self.tsu.pending() > 0 || !self.data_ready.is_empty())
+        {
+            // Fault-mode liveness probe: a round moved nothing while work is
+            // queued. Under faults that can mean every route to the work is
+            // down (`RouteBlocked` is retryable until repair) with no
+            // in-flight completion left to wake us — re-arm ourselves. Only
+            // active when a fault plan is loaded, so fault-free runs keep a
+            // bit-identical calendar.
+            self.dispatch_pending = true;
+            self.queue
+                .schedule(now + FAULT_PROBE_DELAY, Event::Dispatch);
         }
     }
 
@@ -756,6 +847,100 @@ impl SsdSim {
         if info.controller.is_some() {
             self.parked_on_controllers = false;
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection & degraded mode
+    // ------------------------------------------------------------------
+
+    /// Delivers one scripted fault-plan action. Every class reconverges on
+    /// a dispatch kick: repairs free resources parked chips may now reach,
+    /// and faults fail transactions whose follow-on work (migration steps,
+    /// request completions) must keep the calendar moving.
+    fn on_fault(&mut self, now: SimTime, index: usize) {
+        let action = self.fault_script[index].1;
+        self.faults_injected += 1;
+        match action {
+            FaultAction::Fabric(fault) => {
+                if fault.is_down() {
+                    self.faults_active += 1;
+                } else {
+                    self.faults_active = self.faults_active.saturating_sub(1);
+                }
+                let impact = self.fabric.inject_fault(fault);
+                for node in impact.dead_chips {
+                    self.kill_chip(now, usize::from(node.0));
+                }
+                for node in impact.revived_chips {
+                    self.revive_chip(usize::from(node.0));
+                }
+                // A freed resource (repaired channel/bus) behaves like a
+                // release wake: handled by the unconditional un-park below.
+            }
+            FaultAction::ChipDeath(node) => {
+                self.faults_active += 1;
+                self.kill_chip(now, usize::from(node.0));
+            }
+            FaultAction::ArmTransient { chip, charges } => {
+                self.transient_charges[usize::from(chip.0)] += charges;
+            }
+        }
+        // Repairs may free the resource every pooled controller was parked
+        // on, and fault drains leave successor work needing a round; either
+        // way the dispatcher must look again.
+        self.parked_on_controllers = false;
+        self.schedule_dispatch(now);
+    }
+
+    /// Marks a chip unreachable and fail-drains everything queued for it.
+    /// Failing a transaction runs its normal completion bookkeeping, which
+    /// can spawn *new* transactions onto the same dead chip (relocation
+    /// writes, source-block erases), so the drain loops until both the TSU
+    /// queues and the pending data bursts are empty.
+    fn kill_chip(&mut self, now: SimTime, chip: usize) {
+        self.chip_dead[chip] += 1;
+        if self.chip_dead[chip] > 1 {
+            return; // already dead via an overlapping fault
+        }
+        let mut drained: Vec<Transaction> = Vec::new();
+        loop {
+            self.tsu.drain_chip_into(chip as u16, &mut drained);
+            if drained.is_empty() && self.data_pending[chip].is_empty() {
+                break;
+            }
+            for txn in &drained {
+                self.fail_txn(now, txn.id);
+            }
+            while let Some(txn_id) = self.data_pending[chip].pop_front() {
+                let die = self.die_key(self.slot(txn_id).txn.target);
+                self.die_busy[die] = false;
+                self.fail_txn(now, txn_id);
+            }
+        }
+        self.data_ready.remove(chip);
+        // In-flight command/array events finish on their own; the dead-chip
+        // check in `on_chip_op_done` fails them at the command boundary.
+    }
+
+    /// Reverses one layer of chip death (repair). Queued work resumes on
+    /// the next dispatch round; nothing needs re-arming beyond that because
+    /// a dead chip's queues were drained, so new work wakes the ready sets.
+    fn revive_chip(&mut self, chip: usize) {
+        self.chip_dead[chip] = self.chip_dead[chip].saturating_sub(1);
+    }
+
+    /// Completes a transaction with error status: the owning request (if
+    /// any) is marked failed but still completes, and migration bookkeeping
+    /// advances normally — a degraded run must never strand the calendar.
+    fn fail_txn(&mut self, now: SimTime, txn_id: TxnId) {
+        let (txn, migration) = self.free_txn(txn_id);
+        if let Some(req) = txn.request {
+            let st = &mut self.requests[req.0 as usize];
+            if st.live {
+                st.failed = true;
+            }
+        }
+        self.complete_txn(now, txn, migration);
     }
 
     /// Pending read-data bursts (they hold their die's page register, so
@@ -784,6 +969,17 @@ impl SsdSim {
         let ran_out = 'out: {
             for &chip in &ready {
                 let c = usize::from(chip);
+                if self.chip_dead[c] > 0 {
+                    // The chip died after its data became ready: fail-drain
+                    // (mirrors `kill_chip` for bursts queued post-death).
+                    while let Some(txn_id) = self.data_pending[c].pop_front() {
+                        let die = self.die_key(self.slot(txn_id).txn.target);
+                        self.die_busy[die] = false;
+                        self.fail_txn(now, txn_id);
+                    }
+                    self.data_ready.remove(c);
+                    continue;
+                }
                 if home_only && !self.fabric.home_controller_free(NodeId(chip)) {
                     continue;
                 }
@@ -807,6 +1003,17 @@ impl SsdSim {
                             inf.phase = Phase::DataOut;
                             inf.grant = Some(grant);
                             self.queue.schedule(now + d, Event::DataSent(txn_id));
+                        }
+                        Err(AcquireError::ResourceDead) => {
+                            // Dead path with no live chip mask (e.g. a dead
+                            // dedicated channel): fail the burst and move on.
+                            self.data_pending[c].pop_front();
+                            if self.data_pending[c].is_empty() {
+                                self.data_ready.remove(c);
+                            }
+                            let die = self.die_key(self.slot(txn_id).txn.target);
+                            self.die_busy[die] = false;
+                            self.fail_txn(now, txn_id);
                         }
                         Err(e) => {
                             self.policy.note_failure(chip, &e);
@@ -848,6 +1055,14 @@ impl SsdSim {
             let start = self.dispatch_cursor % busy.len();
             for off in 0..busy.len() {
                 let c = busy[(start + off) % busy.len()];
+                if self.chip_dead[usize::from(c)] > 0 {
+                    // Work arrived for a chip after its death (fault handling
+                    // spawns follow-on transactions): fail it at visit time.
+                    while let Some(txn) = self.tsu.pop(c) {
+                        self.fail_txn(now, txn.id);
+                    }
+                    continue;
+                }
                 if home_only && !self.fabric.home_controller_free(NodeId(c)) {
                     continue;
                 }
@@ -879,6 +1094,13 @@ impl SsdSim {
                             inf.phase = Phase::Command;
                             inf.grant = Some(grant);
                             self.queue.schedule(now + d, Event::CommandSent(txn_id));
+                        }
+                        Err(AcquireError::ResourceDead) => {
+                            // No route to a live chip and no repair pending
+                            // for its resource: complete with error status.
+                            let txn = self.tsu.pop(c).expect("peeked");
+                            debug_assert_eq!(txn.id, txn_id);
+                            self.fail_txn(now, txn_id);
                         }
                         Err(e) => {
                             self.policy.note_failure(c, &e);
@@ -941,6 +1163,31 @@ impl SsdSim {
     fn on_chip_op_done(&mut self, now: SimTime, txn_id: TxnId) {
         let inf = self.slot(txn_id);
         let txn = inf.txn;
+        let chip = usize::from(txn.target.chip.0);
+        if self.chip_dead[chip] > 0 {
+            // The chip died mid-array-op: fail-stop at the command boundary
+            // (the op's result is lost; the die frees for post-repair use).
+            let die = self.die_key(txn.target);
+            self.die_busy[die] = false;
+            self.fail_txn(now, txn_id);
+            self.schedule_dispatch(now);
+            return;
+        }
+        if !txn.kind.is_read() && self.transient_charges[chip] > 0 {
+            // Transient program/erase failure: retry in place. The die stays
+            // claimed and the command is NOT re-issued to the chip model
+            // (that would violate program ordering); the bounded retry costs
+            // one more array-op time on the calendar.
+            self.transient_charges[chip] -= 1;
+            self.retried_ops += 1;
+            let d = if txn.kind.is_erase() {
+                self.config.timing.t_bers
+            } else {
+                self.config.timing.t_prog
+            };
+            self.queue.schedule(now + d, Event::ChipOpDone(txn_id));
+            return;
+        }
         if txn.kind.is_read() {
             // Data waits in the page register for a path out; the die stays
             // claimed until the burst drains.
@@ -1174,7 +1421,7 @@ impl SsdSim {
     // Wrap-up
     // ------------------------------------------------------------------
 
-    fn finish(self) -> RunMetrics {
+    fn finish(self, status: RunStatus) -> RunMetrics {
         let exec = self.last_completion.saturating_since(self.first_arrival);
         let exec_s = exec.as_secs_f64().max(1e-12);
         let chips: f64 = self.chips.iter().map(|c| c.stats().energy_nj).sum();
@@ -1204,6 +1451,11 @@ impl SsdSim {
             transactions: self.spawned_txns,
             events: self.queue.scheduled_total(),
             end_time: self.last_completion,
+            status,
+            faults_injected: self.faults_injected,
+            faults_active: self.faults_active,
+            retried_ops: self.retried_ops,
+            failed_requests: self.failed_requests,
         }
     }
 
@@ -1253,6 +1505,105 @@ mod tests {
             assert_eq!(m.latencies.len(), 300, "{kind}");
             assert!(m.execution_time > SimDuration::ZERO, "{kind}");
             assert!(m.events >= m.transactions, "{kind}");
+        }
+    }
+
+    fn run_with_plan(kind: FabricKind, trace: &Trace, plan: FaultPlan) -> RunMetrics {
+        let cfg = SsdConfig::performance_optimized()
+            .sized_for_footprint(trace.footprint_bytes())
+            .with_fault_plan(plan);
+        SsdSim::new(cfg, kind, trace).run()
+    }
+
+    #[test]
+    fn every_fault_plan_drains_on_every_fabric() {
+        // The degraded-mode invariant: no fault scenario hangs or panics,
+        // and every request completes (possibly with error status).
+        let trace = tiny_trace(200, 70.0, 10.0);
+        for plan in FaultPlan::ALL {
+            for kind in FabricKind::ALL {
+                let m = run_with_plan(kind, &trace, plan);
+                assert_eq!(m.status, RunStatus::Complete, "{plan} on {kind}");
+                assert_eq!(m.completed_requests, 200, "{plan} on {kind}");
+                if plan == FaultPlan::None {
+                    assert_eq!(m.faults_injected, 0, "{kind}");
+                    assert_eq!(m.failed_requests, 0, "{kind}");
+                } else {
+                    assert!(m.faults_injected > 0, "{plan} on {kind}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chip_death_degrades_availability_but_every_request_completes() {
+        // Write-heavy so the round-robin allocator is guaranteed to place
+        // pages on the chip that dies at t=20µs.
+        let trace = tiny_trace(400, 0.0, 5.0);
+        for kind in FabricKind::ALL {
+            let m = run_with_plan(kind, &trace, FaultPlan::Chip);
+            assert_eq!(m.completed_requests, 400, "{kind}");
+            assert!(m.failed_requests > 0, "{kind}");
+            assert!(m.availability() < 1.0, "{kind}");
+            assert!(m.faults_active >= 1, "{kind}");
+        }
+    }
+
+    #[test]
+    fn link_repair_restores_service_that_a_permanent_fault_keeps_degraded() {
+        // Baseline loses the whole row bus on a link fault; the repaired
+        // variant only fails the requests inside the outage window.
+        let trace = tiny_trace(400, 0.0, 5.0);
+        let perm = run_with_plan(FabricKind::Baseline, &trace, FaultPlan::Link);
+        let rep = run_with_plan(FabricKind::Baseline, &trace, FaultPlan::LinkRepair);
+        assert!(perm.failed_requests > 0);
+        assert_eq!(perm.faults_active, 1);
+        assert_eq!(rep.faults_active, 0, "repair retires the active fault");
+        assert!(rep.failed_requests <= perm.failed_requests);
+        assert!(rep.availability() >= perm.availability());
+    }
+
+    #[test]
+    fn transient_nand_errors_retry_and_still_complete() {
+        let trace = tiny_trace(300, 0.0, 5.0);
+        for kind in [FabricKind::Baseline, FabricKind::Venice] {
+            let m = run_with_plan(kind, &trace, FaultPlan::TransientNand);
+            assert_eq!(m.completed_requests, 300, "{kind}");
+            assert!(m.retried_ops > 0, "{kind}");
+            // Transient errors are absorbed by retry: nothing fails.
+            assert_eq!(m.failed_requests, 0, "{kind}");
+            assert_eq!(m.availability(), 1.0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn watchdog_aborts_instead_of_running_forever() {
+        let trace = tiny_trace(300, 70.0, 20.0);
+        let cfg = SsdConfig::performance_optimized()
+            .sized_for_footprint(trace.footprint_bytes())
+            .with_watchdog(Some(500), None);
+        let m = SsdSim::new(cfg, FabricKind::Venice, &trace).run();
+        assert_eq!(m.status, RunStatus::Aborted);
+        assert!(m.completed_requests < 300, "the ceiling cut the run short");
+
+        let cfg = SsdConfig::performance_optimized()
+            .sized_for_footprint(trace.footprint_bytes())
+            .with_watchdog(None, Some(50_000));
+        let m = SsdSim::new(cfg, FabricKind::Baseline, &trace).run();
+        assert_eq!(m.status, RunStatus::Aborted);
+    }
+
+    #[test]
+    fn fault_free_runs_are_bit_identical_with_the_fault_engine_compiled_in() {
+        // FaultPlan::None schedules zero events and takes no fault branches:
+        // the golden-hash contract depends on this.
+        let trace = tiny_trace(300, 70.0, 20.0);
+        for kind in FabricKind::ALL {
+            let base = run(kind, &trace);
+            let none = run_with_plan(kind, &trace, FaultPlan::None);
+            assert_eq!(base.events, none.events, "{kind}");
+            assert_eq!(base.execution_time, none.execution_time, "{kind}");
+            assert_eq!(base.fabric, none.fabric, "{kind}");
         }
     }
 

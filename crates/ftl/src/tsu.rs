@@ -164,6 +164,30 @@ impl TransactionScheduler {
         t.map(|e| e.txn)
     }
 
+    /// Removes *every* transaction queued on `chip` into `out` (cleared
+    /// first), in dispatch order (reads, then writes, then erases, FIFO
+    /// within each class), clearing the chip's busy bit.
+    ///
+    /// This is the chip-death path: the engine completes the drained
+    /// transactions with error status instead of dispatching them. The
+    /// caller must re-invoke after processing — failing a migration step
+    /// can requeue follow-on work onto the same dead chip.
+    pub fn drain_chip_into(&mut self, chip: u16, out: &mut Vec<Transaction>) {
+        out.clear();
+        let q = &mut self.chips[usize::from(chip)];
+        out.extend(
+            q.reads
+                .drain(..)
+                .chain(q.writes.drain(..))
+                .chain(q.erases.drain(..))
+                .map(|e| e.txn),
+        );
+        self.pending -= out.len();
+        if !out.is_empty() {
+            self.busy_set.remove(usize::from(chip));
+        }
+    }
+
     /// Enqueue time of the oldest transaction queued on `chip`, if any —
     /// the chip's *queue age* anchor. Dispatch policies compare this
     /// against the current time to find starving chips.
@@ -266,6 +290,31 @@ mod tests {
         assert_eq!(tsu.pop(0).unwrap().id, TxnId(1));
         assert_eq!(tsu.pop(0).unwrap().id, TxnId(3));
         assert!(tsu.pop(0).is_none());
+    }
+
+    #[test]
+    fn drain_chip_empties_one_chip_and_clears_its_busy_bit() {
+        let mut tsu = TransactionScheduler::new(2);
+        tsu.enqueue(txn(1, TxnKind::UserWrite, 0), at(0));
+        tsu.enqueue(txn(2, TxnKind::UserRead, 0), at(1));
+        tsu.enqueue(txn(3, TxnKind::GcErase, 0), at(2));
+        tsu.enqueue(txn(4, TxnKind::UserRead, 1), at(3));
+        let mut out = Vec::new();
+        tsu.drain_chip_into(0, &mut out);
+        // Dispatch order: reads, writes, erases.
+        assert_eq!(
+            out.iter().map(|t| t.id).collect::<Vec<_>>(),
+            [TxnId(2), TxnId(1), TxnId(3)]
+        );
+        assert_eq!(tsu.pending_for(0), 0);
+        assert_eq!(tsu.pending(), 1);
+        let mut busy = Vec::new();
+        tsu.busy_chips_into(&mut busy);
+        assert_eq!(busy, [1]);
+        // Draining an already-empty chip is a no-op.
+        tsu.drain_chip_into(0, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(tsu.pending(), 1);
     }
 
     #[test]

@@ -203,6 +203,13 @@ pub enum AcquireError {
     /// The ideal SSD's dedicated per-chip channel is mid-transfer; by the
     /// paper's definition this is a chip-side delay, not a path conflict.
     ChannelBusy,
+    /// The path's resource (bus row, chip port, or dedicated channel) is
+    /// failed: **no retry can succeed until a repair event restores it**.
+    /// Unlike [`AcquireError::PathConflict`] this is not a transient
+    /// conflict — it never counts toward Figure 13's path conflicts, never
+    /// triggers conflict backoff, and the dispatcher responds by failing
+    /// the chip's queued requests instead of re-arming on a release.
+    ResourceDead,
 }
 
 impl AcquireError {
@@ -226,6 +233,7 @@ impl fmt::Display for AcquireError {
             AcquireError::NoFreeController => f.write_str("no free flash controller"),
             AcquireError::PathConflict(r) => write!(f, "path conflict ({})", r.label()),
             AcquireError::ChannelBusy => f.write_str("dedicated channel busy"),
+            AcquireError::ResourceDead => f.write_str("path resource failed"),
         }
     }
 }
@@ -354,6 +362,85 @@ pub struct ReleaseInfo {
     pub resource: FreedResource,
 }
 
+/// A fault (or repair) event delivered to a fabric by the fault-injection
+/// calendar.
+///
+/// Faults are expressed against the *physical* 2D layout every design
+/// shares (the flash array is a `rows × cols` grid whether or not the
+/// fabric is a mesh); each fabric maps the event onto its own topology and
+/// reports the blast radius via [`FaultImpact`]:
+///
+/// * Bus designs have no mesh links — a `LinkDown` between two same-row
+///   nodes breaks the row's shared bus, stranding the **whole row** (the
+///   degraded-mode story the fault ablation measures). pnSSD keeps its
+///   chips reachable over the column buses until a column link also dies.
+/// * Mesh designs mask the link/router in [`MeshState`]; the scout DFS and
+///   XY reservation treat it as blocked and route around it, so a link
+///   fault strands **no** chips.
+/// * `RouterDown` kills the chip attached to that node on every design
+///   (the chip's port into the fabric is gone). On mesh designs it also
+///   blocks through-traffic; on the ideal SSD it is the chip's dedicated
+///   channel failing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FabricFault {
+    /// The link between two physically adjacent nodes fails.
+    LinkDown {
+        /// One endpoint of the failing link.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// The link between two physically adjacent nodes is repaired.
+    LinkUp {
+        /// One endpoint of the repaired link.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// The router / fabric port at a node fails.
+    RouterDown(NodeId),
+    /// The router / fabric port at a node is repaired.
+    RouterUp(NodeId),
+}
+
+impl FabricFault {
+    /// True for the `*Down` halves (injections), false for repairs.
+    pub fn is_down(&self) -> bool {
+        matches!(self, FabricFault::LinkDown { .. } | FabricFault::RouterDown(_))
+    }
+
+    /// The repair event that undoes this fault (`*Down` → `*Up`); repairs
+    /// return themselves. Fault plans use this to pair every scripted
+    /// outage with the matching repair.
+    pub fn repaired(&self) -> FabricFault {
+        match *self {
+            FabricFault::LinkDown { a, b } | FabricFault::LinkUp { a, b } => {
+                FabricFault::LinkUp { a, b }
+            }
+            FabricFault::RouterDown(n) | FabricFault::RouterUp(n) => FabricFault::RouterUp(n),
+        }
+    }
+}
+
+/// What a [`Fabric::inject_fault`] changed — the engine's contract for
+/// degraded-mode bookkeeping.
+///
+/// `dead_chips` lists chips that just became unreachable on this design
+/// (the engine fails their queued work and drops them from its ready
+/// sets); `revived_chips` lists chips a repair just made reachable again.
+/// `freed` names the resource a repair returned to service, following the
+/// same wake-list discipline as [`Fabric::release`]'s [`ReleaseInfo`]: the
+/// engine re-arms dispatch for chips parked on it.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultImpact {
+    /// Chips this fault made unreachable.
+    pub dead_chips: Vec<NodeId>,
+    /// Chips this repair made reachable again.
+    pub revived_chips: Vec<NodeId>,
+    /// The resource a repair returned to service (wake list), if any.
+    pub freed: Option<FreedResource>,
+}
+
 /// Cumulative fabric statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct FabricStats {
@@ -439,6 +526,18 @@ pub trait Fabric {
     /// must honor).
     fn release(&mut self, grant: PathGrant) -> ReleaseInfo;
 
+    /// Applies a fault or repair event, reporting its blast radius (see
+    /// [`FabricFault`] for the per-design semantics and [`FaultImpact`]
+    /// for what the engine does with the report). Grants already in
+    /// flight over the failed resource drain normally — faults are
+    /// fail-stop at burst boundaries; only *new* acquisitions see the
+    /// mask. The default is a no-op for fabrics without shared hardware
+    /// to fail.
+    fn inject_fault(&mut self, fault: FabricFault) -> FaultImpact {
+        let _ = fault;
+        FaultImpact::default()
+    }
+
     /// Cumulative statistics.
     fn stats(&self) -> FabricStats;
 }
@@ -474,6 +573,9 @@ pub fn build_fabric(kind: FabricKind, params: FabricParams) -> Box<dyn Fabric> {
 #[derive(Clone, Debug)]
 struct ControllerPool {
     busy: Vec<bool>,
+    /// Controllers whose west-edge attach router is masked down by a fault:
+    /// excluded from selection (a scout could not even leave the router).
+    dead: Vec<bool>,
     rows: u16,
 }
 
@@ -481,6 +583,7 @@ impl ControllerPool {
     fn new(rows: u16) -> Self {
         ControllerPool {
             busy: vec![false; usize::from(rows)],
+            dead: vec![false; usize::from(rows)],
             rows,
         }
     }
@@ -492,9 +595,27 @@ impl ControllerPool {
         let n = i32::from(self.rows);
         let target = i32::from(chip_row);
         (0..n)
-            .filter(|&fc| !self.busy[fc as usize])
+            .filter(|&fc| !self.busy[fc as usize] && !self.dead[fc as usize])
             .min_by_key(|&fc| ((fc - target).abs(), fc))
             .map(|fc| FcId(fc as u8))
+    }
+
+    /// The next free controller after `prev` in [`ControllerPool::nearest_free`]'s
+    /// `(distance, id)` ordering — the NoSSD fault fallback walks this chain
+    /// when a deterministic XY route is severed by a downed link or router,
+    /// so the fixed-route fabric still reaches the chip from a controller
+    /// whose route avoids the fault. Strictly increasing keys guarantee
+    /// termination.
+    fn next_free_after(&self, prev: FcId, chip_row: u16) -> Option<FcId> {
+        let n = i32::from(self.rows);
+        let target = i32::from(chip_row);
+        let prev_key = ((i32::from(prev.0) - target).abs(), i32::from(prev.0));
+        (0..n)
+            .filter(|&fc| !self.busy[fc as usize] && !self.dead[fc as usize])
+            .map(|fc| ((fc - target).abs(), fc))
+            .filter(|&k| k > prev_key)
+            .min()
+            .map(|(_, fc)| FcId(fc as u8))
     }
 
     fn acquire(&mut self, fc: FcId) {
@@ -506,6 +627,61 @@ impl ControllerPool {
         debug_assert!(self.busy[usize::from(fc.0)], "controller not busy");
         self.busy[usize::from(fc.0)] = false;
     }
+}
+
+/// Shared [`Fabric::inject_fault`] body of the two mesh fabrics (NoSSD and
+/// Venice): maps the fault onto [`MeshState`]'s down-masks — whose setters
+/// stamp the PR-5 generation counters, invalidating every intersecting
+/// scout-cache extent — and computes the blast radius. A link fault strands
+/// no chips (the mesh routes around it); a router fault kills exactly the
+/// chip at that node, and when the node is a west-edge controller attach
+/// point it takes the controller out of the pool too.
+fn mesh_inject_fault(
+    mesh: &mut MeshState,
+    fcs: &mut ControllerPool,
+    fault: FabricFault,
+) -> FaultImpact {
+    let topo = mesh.topology();
+    let mut impact = FaultImpact::default();
+    match fault {
+        FabricFault::LinkDown { a, b } => {
+            mesh.set_link_state(a, b, false);
+        }
+        FabricFault::LinkUp { a, b } => {
+            if mesh.set_link_state(a, b, true) {
+                let (ra, ca) = (topo.row(a), topo.col(a));
+                let (rb, cb) = (topo.row(b), topo.col(b));
+                impact.freed = Some(FreedResource::MeshRegion {
+                    min_row: ra.min(rb),
+                    max_row: ra.max(rb),
+                    min_col: ca.min(cb),
+                    max_col: ca.max(cb),
+                });
+            }
+        }
+        FabricFault::RouterDown(n) => {
+            mesh.set_router_state(n, false);
+            if topo.col(n) == 0 {
+                fcs.dead[usize::from(topo.row(n))] = true;
+            }
+            impact.dead_chips.push(n);
+        }
+        FabricFault::RouterUp(n) => {
+            mesh.set_router_state(n, true);
+            if topo.col(n) == 0 {
+                fcs.dead[usize::from(topo.row(n))] = false;
+            }
+            impact.revived_chips.push(n);
+            let (r, c) = (topo.row(n), topo.col(n));
+            impact.freed = Some(FreedResource::MeshRegion {
+                min_row: r.saturating_sub(1),
+                max_row: (r + 1).min(topo.rows() - 1),
+                min_col: c.saturating_sub(1),
+                max_col: (c + 1).min(topo.cols() - 1),
+            });
+        }
+    }
+    impact
 }
 
 // ---------------------------------------------------------------------------
@@ -521,6 +697,10 @@ struct BusFabric {
     kind: FabricKind,
     bandwidth_mult: f64,
     bus_busy: Vec<bool>,
+    /// Active link-fault count per row bus: any break anywhere along the
+    /// shared bus strands the whole row (the cost of the baseline
+    /// topology; the fault ablation's headline contrast with the mesh).
+    row_dead: Vec<u8>,
     stats: FabricStats,
 }
 
@@ -528,11 +708,18 @@ impl BusFabric {
     fn new(params: FabricParams, kind: FabricKind, bandwidth_mult: f64) -> Self {
         BusFabric {
             bus_busy: vec![false; usize::from(params.rows)],
+            row_dead: vec![0; usize::from(params.rows)],
             params,
             kind,
             bandwidth_mult,
             stats: FabricStats::default(),
         }
+    }
+
+    /// Every chip node on `row` (a whole-row blast radius).
+    fn row_chips(&self, row: u16) -> Vec<NodeId> {
+        let mesh = self.params.mesh();
+        (0..self.params.cols).map(|c| mesh.node_at(row, c)).collect()
     }
 }
 
@@ -547,6 +734,9 @@ impl Fabric for BusFabric {
 
     fn try_acquire(&mut self, chip: NodeId) -> Result<PathGrant, AcquireError> {
         let row = self.params.mesh().row(chip);
+        if self.row_dead[usize::from(row)] > 0 {
+            return Err(AcquireError::ResourceDead);
+        }
         if self.bus_busy[usize::from(row)] {
             self.stats.conflicts += 1;
             return Err(AcquireError::PathConflict(ConflictReason::BusBusy));
@@ -591,7 +781,42 @@ impl Fabric for BusFabric {
     }
 
     fn home_controller_free(&self, chip: NodeId) -> bool {
-        !self.bus_busy[usize::from(self.params.mesh().row(chip))]
+        let row = usize::from(self.params.mesh().row(chip));
+        !self.bus_busy[row] && self.row_dead[row] == 0
+    }
+
+    fn inject_fault(&mut self, fault: FabricFault) -> FaultImpact {
+        let mesh = self.params.mesh();
+        let mut impact = FaultImpact::default();
+        match fault {
+            // A bus design only has row wiring: a link fault between two
+            // same-row nodes breaks that row's shared bus and strands every
+            // chip on it. Column links do not exist here — no-op.
+            FabricFault::LinkDown { a, b } => {
+                let row = mesh.row(a);
+                if row == mesh.row(b) {
+                    self.row_dead[usize::from(row)] += 1;
+                    if self.row_dead[usize::from(row)] == 1 {
+                        impact.dead_chips = self.row_chips(row);
+                    }
+                }
+            }
+            FabricFault::LinkUp { a, b } => {
+                let row = mesh.row(a);
+                if row == mesh.row(b) && self.row_dead[usize::from(row)] > 0 {
+                    self.row_dead[usize::from(row)] -= 1;
+                    if self.row_dead[usize::from(row)] == 0 {
+                        impact.revived_chips = self.row_chips(row);
+                        impact.freed = Some(FreedResource::RowBus(row));
+                    }
+                }
+            }
+            // A router fault on a bus design is the chip's bus interface
+            // dying: only that chip is lost, the shared bus keeps working.
+            FabricFault::RouterDown(n) => impact.dead_chips.push(n),
+            FabricFault::RouterUp(n) => impact.revived_chips.push(n),
+        }
+        impact
     }
 
     fn stats(&self) -> FabricStats {
@@ -611,6 +836,11 @@ struct PnSsdFabric {
     /// `rows` row buses followed by `cols` column buses.
     bus_busy: Vec<bool>,
     fc_busy: Vec<bool>,
+    /// Active link-fault count per bus (same indexing as `bus_busy`). A
+    /// chip is stranded only when *both* its row and column buses are dead
+    /// — pnSSD's two-path redundancy is its degraded-mode advantage over
+    /// Baseline/pSSD, bought back by the mesh's full path diversity.
+    bus_dead: Vec<u8>,
     stats: FabricStats,
 }
 
@@ -623,8 +853,43 @@ impl PnSsdFabric {
         PnSsdFabric {
             bus_busy: vec![false; usize::from(params.rows) + usize::from(params.cols)],
             fc_busy: vec![false; usize::from(params.rows)],
+            bus_dead: vec![0; usize::from(params.rows) + usize::from(params.cols)],
             params,
             stats: FabricStats::default(),
+        }
+    }
+
+    /// Bus index of the link between `a` and `b`: a same-row link is part
+    /// of that row's bus, a same-column link part of that column's bus.
+    fn bus_of_link(&self, a: NodeId, b: NodeId) -> Option<usize> {
+        let mesh = self.params.mesh();
+        if mesh.row(a) == mesh.row(b) {
+            Some(usize::from(mesh.row(a)))
+        } else if mesh.col(a) == mesh.col(b) {
+            Some(usize::from(self.params.rows) + usize::from(mesh.col(a)))
+        } else {
+            None
+        }
+    }
+
+    /// Chips stranded (or un-stranded) by the row/col bus `bus` changing
+    /// state while the crossing buses are in their current state: exactly
+    /// the chips whose *other* bus is also dead.
+    fn chips_gated_by(&self, bus: usize) -> Vec<NodeId> {
+        let mesh = self.params.mesh();
+        let rows = usize::from(self.params.rows);
+        if bus < rows {
+            let row = bus as u16;
+            (0..self.params.cols)
+                .filter(|&c| self.bus_dead[rows + usize::from(c)] > 0)
+                .map(|c| mesh.node_at(row, c))
+                .collect()
+        } else {
+            let col = (bus - rows) as u16;
+            (0..self.params.rows)
+                .filter(|&r| self.bus_dead[usize::from(r)] > 0)
+                .map(|r| mesh.node_at(r, col))
+                .collect()
         }
     }
 }
@@ -645,7 +910,13 @@ impl Fabric for PnSsdFabric {
         let row_bus = usize::from(row);
         let col_bus = usize::from(self.params.rows) + usize::from(col);
         let candidates = [(row, row_bus), (col, col_bus)];
+        if candidates.iter().all(|&(_, bus)| self.bus_dead[bus] > 0) {
+            return Err(AcquireError::ResourceDead);
+        }
         for (fc, bus) in candidates {
+            if self.bus_dead[bus] > 0 {
+                continue;
+            }
             if !self.fc_busy[usize::from(fc)] && !self.bus_busy[bus] {
                 self.fc_busy[usize::from(fc)] = true;
                 self.bus_busy[bus] = true;
@@ -694,7 +965,40 @@ impl Fabric for PnSsdFabric {
 
     fn home_controller_free(&self, chip: NodeId) -> bool {
         let row = usize::from(self.params.mesh().row(chip));
-        !self.fc_busy[row] && !self.bus_busy[row]
+        !self.fc_busy[row] && !self.bus_busy[row] && self.bus_dead[row] == 0
+    }
+
+    fn inject_fault(&mut self, fault: FabricFault) -> FaultImpact {
+        let mut impact = FaultImpact::default();
+        match fault {
+            FabricFault::LinkDown { a, b } => {
+                if let Some(bus) = self.bus_of_link(a, b) {
+                    self.bus_dead[bus] += 1;
+                    if self.bus_dead[bus] == 1 {
+                        impact.dead_chips = self.chips_gated_by(bus);
+                    }
+                }
+            }
+            FabricFault::LinkUp { a, b } => {
+                if let Some(bus) = self.bus_of_link(a, b) {
+                    if self.bus_dead[bus] > 0 {
+                        self.bus_dead[bus] -= 1;
+                        if self.bus_dead[bus] == 0 {
+                            impact.revived_chips = self.chips_gated_by(bus);
+                            let rows = usize::from(self.params.rows);
+                            impact.freed = Some(if bus < rows {
+                                FreedResource::RowBus(bus as u16)
+                            } else {
+                                FreedResource::ColBus((bus - rows) as u16)
+                            });
+                        }
+                    }
+                }
+            }
+            FabricFault::RouterDown(n) => impact.dead_chips.push(n),
+            FabricFault::RouterUp(n) => impact.revived_chips.push(n),
+        }
+        impact
     }
 
     fn stats(&self) -> FabricStats {
@@ -739,25 +1043,46 @@ impl Fabric for NoSsdFabric {
 
     fn try_acquire(&mut self, chip: NodeId) -> Result<PathGrant, AcquireError> {
         let topo = self.mesh.topology();
-        let Some(fc) = self.fcs.nearest_free(topo.row(chip)) else {
+        let Some(first) = self.fcs.nearest_free(topo.row(chip)) else {
             self.stats.controller_unavailable += 1;
             return Err(AcquireError::NoFreeController);
         };
-        let mut path = self.mesh.xy_path(topo.fc_node(fc), chip);
-        path.packet_id = fc.0;
-        if !self.mesh.try_reserve_path(fc.0, &path) {
-            self.stats.conflicts += 1;
+        let mut fc = first;
+        loop {
+            let mut path = self.mesh.xy_path(topo.fc_node(fc), chip);
+            path.packet_id = fc.0;
+            if self.mesh.try_reserve_path(fc.0, &path) {
+                self.fcs.acquire(fc);
+                self.stats.acquisitions += 1;
+                self.stats.hops_total += u64::from(path.hops());
+                return Ok(PathGrant {
+                    fc,
+                    chip,
+                    route: Route::Wormhole { path },
+                });
+            }
+            let fault_blocked = self.mesh.path_fault_blocked(&path);
             self.mesh.recycle(path);
-            return Err(AcquireError::PathConflict(ConflictReason::RouteBlocked));
+            if !fault_blocked {
+                // Ordinary contention on the deterministic route: NoSSD has
+                // no adaptivity, so the transfer waits (pre-fault behavior,
+                // bit-identical when no faults are injected).
+                self.stats.conflicts += 1;
+                return Err(AcquireError::PathConflict(ConflictReason::RouteBlocked));
+            }
+            // The fixed XY route is severed by a downed link/router, which
+            // no amount of waiting fixes. Fall back to the next-nearest free
+            // controller — its XY route takes a different row spine, so a
+            // single fault never strands a live chip. Exhausting the pool
+            // leaves a retryable conflict (a repair event re-opens routes).
+            match self.fcs.next_free_after(fc, topo.row(chip)) {
+                Some(next) => fc = next,
+                None => {
+                    self.stats.conflicts += 1;
+                    return Err(AcquireError::PathConflict(ConflictReason::RouteBlocked));
+                }
+            }
         }
-        self.fcs.acquire(fc);
-        self.stats.acquisitions += 1;
-        self.stats.hops_total += u64::from(path.hops());
-        Ok(PathGrant {
-            fc,
-            chip,
-            route: Route::Wormhole { path },
-        })
     }
 
     fn transfer(&mut self, grant: &PathGrant, bytes: u64) -> SimDuration {
@@ -798,11 +1123,16 @@ impl Fabric for NoSsdFabric {
     }
 
     fn home_controller_free(&self, chip: NodeId) -> bool {
-        !self.fcs.busy[usize::from(self.mesh.topology().row(chip))]
+        let row = usize::from(self.mesh.topology().row(chip));
+        !self.fcs.busy[row] && !self.fcs.dead[row]
     }
 
     fn pooled(&self) -> bool {
         true
+    }
+
+    fn inject_fault(&mut self, fault: FabricFault) -> FaultImpact {
+        mesh_inject_fault(&mut self.mesh, &mut self.fcs, fault)
     }
 
     fn stats(&self) -> FabricStats {
@@ -1013,11 +1343,20 @@ impl Fabric for VeniceFabric {
     }
 
     fn home_controller_free(&self, chip: NodeId) -> bool {
-        !self.fcs.busy[usize::from(self.mesh.topology().row(chip))]
+        let row = usize::from(self.mesh.topology().row(chip));
+        !self.fcs.busy[row] && !self.fcs.dead[row]
     }
 
     fn pooled(&self) -> bool {
         true
+    }
+
+    fn inject_fault(&mut self, fault: FabricFault) -> FaultImpact {
+        // The mask setters stamp the generation counters, so intersecting
+        // fast-fail cache entries self-invalidate on their next lookup —
+        // both for faults (a cached *success* region now blocked) and for
+        // repairs (a cached *failure* that the freed link could un-block).
+        mesh_inject_fault(&mut self.mesh, &mut self.fcs, fault)
     }
 
     fn stats(&self) -> FabricStats {
@@ -1040,6 +1379,9 @@ impl Fabric for VeniceFabric {
 struct IdealFabric {
     params: FabricParams,
     chan_busy: Vec<bool>,
+    /// Dedicated channels failed by a router fault (the one shared-nothing
+    /// resource the ideal SSD can lose; link faults are no-ops here).
+    chan_dead: Vec<bool>,
     stats: FabricStats,
 }
 
@@ -1047,6 +1389,7 @@ impl IdealFabric {
     fn new(params: FabricParams) -> Self {
         IdealFabric {
             chan_busy: vec![false; params.mesh().node_count()],
+            chan_dead: vec![false; params.mesh().node_count()],
             params,
             stats: FabricStats::default(),
         }
@@ -1064,6 +1407,9 @@ impl Fabric for IdealFabric {
 
     fn try_acquire(&mut self, chip: NodeId) -> Result<PathGrant, AcquireError> {
         let idx = usize::from(chip.0);
+        if self.chan_dead[idx] {
+            return Err(AcquireError::ResourceDead);
+        }
         if self.chan_busy[idx] {
             self.stats.channel_busy += 1;
             return Err(AcquireError::ChannelBusy);
@@ -1101,7 +1447,27 @@ impl Fabric for IdealFabric {
     }
 
     fn home_controller_free(&self, chip: NodeId) -> bool {
-        !self.chan_busy[usize::from(chip.0)]
+        let idx = usize::from(chip.0);
+        !self.chan_busy[idx] && !self.chan_dead[idx]
+    }
+
+    fn inject_fault(&mut self, fault: FabricFault) -> FaultImpact {
+        let mut impact = FaultImpact::default();
+        match fault {
+            // No shared links to break: the ideal SSD only loses a chip
+            // when that chip's own channel/port fails.
+            FabricFault::LinkDown { .. } | FabricFault::LinkUp { .. } => {}
+            FabricFault::RouterDown(n) => {
+                self.chan_dead[usize::from(n.0)] = true;
+                impact.dead_chips.push(n);
+            }
+            FabricFault::RouterUp(n) => {
+                self.chan_dead[usize::from(n.0)] = false;
+                impact.revived_chips.push(n);
+                impact.freed = Some(FreedResource::Channel(n));
+            }
+        }
+        impact
     }
 
     fn stats(&self) -> FabricStats {
@@ -1524,6 +1890,167 @@ mod tests {
             f.stats().scout_fastfails > 0,
             "checked mode must verify at least one cached verdict"
         );
+    }
+
+    #[test]
+    fn bus_link_fault_strands_the_row_until_repair() {
+        let mesh = FabricParams::table1().mesh();
+        for kind in [FabricKind::Baseline, FabricKind::Pssd] {
+            let mut f = build_fabric(kind, FabricParams::table1());
+            let (a, b) = (mesh.node_at(1, 3), mesh.node_at(1, 4));
+            let impact = f.inject_fault(FabricFault::LinkDown { a, b });
+            // One broken bus segment strands the whole row.
+            assert_eq!(impact.dead_chips.len(), 8, "{kind}");
+            assert!(impact.dead_chips.iter().all(|&n| mesh.row(n) == 1));
+            assert_eq!(
+                f.try_acquire(mesh.node_at(1, 0)).unwrap_err(),
+                AcquireError::ResourceDead,
+                "{kind}"
+            );
+            assert!(!f.home_controller_free(mesh.node_at(1, 0)));
+            // Dead-resource rejections are not Figure 13 path conflicts.
+            assert_eq!(f.stats().conflicts, 0, "{kind}");
+            // Other rows are unaffected.
+            let g = acquire_ok(f.as_mut(), 2 * 8);
+            f.release(g);
+            // Repair revives the row and frees the bus on the wake list.
+            let impact = f.inject_fault(FabricFault::LinkUp { a, b });
+            assert_eq!(impact.revived_chips.len(), 8, "{kind}");
+            assert_eq!(impact.freed, Some(FreedResource::RowBus(1)));
+            let g = acquire_ok(f.as_mut(), 8);
+            f.release(g);
+        }
+    }
+
+    #[test]
+    fn pnssd_survives_one_dead_bus_and_loses_only_the_intersection_of_two() {
+        let params = FabricParams::table1();
+        let mesh = params.mesh();
+        let mut f = build_fabric(FabricKind::PnSsd, params);
+        // Row bus 1 dies: no chip is stranded — the column buses remain.
+        let impact = f.inject_fault(FabricFault::LinkDown {
+            a: mesh.node_at(1, 3),
+            b: mesh.node_at(1, 4),
+        });
+        assert!(impact.dead_chips.is_empty());
+        let g = acquire_ok(f.as_mut(), 8 + 5); // chip (1,5) via column bus 5
+        assert_eq!(g.fc, FcId(5));
+        f.release(g);
+        // Column bus 3 also dies: exactly chip (1,3) is now unreachable.
+        let impact = f.inject_fault(FabricFault::LinkDown {
+            a: mesh.node_at(5, 3),
+            b: mesh.node_at(6, 3),
+        });
+        assert_eq!(impact.dead_chips, vec![mesh.node_at(1, 3)]);
+        assert_eq!(
+            f.try_acquire(mesh.node_at(1, 3)).unwrap_err(),
+            AcquireError::ResourceDead
+        );
+        // Same column, different row: still served over its row bus.
+        let g = acquire_ok(f.as_mut(), 2 * 8 + 3);
+        assert_eq!(g.fc, FcId(2));
+        f.release(g);
+        // Repairing the column bus revives the intersection chip.
+        let impact = f.inject_fault(FabricFault::LinkUp {
+            a: mesh.node_at(5, 3),
+            b: mesh.node_at(6, 3),
+        });
+        assert_eq!(impact.revived_chips, vec![mesh.node_at(1, 3)]);
+        assert_eq!(impact.freed, Some(FreedResource::ColBus(3)));
+        let g = acquire_ok(f.as_mut(), 8 + 3);
+        f.release(g);
+    }
+
+    #[test]
+    fn venice_reroutes_around_a_link_fault_that_blocks_nossd_xy() {
+        let params = FabricParams::table1();
+        let mesh = params.mesh();
+        let fault = FabricFault::LinkDown {
+            a: mesh.node_at(1, 3),
+            b: mesh.node_at(1, 4),
+        };
+        // NoSSD: the deterministic XY route from the home-row controller
+        // dies on the masked link, so the pool falls over to the next
+        // controller (in nearest-first order) whose XY route avoids it.
+        let mut nossd = build_fabric(FabricKind::NoSsd, params);
+        assert!(nossd.inject_fault(fault).dead_chips.is_empty());
+        let g = nossd
+            .try_acquire(mesh.node_at(1, 7))
+            .expect("a detour controller must route around the fault");
+        assert_ne!(g.fc, FcId(1), "home-row route is severed");
+        nossd.release(g);
+        // With every other controller mid-transfer, the chip is only
+        // *temporarily* unreachable — a retryable conflict (repair or a
+        // release unblocks it), never a dead resource.
+        let held: Vec<_> = (0u16..8)
+            .filter(|&r| r != 1)
+            .map(|r| acquire_ok(nossd.as_mut(), r * 8 + 1))
+            .collect();
+        assert_eq!(
+            nossd.try_acquire(mesh.node_at(1, 7)).unwrap_err(),
+            AcquireError::PathConflict(ConflictReason::RouteBlocked)
+        );
+        for g in held {
+            nossd.release(g);
+        }
+        // Venice: the scout detours around the dead link and still grants.
+        let mut venice = build_fabric(FabricKind::Venice, params);
+        assert!(venice.inject_fault(fault).dead_chips.is_empty());
+        let g = venice
+            .try_acquire(mesh.node_at(1, 7))
+            .expect("scout must route around the dead link");
+        assert!(g.hops() > 7, "minimal row path is broken, must detour");
+        venice.release(g);
+    }
+
+    #[test]
+    fn router_fault_kills_the_chip_and_a_west_edge_fault_parks_the_controller() {
+        let params = FabricParams::table1();
+        let mesh = params.mesh();
+        let mut f = build_fabric(FabricKind::Venice, params);
+        // Mid-mesh router dies: exactly that chip is lost; traffic around
+        // it still routes.
+        let dead = mesh.node_at(1, 4);
+        let impact = f.inject_fault(FabricFault::RouterDown(dead));
+        assert_eq!(impact.dead_chips, vec![dead]);
+        let g = acquire_ok(f.as_mut(), 8 + 7); // chip (1,7) beyond the hole
+        f.release(g);
+        // West-edge router dies: its controller leaves the pool, so the
+        // nearest-free policy silently falls over to a neighbor row.
+        let edge = mesh.node_at(2, 0);
+        f.inject_fault(FabricFault::RouterDown(edge));
+        let g = acquire_ok(f.as_mut(), 2 * 8 + 5);
+        assert_ne!(g.fc, FcId(2), "dead controller must not be selected");
+        f.release(g);
+        // Repairs restore both.
+        f.inject_fault(FabricFault::RouterUp(edge));
+        f.inject_fault(FabricFault::RouterUp(dead));
+        let g = acquire_ok(f.as_mut(), 2 * 8 + 5);
+        assert_eq!(g.fc, FcId(2));
+        f.release(g);
+    }
+
+    #[test]
+    fn ideal_loses_only_the_faulted_channel() {
+        let mut f = build_fabric(FabricKind::Ideal, FabricParams::table1());
+        let impact = f.inject_fault(FabricFault::RouterDown(NodeId(42)));
+        assert_eq!(impact.dead_chips, vec![NodeId(42)]);
+        assert_eq!(
+            f.try_acquire(NodeId(42)).unwrap_err(),
+            AcquireError::ResourceDead
+        );
+        let g = acquire_ok(f.as_mut(), 43);
+        f.release(g);
+        // Link faults have nothing to break on dedicated channels.
+        let impact = f.inject_fault(FabricFault::LinkDown {
+            a: NodeId(0),
+            b: NodeId(1),
+        });
+        assert_eq!(impact, FaultImpact::default());
+        let impact = f.inject_fault(FabricFault::RouterUp(NodeId(42)));
+        assert_eq!(impact.freed, Some(FreedResource::Channel(NodeId(42))));
+        let g = acquire_ok(f.as_mut(), 42);
+        f.release(g);
     }
 
     #[test]

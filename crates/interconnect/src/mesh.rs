@@ -131,6 +131,15 @@ pub struct MeshState {
     /// connecting link, or `None` at the mesh edge. Avoids the row/column
     /// arithmetic of [`Mesh2D::neighbor`] in the scout inner loop.
     adj: Vec<[Option<(NodeId, LinkId)>; 4]>,
+    /// Fault mask: `true` for links taken down by a fault event. A downed
+    /// link rejects new reservations (scout walks and XY circuits alike)
+    /// until repaired; a circuit already holding the link drains normally
+    /// and the link stays blocked after its release.
+    link_down: Vec<bool>,
+    /// Fault mask: `true` for routers taken down by a fault event. The
+    /// scout DFS refuses to *enter* a downed router and
+    /// [`MeshState::try_reserve_path`] rejects paths crossing one.
+    router_down: Vec<bool>,
     /// Monotone change sequence: bumped once per reservation-state change
     /// (a circuit installed or released). Failed scout walks restore every
     /// link they touched and do **not** bump it.
@@ -170,6 +179,8 @@ impl MeshState {
                     })
                 })
                 .collect(),
+            link_down: vec![false; topo.link_count()],
+            router_down: vec![false; topo.node_count()],
             change_seq: 0,
             stamps: vec![0; topo.node_count()],
             row_stamps: vec![0; usize::from(topo.rows())],
@@ -276,9 +287,68 @@ impl MeshState {
         self.controllers
     }
 
-    /// True if the link is currently unreserved.
+    /// True if the link is currently unreserved **and** not masked down by
+    /// a fault: the single gate every reservation path (scout walk, XY
+    /// circuit, explicit reserve) goes through.
     pub fn link_free(&self, l: LinkId) -> bool {
-        self.links[l.0 as usize].is_none()
+        self.links[l.0 as usize].is_none() && !self.link_down[l.0 as usize]
+    }
+
+    /// True when the link is masked down by a fault.
+    pub fn link_is_down(&self, l: LinkId) -> bool {
+        self.link_down[l.0 as usize]
+    }
+
+    /// True when the router is masked down by a fault.
+    pub fn router_is_down(&self, n: NodeId) -> bool {
+        self.router_down[n.0 as usize]
+    }
+
+    /// Sets the fault mask of the link between adjacent nodes `a` and `b`
+    /// (in either order); `up = false` takes it down, `up = true` repairs
+    /// it. Both transitions stamp the link's endpoint routers — the
+    /// fault-event contract: a cached scout verdict that observed the link
+    /// entered at least one endpoint, so stamping both endpoints
+    /// invalidates every intersecting [`crate::scout::ScoutCache`] extent
+    /// (a downed link can newly block a walk; a repaired one can un-block
+    /// it). Returns `false` when `a` and `b` are not adjacent.
+    pub fn set_link_state(&mut self, a: NodeId, b: NodeId, up: bool) -> bool {
+        let Some(link) = Direction::ALL
+            .into_iter()
+            .find(|&d| self.topo.neighbor(a, d) == Some(b))
+            .and_then(|d| self.topo.link(a, d))
+        else {
+            return false;
+        };
+        let down = !up;
+        if self.link_down[link.0 as usize] != down {
+            self.link_down[link.0 as usize] = down;
+            self.stamp_nodes(&[a, b]);
+        }
+        true
+    }
+
+    /// Sets the fault mask of router `n`; `up = false` takes it down,
+    /// `up = true` repairs it. Both transitions stamp the router **and all
+    /// its neighbors**: a walk blocked while trying to enter `n` only has
+    /// the neighbor it probed from in its recorded extent, so stamping `n`
+    /// alone would leave that cached verdict replayable against changed
+    /// state.
+    pub fn set_router_state(&mut self, n: NodeId, up: bool) {
+        let down = !up;
+        if self.router_down[n.0 as usize] == down {
+            return;
+        }
+        self.router_down[n.0 as usize] = down;
+        let mut touched = [n; 5];
+        let mut count = 1;
+        for d in Direction::ALL {
+            if let Some((nb, _)) = self.adj[n.0 as usize][d.index()] {
+                touched[count] = nb;
+                count += 1;
+            }
+        }
+        self.stamp_nodes(&touched[..count]);
     }
 
     /// Which packet holds a link, if any.
@@ -381,10 +451,23 @@ impl MeshState {
         path
     }
 
+    /// True when `path` crosses a fault-masked resource (a downed link or
+    /// router): the reservation failure is *structural*, not contention —
+    /// retrying the same route cannot succeed until a repair event. With no
+    /// faults injected this is always `false`, so fault-aware callers (the
+    /// NoSSD controller fallback) behave identically to the pre-fault code.
+    pub fn path_fault_blocked(&self, path: &ReservedPath) -> bool {
+        path.nodes.iter().any(|&n| self.router_down[n.0 as usize])
+            || path.links.iter().any(|&l| self.link_down[l.0 as usize])
+    }
+
     /// Attempts to atomically reserve an explicit path (used by the NoSSD
     /// fabric for its XY circuits). Returns `false` — reserving nothing —
     /// if any link on the path is busy.
     pub fn try_reserve_path(&mut self, packet_id: u8, path: &ReservedPath) -> bool {
+        if path.nodes.iter().any(|&n| self.router_down[n.0 as usize]) {
+            return false;
+        }
         if !path.links.iter().all(|&l| self.link_free(l)) {
             return false;
         }
@@ -576,6 +659,11 @@ impl MeshState {
                 let Some((nb, link)) = state.adj[cur.0 as usize][d.index()] else {
                     return PortCheck::Blocked;
                 };
+                // Fault mask: a downed router is never entered (and
+                // `link_free` below already folds in downed links).
+                if state.router_down[nb.0 as usize] {
+                    return PortCheck::Blocked;
+                }
                 if !state.link_free(link) {
                     return PortCheck::Blocked; // incl. our own partial path
                 }
@@ -995,6 +1083,86 @@ mod tests {
         assert_eq!(fail.extent, (1, 1, 0, 0), "source-blocked extent is one tile");
         assert_eq!(fail.lfsr_draws, 0, "no candidates, no draws");
         assert_eq!(fail.misroutes, 0);
+    }
+
+    #[test]
+    fn downed_links_block_walks_and_stamp_on_both_transitions() {
+        let mut m = mesh(4, 4);
+        let t = m.topology();
+        let mut lfsr = Lfsr2::new();
+        let (a, b) = (t.node_at(1, 1), t.node_at(1, 2));
+        // Taking the link down stamps both endpoints (cache invalidation).
+        assert!(m.set_link_state(a, b, false));
+        assert_eq!(m.change_seq(), 1);
+        assert!(m.region_changed_since(0, (1, 1, 1, 1)));
+        assert!(m.region_changed_since(0, (1, 1, 2, 2)));
+        // The scout routes around the dead link instead of using it.
+        let (p, out) = m
+            .scout_walk(1, t.node_at(1, 0), t.node_at(1, 3), &mut lfsr)
+            .expect("path diversity survives one dead link");
+        assert!(p.hops() > t.manhattan(t.node_at(1, 0), t.node_at(1, 3)));
+        assert!(out.detoured);
+        for w in p.nodes.windows(2) {
+            let uses_dead_link = (w[0] == a && w[1] == b) || (w[0] == b && w[1] == a);
+            assert!(!uses_dead_link);
+        }
+        m.release(&p);
+        // An XY circuit over the dead link is rejected atomically.
+        let xy = m.xy_path(t.node_at(1, 0), t.node_at(1, 3));
+        assert!(!m.try_reserve_path(0, &xy));
+        m.recycle(xy);
+        // Repair stamps again and restores minimal routing.
+        let seq = m.change_seq();
+        assert!(m.set_link_state(b, a, true));
+        assert!(m.change_seq() > seq, "repair must stamp too");
+        assert!(m.region_changed_since(seq, (1, 1, 1, 2)));
+        let (p, out) = m
+            .scout_walk(1, t.node_at(1, 0), t.node_at(1, 3), &mut lfsr)
+            .unwrap();
+        assert_eq!(p.hops(), 3);
+        assert!(!out.detoured);
+        m.release(&p);
+        // Redundant transitions are idempotent: no stamp churn.
+        let seq = m.change_seq();
+        assert!(m.set_link_state(a, b, true));
+        assert_eq!(m.change_seq(), seq);
+        // Non-adjacent nodes are rejected.
+        assert!(!m.set_link_state(t.node_at(0, 0), t.node_at(2, 2), false));
+    }
+
+    #[test]
+    fn downed_routers_are_never_entered_and_stamp_their_neighborhood() {
+        let mut m = mesh(4, 4);
+        let t = m.topology();
+        let mut lfsr = Lfsr2::new();
+        let dead = t.node_at(1, 1);
+        m.set_router_state(dead, false);
+        // The down transition stamps the router *and* its neighbors: a walk
+        // blocked entering `dead` only recorded the probing neighbor in its
+        // extent.
+        for n in [dead, t.node_at(0, 1), t.node_at(2, 1), t.node_at(1, 0), t.node_at(1, 2)] {
+            assert!(m.node_stamp(n) > 0, "neighborhood of {n} must be stamped");
+        }
+        let (p, _) = m
+            .scout_walk(1, t.node_at(1, 0), t.node_at(1, 3), &mut lfsr)
+            .expect("detour around the dead router exists");
+        assert!(!p.nodes.contains(&dead));
+        m.release(&p);
+        // XY circuits crossing the dead router are rejected.
+        let xy = m.xy_path(t.node_at(1, 0), t.node_at(1, 3));
+        assert!(!m.try_reserve_path(0, &xy));
+        m.recycle(xy);
+        // A walk *to* the dead router fails without residue.
+        let before = m.reserved_link_count();
+        m.scout_walk(2, t.node_at(3, 0), dead, &mut lfsr).unwrap_err();
+        assert_eq!(m.reserved_link_count(), before);
+        // Repair restores direct routing through it.
+        m.set_router_state(dead, true);
+        let (p, _) = m
+            .scout_walk(1, t.node_at(1, 0), t.node_at(1, 3), &mut lfsr)
+            .unwrap();
+        assert_eq!(p.hops(), 3);
+        m.release(&p);
     }
 
     #[test]

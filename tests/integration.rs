@@ -406,6 +406,62 @@ fn resumable_sweeps_skip_existing_points() {
     let _ = std::fs::remove_dir_all(&base);
 }
 
+/// A panicking sweep point must not take the sweep down: the worker
+/// catches the unwind, records a structured `"status": "failed"`
+/// placeholder for that point, and every other point completes normally.
+/// A later resumable run of the same grid re-executes the failed point
+/// instead of trusting its placeholder record.
+#[test]
+fn a_panicking_point_is_isolated_and_reported_failed() {
+    use venice::ssd::RunStatus;
+    use venice_bench::sweep::{SweepGrid, WorkerPool};
+    use venice_workloads::WorkloadAxis;
+
+    // The `panic_after_events` fail point panics the engine mid-run — a
+    // deterministic stand-in for any engine bug — on the poisoned config
+    // axis value only; the healthy preset rides in the same grid.
+    let mut poisoned = SsdConfig::performance_optimized().with_panic_after_events(1_000);
+    poisoned.name = "poisoned";
+    let grid = SweepGrid::new("panic-isolation")
+        .config(SsdConfig::performance_optimized())
+        .config(poisoned)
+        .workload(WorkloadAxis::catalog("hm_0").expect("catalog"))
+        .fabrics(&[SystemKind::Baseline, SystemKind::Venice])
+        .requests(100);
+    let pool = WorkerPool::new(2);
+
+    let outcome = grid.run_on(&pool);
+    assert_eq!(outcome.records().len(), 4);
+    for r in outcome.records() {
+        if r.point.config_name == "poisoned" {
+            assert_eq!(r.metrics.status, RunStatus::Failed, "{}", r.point.label);
+            assert_eq!(r.metrics.completed_requests, 0, "{}", r.point.label);
+            assert!(
+                r.metrics.to_json().contains("\"status\": \"failed\""),
+                "{}: record must carry the failure",
+                r.point.label
+            );
+        } else {
+            assert_eq!(r.metrics.status, RunStatus::Complete, "{}", r.point.label);
+            assert_eq!(r.metrics.completed_requests, 100, "{}", r.point.label);
+        }
+    }
+    // The manifest index exposes per-point status for sweep_diff.
+    assert!(outcome.manifest_json().contains("\"status\": \"failed\""));
+
+    // Resume never trusts a failed placeholder: only the two healthy
+    // points are reused, the two poisoned ones re-execute.
+    let base = std::env::temp_dir().join("venice-panic-isolation-test");
+    let _ = std::fs::remove_dir_all(&base);
+    let first = grid.run_resumable(&base, &pool, false);
+    assert_eq!(first.reused_count(), 0);
+    let second = grid.run_resumable(&base, &pool, false);
+    assert_eq!(second.reused_count(), 2, "healthy records reused");
+    assert_eq!(second.executed().len(), 2, "failed records re-executed");
+    assert_eq!(second.metrics_fingerprint(), first.metrics_fingerprint());
+    let _ = std::fs::remove_dir_all(&base);
+}
+
 #[test]
 fn catalog_sweep_is_deterministic_across_parallelism() {
     // The parallel sweep runner must produce bit-identical RunMetrics

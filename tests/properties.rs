@@ -362,6 +362,106 @@ fn scout_fastfail_cache_is_bit_identical_and_checked() {
     }
 }
 
+/// Fault injection is sound on every fabric: under every scripted fault
+/// plan — link and router outages, repairs, permanent chip death, transient
+/// NAND errors, and the randomized storm — and randomized traffic, (a) the
+/// calendar always drains (no fault scenario hangs or panics), (b) every
+/// request reaches a terminal state and only chip-killing plans produce
+/// structured failures, (c) `ScoutCacheKind::Checked` stays green on Venice
+/// (down-masked links and generation-stamped invalidations never leave a
+/// stale fast-fail behind), and (d) faulted sweeps stay bit-identical
+/// across worker-pool sizes, extending the determinism contract to the
+/// fault axis.
+#[test]
+fn fault_injection_is_sound_on_every_fabric() {
+    use venice::interconnect::FabricKind;
+    use venice::ssd::{run_single, FaultPlan, RunStatus, ScoutCacheKind, SsdConfig};
+
+    let mut rng = Xorshift64Star::new(0xFA17);
+    for case in 0..2u64 {
+        let read_pct = 20.0 + rng.next_f64() * 70.0;
+        let kb = 4.0 + rng.next_f64() * 28.0;
+        let us = 1.0 + rng.next_f64() * 10.0;
+        let n = 120 + rng.next_bounded(120) as usize;
+        let trace = WorkloadSpec::new("fault-prop", read_pct, kb, us)
+            .footprint_mb(48)
+            .burst_mean(1.0 + rng.next_f64() * 16.0)
+            .generate(n);
+        for &plan in &FaultPlan::ALL {
+            for fabric in FabricKind::ALL {
+                let cfg = SsdConfig::performance_optimized().with_fault_plan(plan);
+                let m = run_single(&cfg, fabric, &trace);
+                let ctx = format!("case {case}: {fabric}/{}", plan.label());
+                assert_eq!(m.status, RunStatus::Complete, "{ctx}: run must drain");
+                assert_eq!(
+                    m.completed_requests, n as u64,
+                    "{ctx}: every request must reach a terminal state"
+                );
+                assert!(m.failed_requests <= m.completed_requests, "{ctx}");
+                if plan == FaultPlan::None {
+                    assert_eq!(m.faults_injected, 0, "{ctx}: None must be inert");
+                    assert_eq!(m.failed_requests, 0, "{ctx}");
+                    assert_eq!(m.availability(), 1.0, "{ctx}");
+                }
+                // Requests to surviving chips complete successfully: plans
+                // that never kill a chip (transient NAND errors retry to
+                // success) must not fail anything.
+                if plan == FaultPlan::TransientNand {
+                    assert_eq!(m.failed_requests, 0, "{ctx}: retries must succeed");
+                }
+                // Determinism extends to faulted runs.
+                let again = run_single(&cfg, fabric, &trace);
+                assert_eq!(m, again, "{ctx}: faulted run not deterministic");
+            }
+            // (c) Checked mode re-walks beside every cache verdict and
+            // panics on any stale fast-fail — completing is the check.
+            let checked = run_single(
+                &SsdConfig::performance_optimized()
+                    .with_fault_plan(plan)
+                    .with_scout_cache(ScoutCacheKind::Checked),
+                FabricKind::Venice,
+                &trace,
+            );
+            assert_eq!(
+                checked.status,
+                RunStatus::Complete,
+                "case {case}: Venice/{}/cache-checked must drain",
+                plan.label()
+            );
+        }
+    }
+
+    // (d) Fingerprints are pool-size-stable with faults on.
+    {
+        use venice_bench::sweep::{SweepGrid, WorkerPool};
+        use venice::workloads::WorkloadAxis;
+
+        let grid = SweepGrid::new("fault-determinism")
+            .config(venice::ssd::SsdConfig::performance_optimized())
+            .workload(WorkloadAxis::congested())
+            .fault_plans(&[FaultPlan::Link, FaultPlan::LinkRepair, FaultPlan::Storm])
+            .fabrics(&[
+                venice::ssd::SystemKind::Baseline,
+                venice::ssd::SystemKind::NoSsd,
+                venice::ssd::SystemKind::Venice,
+            ])
+            .requests(150);
+        let serial = grid.run_on(&WorkerPool::new(1));
+        let pooled = grid.run_on(&WorkerPool::new(4));
+        assert_eq!(serial.records().len(), 9); // 3 plans × 3 fabrics
+        for (a, b) in serial.records().iter().zip(pooled.records()) {
+            assert_eq!(a.point.label, b.point.label);
+            assert_eq!(
+                a.metrics, b.metrics,
+                "{}: faulted metrics differ across pool sizes",
+                a.point.label
+            );
+        }
+        assert_eq!(serial.metrics_fingerprint(), pooled.metrics_fingerprint());
+        assert_eq!(serial.manifest_fingerprint(), pooled.manifest_fingerprint());
+    }
+}
+
 /// Page-address packing over arbitrary geometry is a bijection.
 #[test]
 fn gppa_roundtrip() {
