@@ -22,7 +22,11 @@
 //! halves with the `sweep_diff` bin), `faults` (the degraded-mode
 //! ablation: every fault plan × the five real fabrics on congestion-heavy
 //! traffic; also distills `results/fault_ablation.json` comparing Venice
-//! against the bus fabrics under a single link failure).
+//! against the bus fabrics under a single link failure), `tenants` (the
+//! multi-tenant QoS ablation: the victim-solo / noisy-neighbor scenario
+//! pair × every tenant-set preset × the bus fabrics and Venice; also
+//! distills `results/tenant_isolation.json` comparing each fabric's
+//! victim-tenant p99 degradation under the aggressor burst).
 //!
 //! Sweeps are *resumable*: when `results/sweep_<grid>/` already holds a
 //! manifest with this grid's exact grid hash, points whose record file
@@ -41,7 +45,9 @@ use venice_bench::sweep::{ResumedSweep, SweepGrid, WorkerPool};
 use venice_interconnect::FabricKind;
 use venice_nand::NandTiming;
 use venice_ssd::report::{json_f64, json_str};
-use venice_ssd::{all_systems, DispatchPolicyKind, FaultPlan, ScoutCacheKind, SsdConfig};
+use venice_ssd::{
+    all_systems, DispatchPolicyKind, FaultPlan, ScoutCacheKind, SsdConfig, TenantSet,
+};
 use venice_workloads::WorkloadAxis;
 
 /// The read-intensity-diverse workload subset used by the multi-axis grids
@@ -121,6 +127,18 @@ fn named_grid(name: &str, requests: Option<usize>) -> Option<SweepGrid> {
                 FabricKind::Venice,
             ])
             .requests(requests.unwrap_or(400)),
+        "tenants" => SweepGrid::new("tenants")
+            .workload(WorkloadAxis::victim_solo())
+            .workload(WorkloadAxis::noisy_neighbor())
+            .queue_depths(&[32])
+            .tenant_sets(&TenantSet::presets())
+            .fabrics(&[
+                FabricKind::Baseline,
+                FabricKind::Pssd,
+                FabricKind::PnSsd,
+                FabricKind::Venice,
+            ])
+            .requests(requests.unwrap_or(600)),
         "scoutcache" => SweepGrid::new("scoutcache")
             .workload(WorkloadAxis::congested())
             .workload(WorkloadAxis::catalog("src2_1").expect("catalog"))
@@ -132,16 +150,19 @@ fn named_grid(name: &str, requests: Option<usize>) -> Option<SweepGrid> {
         _ => return None,
     };
     let grid = grid.config(SsdConfig::performance_optimized());
-    let own_default = matches!(name, "mini" | "policy" | "bigmesh" | "scoutcache" | "faults");
+    let own_default = matches!(
+        name,
+        "mini" | "policy" | "bigmesh" | "scoutcache" | "faults" | "tenants"
+    );
     Some(match requests {
         Some(r) if !own_default => grid.requests(r),
         _ => grid,
     })
 }
 
-const GRID_NAMES: [&str; 11] = [
+const GRID_NAMES: [&str; 12] = [
     "mini", "table2", "mixes", "shapes", "nand", "qd", "design", "policy", "bigmesh",
-    "scoutcache", "faults",
+    "scoutcache", "faults", "tenants",
 ];
 
 /// Extracts the raw numeric token after the first `"key": ` occurrence.
@@ -240,6 +261,105 @@ fn write_fault_ablation(outcome: &ResumedSweep, path: &std::path::Path) {
     }
 }
 
+/// Extracts a numeric field from one tenant's entry of the point JSON's
+/// `"tenants"` array: scoped to start at `"name": "<tenant>"`, so the
+/// first `key` occurrence after it is that tenant's (the global latency
+/// section precedes the array and is skipped by the scoping).
+fn tenant_num(json: &str, tenant: &str, key: &str) -> Option<f64> {
+    let at = json.find(&format!("\"name\": \"{tenant}\""))?;
+    json_num(&json[at..], key)
+}
+
+/// Distills the `tenants` grid into `results/tenant_isolation.json`.
+///
+/// For each fabric, the victim tenant's p99 under the aggressor burst
+/// (the `noisy-neighbor` workload) is compared against the same stream
+/// running alone (`victim-solo` × the `single` tenant set): the ratio is
+/// the fabric's *victim degradation*. The headline
+/// `venice_protects_victim` asserts Venice's degradation under the
+/// fair-share tenant set is strictly lower than every bus design's — path
+/// diversity, not just queue arbitration, is what isolates the victim.
+fn write_tenant_isolation(outcome: &ResumedSweep, path: &std::path::Path) {
+    let mut point_lines = Vec::new();
+    // (workload, tenant set, fabric) -> victim p99 ns
+    let mut victim_p99: Vec<((&str, &str, &str), f64)> = Vec::new();
+    for (p, json) in outcome.points().iter().zip(outcome.point_jsons()) {
+        // Single-tenant points carry one pooled "all" tenant; the victim
+        // stream is tenant "victim" on the multi-tenant sets.
+        let victim = tenant_num(json, "victim", "p99_ns")
+            .or_else(|| tenant_num(json, "all", "p99_ns"))
+            .unwrap_or(0.0);
+        let aggressor = tenant_num(json, "aggressor", "p99_ns");
+        let fairness = json_num(json, "fairness_index").unwrap_or(1.0);
+        point_lines.push(format!(
+            "    {{\"label\": {}, \"workload\": {}, \"tenants\": {}, \
+             \"fabric\": {}, \"victim_p99_ns\": {}, \"aggressor_p99_ns\": {}, \
+             \"fairness_index\": {}}}",
+            json_str(&p.label),
+            json_str(&p.workload),
+            json_str(&p.tenants),
+            json_str(p.fabric.label()),
+            json_f64(victim),
+            aggressor.map_or("null".to_string(), |a| json_f64(a).to_string()),
+            json_f64(fairness),
+        ));
+        victim_p99.push(((p.workload.as_str(), p.tenants.as_str(), p.fabric.label()), victim));
+    }
+    let lookup = |workload: &str, tenants: &str, fabric: &str| {
+        victim_p99
+            .iter()
+            .find(|((w, t, f), _)| *w == workload && *t == tenants && *f == fabric)
+            .map(|(_, v)| *v)
+            .filter(|v| *v > 0.0)
+    };
+    // Victim p99 degradation per fabric: shared run over solo run.
+    let degradation = |fabric: &str, set: &str| {
+        let solo = lookup("victim-solo", "single", fabric)?;
+        let shared = lookup("noisy-neighbor", set, fabric)?;
+        Some(shared / solo)
+    };
+    let buses = ["Baseline", "pSSD", "pnSSD"];
+    let deg_lines: Vec<String> = ["Baseline", "pSSD", "pnSSD", "Venice"]
+        .iter()
+        .map(|fabric| {
+            format!(
+                "    {{\"fabric\": {}, \"pair_fair\": {}, \"victim_boost\": {}}}",
+                json_str(fabric),
+                json_f64(degradation(fabric, "pair-fair").unwrap_or(0.0)),
+                json_f64(degradation(fabric, "victim-boost").unwrap_or(0.0)),
+            )
+        })
+        .collect();
+    let venice = degradation("Venice", "pair-fair").unwrap_or(f64::MAX);
+    let worst_bus = buses
+        .iter()
+        .filter_map(|b| degradation(b, "pair-fair"))
+        .fold(0.0f64, f64::max);
+    let best_bus = buses
+        .iter()
+        .filter_map(|b| degradation(b, "pair-fair"))
+        .fold(f64::MAX, f64::min);
+    let protects = venice < best_bus;
+    let doc = format!(
+        "{{\n  \"name\": \"tenant_isolation\",\n  \"grid\": \"tenants\",\n  \
+         \"headline\": {{\"venice_protects_victim\": {protects}, \
+         \"venice_victim_p99_degradation\": {}, \
+         \"best_bus_victim_p99_degradation\": {}, \
+         \"worst_bus_victim_p99_degradation\": {}}},\n  \
+         \"victim_p99_degradation_by_fabric\": [\n{}\n  ],\n  \
+         \"points\": [\n{}\n  ]\n}}\n",
+        json_f64(venice),
+        json_f64(best_bus),
+        json_f64(worst_bus),
+        deg_lines.join(",\n"),
+        point_lines.join(",\n"),
+    );
+    match std::fs::write(path, doc) {
+        Ok(()) => eprintln!("[venice-bench] tenant isolation: {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut grid_name = "table2".to_string();
@@ -309,5 +429,8 @@ fn main() {
     report_resumed(&outcome);
     if grid_name == "faults" {
         write_fault_ablation(&outcome, &results.join("fault_ablation.json"));
+    }
+    if grid_name == "tenants" {
+        write_tenant_isolation(&outcome, &results.join("tenant_isolation.json"));
     }
 }

@@ -47,6 +47,7 @@ use venice_nand::NandTiming;
 use venice_ssd::report::json_str;
 use venice_ssd::{
     run_single, DispatchPolicyKind, FaultPlan, RunMetrics, ScoutCacheKind, SsdConfig,
+    TenantSet,
 };
 use venice_workloads::{Trace, WorkloadAxis};
 
@@ -180,6 +181,7 @@ pub struct SweepGrid {
     policies: Vec<DispatchPolicyKind>,
     scout_caches: Vec<ScoutCacheKind>,
     faults: Vec<FaultPlan>,
+    tenant_sets: Vec<TenantSet>,
     fabrics: Vec<FabricKind>,
 }
 
@@ -208,6 +210,7 @@ impl SweepGrid {
             policies: Vec::new(),
             scout_caches: Vec::new(),
             faults: Vec::new(),
+            tenant_sets: Vec::new(),
             fabrics: Vec::new(),
         }
     }
@@ -305,6 +308,14 @@ impl SweepGrid {
         self
     }
 
+    /// Extends the tenant-set axis (the multi-tenant QoS ablation: each
+    /// set defines tenant→queue partitioning, WRR weights, and per-tenant
+    /// queue-depth caps).
+    pub fn tenant_sets(mut self, sets: &[TenantSet]) -> Self {
+        self.tenant_sets.extend_from_slice(sets);
+        self
+    }
+
     /// Resolved workload axis (Table 2 catalog when none was set).
     fn effective_workloads(&self) -> Vec<WorkloadAxis> {
         if self.workloads.is_empty() {
@@ -375,6 +386,11 @@ impl SweepGrid {
             } else {
                 self.faults.clone()
             };
+            let tenant_sets: Vec<TenantSet> = if self.tenant_sets.is_empty() {
+                vec![base.tenants.clone()]
+            } else {
+                self.tenant_sets.clone()
+            };
             for (workload_idx, workload) in workloads.iter().enumerate() {
                 for &(rows, cols) in &shapes {
                     for &timing in &timings {
@@ -382,6 +398,7 @@ impl SweepGrid {
                             for &policy in &policies {
                                 for &scout_cache in &caches {
                                     for &fault_plan in &faults {
+                                        for tenant_set in &tenant_sets {
                                         for &fabric in &fabrics {
                                             let config = base
                                                 .clone()
@@ -390,7 +407,8 @@ impl SweepGrid {
                                                 .with_queue_depth(depth)
                                                 .with_dispatch_policy(policy)
                                                 .with_scout_cache(scout_cache)
-                                                .with_fault_plan(fault_plan);
+                                                .with_fault_plan(fault_plan)
+                                                .with_tenants(tenant_set.clone());
                                             // Sweeps run unattended: arm the
                                             // generous runaway-run watchdog
                                             // unless the base config set its
@@ -410,7 +428,7 @@ impl SweepGrid {
                                                 .unwrap_or("custom")
                                                 .to_string();
                                             let label = format!(
-                                                "{}/{}/{}x{}/{}/qd{}/{}/{}/{}/{}",
+                                                "{}/{}/{}x{}/{}/qd{}/{}/{}/{}/{}/{}",
                                                 base.name,
                                                 workload.name(),
                                                 rows,
@@ -420,6 +438,7 @@ impl SweepGrid {
                                                 policy.label(),
                                                 scout_cache.label(),
                                                 fault_plan.label(),
+                                                tenant_set.label(),
                                                 fabric.label()
                                             );
                                             points.push(SweepPoint {
@@ -434,9 +453,11 @@ impl SweepGrid {
                                                 policy,
                                                 scout_cache,
                                                 fault_plan,
+                                                tenants: tenant_set.label().to_string(),
                                                 fabric,
                                                 config,
                                             });
+                                        }
                                         }
                                     }
                                 }
@@ -672,11 +693,19 @@ impl SweepGrid {
         } else {
             self.faults.iter().map(|f| f.label().to_string()).collect()
         };
+        let tenants: Vec<String> = if self.tenant_sets.is_empty() {
+            vec!["base".to_string()]
+        } else {
+            self.tenant_sets
+                .iter()
+                .map(|t| t.label().to_string())
+                .collect()
+        };
         format!(
             "{{\"name\": {}, \"requests\": {}, \"configs\": {}, \
              \"workloads\": {}, \"shapes\": {}, \"timings\": {}, \
              \"queue_depths\": {}, \"policies\": {}, \"scout_caches\": {}, \
-             \"faults\": {}, \"fabrics\": {}}}",
+             \"faults\": {}, \"tenants\": {}, \"fabrics\": {}}}",
             json_str(&self.name),
             self.requests,
             json_str_list(&configs),
@@ -687,6 +716,7 @@ impl SweepGrid {
             json_str_list(&policies),
             json_str_list(&caches),
             json_str_list(&faults),
+            json_str_list(&tenants),
             json_str_list(&fabrics),
         )
     }
@@ -720,6 +750,8 @@ pub struct SweepPoint {
     pub scout_cache: ScoutCacheKind,
     /// Fault plan under test (`FaultPlan::None` on fault-free grids).
     pub fault_plan: FaultPlan,
+    /// Tenant-set axis value label (`"single"` on single-tenant grids).
+    pub tenants: String,
     /// The fabric under test.
     pub fabric: FabricKind,
     /// The fully resolved configuration this point simulates.
@@ -838,11 +870,12 @@ impl SweepOutcome {
     /// figure renderers consume.
     ///
     /// A row is one full non-fabric coordinate — (config, workload, shape,
-    /// timing, queue depth, policy, scout cache, fault plan) — so metrics from
-    /// different configurations are never merged into one row: on a grid
-    /// where `filter` leaves several configs/shapes/timings/depths/
-    /// policies/caches, the same workload name simply appears once per
-    /// coordinate. Within a row, metrics are in fabric-axis order.
+    /// timing, queue depth, policy, scout cache, fault plan, tenant set) —
+    /// so metrics from different configurations are never merged into one
+    /// row: on a grid where `filter` leaves several configs/shapes/timings/
+    /// depths/policies/caches/tenant-sets, the same workload name simply
+    /// appears once per coordinate. Within a row, metrics are in
+    /// fabric-axis order.
     pub fn rows_by_workload(
         &self,
         filter: impl Fn(&SweepPoint) -> bool,
@@ -857,6 +890,7 @@ impl SweepOutcome {
                 p.policy,
                 p.scout_cache,
                 p.fault_plan,
+                p.tenants.clone(),
             )
         };
         let mut rows: Vec<CatalogRow> = Vec::new();
@@ -1326,6 +1360,38 @@ mod tests {
             .requests(50);
         assert!(plain.definition_json().contains("\"policies\": [\"base\"]"));
         assert_eq!(plain.build_points()[0].policy, DispatchPolicyKind::RetryAll);
+    }
+
+    #[test]
+    fn tenant_axis_expands_and_reaches_the_config() {
+        let grid = SweepGrid::new("tenant-axis")
+            .workload(WorkloadAxis::catalog("hm_0").expect("catalog"))
+            .tenant_sets(&TenantSet::presets())
+            .fabrics(&[FabricKind::Venice])
+            .requests(50);
+        let points = grid.build_points();
+        assert_eq!(points.len(), TenantSet::presets().len());
+        for (p, set) in points.iter().zip(TenantSet::presets()) {
+            assert_eq!(p.tenants, set.label());
+            assert_eq!(p.config.tenants, set, "tenant set must reach the config");
+            assert!(p.label.contains(set.label()), "label {}", p.label);
+            assert_eq!(
+                TenantSet::by_label(set.label()),
+                Some(set),
+                "manifest labels must round-trip"
+            );
+        }
+        let def = grid.definition_json();
+        assert!(
+            def.contains("\"tenants\": [\"single\", \"pair-fair\", \"victim-boost\"]"),
+            "definition must carry the tenant axis: {def}"
+        );
+        // An unset axis serializes as the base marker, like the other axes.
+        let plain = SweepGrid::new("no-tenants")
+            .workload(WorkloadAxis::catalog("hm_0").expect("catalog"))
+            .requests(50);
+        assert!(plain.definition_json().contains("\"tenants\": [\"base\"]"));
+        assert!(plain.build_points()[0].config.tenants.is_single());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! SSD configurations: the paper's Table 1 presets and scaling knobs.
 
 use venice_ftl::ArrayGeometry;
-use venice_hil::HilConfig;
+use venice_hil::{HilConfig, TenantSet};
 use venice_interconnect::{FabricParams, ScoutCacheKind};
 use venice_nand::{ChipGeometry, NandTiming, OpEnergy};
 use venice_sim::SimDuration;
@@ -48,6 +48,11 @@ pub struct SsdConfig {
     pub fabric: FabricParams,
     /// Host interface parameters.
     pub hil: HilConfig,
+    /// Tenancy model: tenants mapped to namespace queue ranges with WRR
+    /// weights and queue-depth caps (a sweep axis). The default,
+    /// [`TenantSet::single()`], reproduces the pre-tenancy host interface
+    /// bit-for-bit.
+    pub tenants: TenantSet,
     /// Fraction of physical capacity exposed as logical space.
     pub utilization: f64,
     /// Bytes of a command burst on the wire (opcode + address + CRC).
@@ -109,6 +114,7 @@ impl SsdConfig {
             energy: OpEnergy::z_nand(),
             fabric: FabricParams::table1(),
             hil: HilConfig::default(),
+            tenants: TenantSet::single(),
             utilization: 0.75,
             command_bytes: 8,
             ftl_latency: SimDuration::from_nanos(250),
@@ -139,6 +145,7 @@ impl SsdConfig {
             energy: OpEnergy::tlc_3d(),
             fabric: FabricParams::table1(),
             hil: HilConfig::default(),
+            tenants: TenantSet::single(),
             utilization: 0.75,
             command_bytes: 8,
             ftl_latency: SimDuration::from_nanos(250),
@@ -258,6 +265,18 @@ impl SsdConfig {
         self.fabric.scout_cache
     }
 
+    /// Selects the tenancy model (a sweep-engine axis). [`TenantSet::single()`]
+    /// — the preset default — reproduces the pre-tenancy host interface
+    /// bit-for-bit; multi-tenant sets partition the submission queues into
+    /// per-tenant namespace ranges with WRR arbitration and queue-depth
+    /// caps. Tenant tags on the trace beyond the set's size are clamped to
+    /// the last tenant, so a single-tenant set merges any tagged trace back
+    /// into one stream.
+    pub fn with_tenants(mut self, tenants: TenantSet) -> Self {
+        self.tenants = tenants;
+        self
+    }
+
     /// Selects the scripted fault plan (a sweep-engine axis).
     /// [`FaultPlan::None`] reproduces the fault-free engine bit-for-bit —
     /// it schedules zero calendar events.
@@ -331,6 +350,10 @@ impl SsdConfig {
         assert!(
             self.utilization > 0.0 && self.utilization < 1.0,
             "utilization must be in (0,1)"
+        );
+        assert!(
+            self.tenants.len() <= self.hil.queues,
+            "every tenant needs at least one submission queue"
         );
     }
 }
@@ -443,6 +466,26 @@ mod tests {
         assert_eq!(armed.max_events, Some(1_000_000));
         assert_eq!(armed.max_sim_ns, Some(5_000_000_000));
         armed.validate();
+    }
+
+    #[test]
+    fn tenants_default_single_and_apply() {
+        let cfg = SsdConfig::performance_optimized();
+        assert_eq!(cfg.tenants, TenantSet::single());
+        assert!(cfg.tenants.is_single());
+        assert_eq!(SsdConfig::cost_optimized().tenants, TenantSet::single());
+        let pair = cfg.with_tenants(TenantSet::pair_fair());
+        assert_eq!(pair.tenants.label(), "pair-fair");
+        assert_eq!(pair.tenants.len(), 2);
+        pair.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one submission queue")]
+    fn more_tenants_than_queues_fails_validation() {
+        let mut cfg = SsdConfig::performance_optimized().with_tenants(TenantSet::pair_fair());
+        cfg.hil.queues = 1;
+        cfg.validate();
     }
 
     #[test]

@@ -57,8 +57,12 @@ pub use experiment::{
     ExperimentBuilder, SharedPoolGuard, SystemKind,
 };
 pub use fault::{FaultAction, FaultPlan};
-pub use metrics::{RunMetrics, RunStatus};
+pub use metrics::{RunMetrics, RunStatus, TenantMetrics};
 pub use ssd::SsdSim;
 // Re-exported for config/sweep ergonomics: the scout fast-fail cache mode is
 // an `SsdConfig` knob and a sweep axis, like `DispatchPolicyKind`.
 pub use venice_interconnect::ScoutCacheKind;
+// Re-exported for config/sweep ergonomics: the tenancy model is an
+// `SsdConfig` knob and a sweep axis; it lives in `venice_hil` because the
+// host interface enforces it.
+pub use venice_hil::{TenantSet, TenantSpec};

@@ -37,6 +37,55 @@ impl RunStatus {
     }
 }
 
+/// Per-tenant metrics of one run: the QoS view of [`RunMetrics`].
+///
+/// One entry per tenant in the run's [`crate::TenantSet`] (a single
+/// `all` entry on the default single-tenant path). Latencies, completions,
+/// conflicts, back-pressure, and failures are accounted to the tenant that
+/// issued the request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TenantMetrics {
+    /// Tenant (namespace) name from the [`crate::TenantSpec`].
+    pub name: &'static str,
+    /// The tenant's WRR arbitration weight.
+    pub weight: u32,
+    /// The tenant's queue-depth cap (0 = unlimited).
+    pub qd_cap: u32,
+    /// End-to-end latencies of this tenant's requests.
+    pub latencies: LatencySamples,
+    /// Requests of this tenant that completed.
+    pub completed: u64,
+    /// This tenant's requests that experienced at least one path conflict.
+    pub conflicted: u64,
+    /// Submissions of this tenant rejected on a full queue.
+    pub backpressured: u64,
+    /// This tenant's requests that completed with error status.
+    pub failed: u64,
+}
+
+impl TenantMetrics {
+    /// Median end-to-end latency of this tenant's requests (zero when the
+    /// tenant completed nothing).
+    pub fn p50(&self) -> SimDuration {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile end-to-end latency of this tenant's requests (zero
+    /// when the tenant completed nothing).
+    pub fn p99(&self) -> SimDuration {
+        self.quantile(0.99)
+    }
+
+    fn quantile(&self, q: f64) -> SimDuration {
+        let mut lat = self.latencies.clone();
+        if lat.is_empty() {
+            SimDuration::ZERO
+        } else {
+            lat.percentile(q)
+        }
+    }
+}
+
 /// Metrics of one simulated run (one workload × one system × one config).
 ///
 /// Derives `PartialEq` so determinism tests can compare whole runs (the
@@ -74,6 +123,9 @@ pub struct RunMetrics {
     pub ftl: FtlStats,
     /// Host-interface statistics.
     pub hil: HilStats,
+    /// Per-tenant QoS metrics, indexed by tenant id (one `all` entry on
+    /// the single-tenant default; empty only in failed placeholders).
+    pub tenants: Vec<TenantMetrics>,
     /// Dispatcher statistics (rounds, attempts, policy skips, failed walks).
     pub dispatch: DispatchStats,
     /// Total flash transactions executed.
@@ -148,6 +200,31 @@ impl RunMetrics {
         }
     }
 
+    /// Jain's fairness index over weight-normalized per-tenant throughput:
+    /// `J = (Σxᵢ)² / (n·Σxᵢ²)` with `xᵢ = completedᵢ / weightᵢ`.
+    ///
+    /// 1.0 means every tenant got throughput exactly proportional to its
+    /// WRR weight; `1/n` means one tenant monopolized the device. Trivially
+    /// 1.0 for single-tenant runs and for runs where no tenant completed
+    /// anything.
+    pub fn fairness_index(&self) -> f64 {
+        let n = self.tenants.len();
+        if n <= 1 {
+            return 1.0;
+        }
+        let shares: Vec<f64> = self
+            .tenants
+            .iter()
+            .map(|t| t.completed as f64 / f64::from(t.weight.max(1)))
+            .collect();
+        let sum: f64 = shares.iter().sum();
+        let sq_sum: f64 = shares.iter().map(|x| x * x).sum();
+        if sq_sum <= 0.0 {
+            return 1.0;
+        }
+        sum * sum / (n as f64 * sq_sum)
+    }
+
     /// A placeholder record for a sweep point whose run panicked: zero
     /// metrics, [`RunStatus::Failed`], carrying just enough identity
     /// (system / workload / config) for the manifest to report the failure
@@ -172,6 +249,7 @@ impl RunMetrics {
             fabric: FabricStats::default(),
             ftl: FtlStats::default(),
             hil: HilStats::default(),
+            tenants: Vec::new(),
             dispatch: DispatchStats::default(),
             transactions: 0,
             events: 0,
@@ -215,6 +293,29 @@ impl RunMetrics {
         let ftl = &self.ftl;
         let hil = &self.hil;
         let dsp = &self.dispatch;
+        // Per-tenant QoS records: variable-length, so pre-rendered with the
+        // same fixed field order and hand-formatting as the outer object.
+        let mut tenants_json = String::new();
+        for (i, t) in self.tenants.iter().enumerate() {
+            if i > 0 {
+                tenants_json.push_str(", ");
+            }
+            tenants_json.push_str(&format!(
+                "{{\"name\": {}, \"weight\": {}, \"qd_cap\": {}, \
+                 \"completed\": {}, \"conflicted\": {}, \"backpressured\": {}, \
+                 \"failed\": {}, \"mean_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}}}",
+                json_str(t.name),
+                t.weight,
+                t.qd_cap,
+                t.completed,
+                t.conflicted,
+                t.backpressured,
+                t.failed,
+                t.latencies.mean().as_nanos(),
+                t.p50().as_nanos(),
+                t.p99().as_nanos(),
+            ));
+        }
         format!(
             "{{\n  \"system\": {},\n  \"workload\": {},\n  \"config\": {},\n  \
              \"policy\": {},\n  \"scout_cache\": {},\n  \
@@ -235,6 +336,7 @@ impl RunMetrics {
              \"write_amplification\": {}}},\n  \
              \"hil\": {{\"submitted\": {}, \"backpressured\": {}, \
              \"fetched\": {}, \"completed\": {}}},\n  \
+             \"tenants\": [{}],\n  \"fairness_index\": {},\n  \
              \"dispatch\": {{\"rounds\": {}, \"attempts\": {}, \
              \"skipped_backoff\": {}, \"failed_walks\": {}}},\n  \
              \"status\": {},\n  \
@@ -285,6 +387,8 @@ impl RunMetrics {
             hil.backpressured,
             hil.fetched,
             hil.completed,
+            tenants_json,
+            json_f64(self.fairness_index()),
             dsp.rounds,
             dsp.attempts,
             dsp.skipped_backoff,
@@ -327,6 +431,16 @@ mod tests {
             fabric: FabricStats::default(),
             ftl: FtlStats::default(),
             hil: HilStats::default(),
+            tenants: vec![TenantMetrics {
+                name: "all",
+                weight: 1,
+                qd_cap: 0,
+                latencies: LatencySamples::new(),
+                completed: requests,
+                conflicted: 0,
+                backpressured: 0,
+                failed: 0,
+            }],
             dispatch: DispatchStats::default(),
             transactions: requests,
             events: requests * 4,
@@ -389,6 +503,62 @@ mod tests {
         assert!(json.contains("\"system\": \"Venice\""));
         assert_eq!(RunStatus::Aborted.label(), "aborted");
         assert_eq!(RunStatus::default(), RunStatus::Complete);
+    }
+
+    fn tenant(name: &'static str, weight: u32, completed: u64) -> TenantMetrics {
+        let mut latencies = LatencySamples::new();
+        for i in 0..completed {
+            latencies.record(SimDuration::from_micros(i + 1));
+        }
+        TenantMetrics {
+            name,
+            weight,
+            qd_cap: 0,
+            latencies,
+            completed,
+            conflicted: completed / 10,
+            backpressured: 0,
+            failed: 0,
+        }
+    }
+
+    #[test]
+    fn fairness_index_matches_jain() {
+        let mut m = metrics(1_000, 100);
+        // Single tenant: trivially fair.
+        assert_eq!(m.fairness_index(), 1.0);
+        // Two equal-weight tenants with equal throughput: J = 1.
+        m.tenants = vec![tenant("a", 1, 50), tenant("b", 1, 50)];
+        assert!((m.fairness_index() - 1.0).abs() < 1e-12);
+        // One tenant monopolizes: J = 1/2.
+        m.tenants = vec![tenant("a", 1, 100), tenant("b", 1, 0)];
+        assert!((m.fairness_index() - 0.5).abs() < 1e-12);
+        // Weight-normalized: 3:1 throughput under 3:1 weights is fair.
+        m.tenants = vec![tenant("a", 3, 75), tenant("b", 1, 25)];
+        assert!((m.fairness_index() - 1.0).abs() < 1e-12);
+        // Nothing completed: defined as fair, not NaN.
+        m.tenants = vec![tenant("a", 1, 0), tenant("b", 1, 0)];
+        assert_eq!(m.fairness_index(), 1.0);
+    }
+
+    #[test]
+    fn tenant_percentiles_and_json_section() {
+        let mut m = metrics(1_000, 100);
+        m.tenants = vec![tenant("victim", 4, 60), tenant("aggressor", 1, 40)];
+        let v = &m.tenants[0];
+        assert_eq!(v.p50(), SimDuration::from_micros(30));
+        assert_eq!(v.p99(), SimDuration::from_micros(60));
+        // Empty tenants serialize zero percentiles instead of panicking.
+        assert_eq!(tenant("idle", 1, 0).p99(), SimDuration::ZERO);
+        let json = m.to_json();
+        assert!(json.contains("\"tenants\": [{\"name\": \"victim\", \"weight\": 4,"));
+        assert!(json.contains("{\"name\": \"aggressor\", \"weight\": 1,"));
+        assert!(json.contains("\"fairness_index\": "));
+        assert!(json.contains("\"p99_ns\": 60000"));
+        // The failed placeholder carries no tenants but still serializes.
+        let failed = RunMetrics::failed(FabricKind::Venice, "wl", "test");
+        assert_eq!(failed.fairness_index(), 1.0);
+        assert!(failed.to_json().contains("\"tenants\": []"));
     }
 
     #[test]

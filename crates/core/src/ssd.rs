@@ -133,6 +133,8 @@ struct TxnSlot {
 #[derive(Clone, Default)]
 struct ReqState {
     arrival: SimTime,
+    /// Tenant the request belongs to (index into the config's `TenantSet`).
+    tenant: u8,
     remaining: u32,
     conflicted: bool,
     live: bool,
@@ -274,6 +276,18 @@ pub struct SsdSim {
     latencies: LatencySamples,
     completed: u64,
     conflicted_requests: u64,
+    /// Per-tenant QoS accounting (indexed by tenant id; length = the
+    /// config's tenant count — one slot on the single-tenant default).
+    tenant_latencies: Vec<LatencySamples>,
+    tenant_completed: Vec<u64>,
+    tenant_conflicted: Vec<u64>,
+    tenant_failed: Vec<u64>,
+    /// `Process` events that found nothing fetchable because every queued
+    /// tenant sat at its queue-depth cap: each one is re-scheduled by a
+    /// later completion (which frees in-flight capacity). Zero on the
+    /// single-tenant default path — caps are the only way a fetch can fail
+    /// with entries queued — so the golden hash sees no extra events.
+    deferred_fetches: u64,
     first_arrival: SimTime,
     last_completion: SimTime,
     /// Reads served without flash access (never-written pages).
@@ -343,7 +357,7 @@ impl SsdSim {
             chips,
             cmt: MappingCache::covering(logical_pages, entries_per_tp),
             tsu: TransactionScheduler::new(chip_count),
-            hil: HostInterface::new(config.hil),
+            hil: HostInterface::with_tenants(config.hil, config.tenants.clone()),
             // Bucket width auto-tuned so tPROG completions stay in the
             // wheel tier (ROADMAP perf follow-up (b)); pop order is
             // width-independent.
@@ -378,6 +392,11 @@ impl SsdSim {
             latencies: LatencySamples::new(),
             completed: 0,
             conflicted_requests: 0,
+            tenant_latencies: vec![LatencySamples::new(); config.tenants.len()],
+            tenant_completed: vec![0; config.tenants.len()],
+            tenant_conflicted: vec![0; config.tenants.len()],
+            tenant_failed: vec![0; config.tenants.len()],
+            deferred_fetches: 0,
             first_arrival: trace.events().first().map_or(SimTime::ZERO, |e| e.arrival),
             last_completion: SimTime::ZERO,
             zero_reads: 0,
@@ -523,8 +542,13 @@ impl SsdSim {
 
     fn on_arrival(&mut self, now: SimTime, index: usize) {
         let e = self.trace.events()[index];
+        // Trace tags beyond the configured tenant count clamp to the last
+        // tenant, so a single-tenant config merges any tagged trace back
+        // into one stream (the bit-identical default path).
+        let tenant = usize::from(self.trace.tenant_of(index)).min(self.config.tenants.len() - 1);
         let req = HostRequest {
             id: index as u64,
+            tenant: tenant as u8,
             arrival: now,
             op: e.op,
             offset: e.offset,
@@ -554,7 +578,14 @@ impl SsdSim {
     }
 
     fn on_process(&mut self, now: SimTime) {
-        let Some(req) = self.hil.fetch() else { return };
+        let Some(req) = self.hil.fetch() else {
+            // Entries queued but nothing fetchable: every queued tenant is
+            // at its queue-depth cap. Defer; a completion re-schedules us.
+            if self.hil.queued() > 0 {
+                self.deferred_fetches += 1;
+            }
+            return;
+        };
         let page = self.config.page_bytes();
         let first = req.offset / page;
         let last = (req.offset + u64::from(req.bytes).max(1) - 1) / page;
@@ -599,6 +630,7 @@ impl SsdSim {
         }
         self.requests[req.id as usize] = ReqState {
             arrival: req.arrival,
+            tenant: req.tenant,
             remaining: txns,
             conflicted: false,
             live: true,
@@ -660,19 +692,33 @@ impl SsdSim {
         let st = &mut self.requests[req_id as usize];
         debug_assert!(st.live, "request {req_id} not tracked");
         st.live = false;
-        let (arrival, conflicted, failed) = (st.arrival, st.conflicted, st.failed);
+        let (arrival, tenant, conflicted, failed) =
+            (st.arrival, usize::from(st.tenant), st.conflicted, st.failed);
         self.hil.complete(req_id, now);
-        self.latencies.record(now.saturating_since(arrival));
+        let latency = now.saturating_since(arrival);
+        self.latencies.record(latency);
+        self.tenant_latencies[tenant].record(latency);
         if conflicted {
             self.conflicted_requests += 1;
+            self.tenant_conflicted[tenant] += 1;
         }
         if failed {
             // The request reached the host with error status; it still counts
             // as completed (the calendar drained it) but not as available.
             self.failed_requests += 1;
+            self.tenant_failed[tenant] += 1;
         }
         self.completed += 1;
+        self.tenant_completed[tenant] += 1;
         self.last_completion = self.last_completion.max(now);
+        // This completion freed in-flight capacity: retry one fetch that a
+        // queue-depth cap deferred (never taken on the single-tenant path —
+        // `deferred_fetches` stays zero without caps).
+        if self.deferred_fetches > 0 && self.hil.queued() > 0 {
+            self.deferred_fetches -= 1;
+            self.queue
+                .schedule(now + self.config.hil.submission_latency, Event::Process);
+        }
         // A stalled host can resume now that a completion freed a slot.
         if let Some((mut req, index)) = self.stalled_arrival.take() {
             req.arrival = now;
@@ -1432,6 +1478,26 @@ impl SsdSim {
             + standby_mw;
         let energy_mj =
             static_mw * exec_s + chips / 1e6 + fabric_stats.transfer_energy_nj / 1e6;
+        // Per-tenant QoS rollup: engine-side latency/conflict/failure
+        // accounting joined with the HIL's per-tenant back-pressure counts.
+        let tenant_hil = self.hil.tenant_stats();
+        let tenants: Vec<crate::TenantMetrics> = self
+            .config
+            .tenants
+            .specs()
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| crate::TenantMetrics {
+                name: spec.name,
+                weight: spec.weight,
+                qd_cap: spec.qd_cap,
+                latencies: self.tenant_latencies[i].clone(),
+                completed: self.tenant_completed[i],
+                conflicted: self.tenant_conflicted[i],
+                backpressured: tenant_hil[i].backpressured,
+                failed: self.tenant_failed[i],
+            })
+            .collect();
         RunMetrics {
             system: self.kind,
             workload: self.trace.name().to_string(),
@@ -1447,6 +1513,7 @@ impl SsdSim {
             fabric: fabric_stats,
             ftl: self.ftl.stats(),
             hil: self.hil.stats(),
+            tenants,
             dispatch: self.policy.stats(),
             transactions: self.spawned_txns,
             events: self.queue.scheduled_total(),

@@ -2,10 +2,16 @@
 //!
 //! Models the NVMe-style multi-queue front end of §2.2: the host places
 //! requests into one of several submission queues; the HIL arbitrates
-//! round-robin across queues (the NVMe default), charges a fixed firmware
-//! handling latency, and posts completions back. Queue depth is finite, so
-//! a saturated SSD back-pressures the host — exactly how an open-loop trace
-//! replay behaves on a real device.
+//! across queues and posts completions back after a fixed firmware
+//! handling latency. Queue depth is finite, so a saturated SSD
+//! back-pressures the host — exactly how an open-loop trace replay behaves
+//! on a real device.
+//!
+//! Queues are partitioned across a [`TenantSet`] of namespaces: each
+//! tenant owns a contiguous queue range, fetch arbitration is weighted
+//! round-robin with per-tenant queue-depth caps, and statistics are kept
+//! per tenant. The default single-tenant set degenerates to the plain
+//! round-robin arbiter (the NVMe default) bit-for-bit.
 //!
 //! # Example
 //!
@@ -17,6 +23,7 @@
 //! let mut hil = HostInterface::new(HilConfig::default());
 //! let accepted = hil.submit(HostRequest {
 //!     id: 1,
+//!     tenant: 0,
 //!     arrival: SimTime::ZERO,
 //!     op: IoOp::Read,
 //!     offset: 0,
@@ -27,11 +34,14 @@
 //! assert_eq!(fetched.id, 1);
 //! hil.complete(fetched.id, SimTime::from_micros(9));
 //! assert_eq!(hil.stats().completed, 1);
+//! assert_eq!(hil.tenant_stats()[0].completed, 1);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod nvme;
+mod tenant;
 
 pub use nvme::{HilConfig, HilStats, HostInterface, HostRequest};
+pub use tenant::{TenantSet, TenantSpec};

@@ -1,15 +1,21 @@
-//! NVMe-style multi-queue submission/completion model.
+//! NVMe-style multi-queue submission/completion model with tenant-aware
+//! weighted-round-robin arbitration.
 
 use std::collections::VecDeque;
 
 use venice_sim::{SimDuration, SimTime};
 use venice_workloads::IoOp;
 
+use crate::tenant::TenantSet;
+
 /// One host I/O request as seen at the device boundary.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct HostRequest {
     /// Host-assigned request id (unique per run).
     pub id: u64,
+    /// Tenant (namespace) the request belongs to; index into the host
+    /// interface's [`TenantSet`]. `0` on the single-tenant default path.
+    pub tenant: u8,
     /// Arrival time at the submission queue doorbell.
     pub arrival: SimTime,
     /// Read or write.
@@ -45,7 +51,7 @@ impl Default for HilConfig {
     }
 }
 
-/// Cumulative HIL statistics.
+/// Cumulative HIL statistics (global, and one per tenant).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct HilStats {
     /// Requests accepted into a submission queue.
@@ -58,42 +64,88 @@ pub struct HilStats {
     pub completed: u64,
 }
 
-/// The host interface: multiple submission queues with round-robin
-/// arbitration and a completion counter.
+/// The host interface: multiple submission queues partitioned across
+/// tenants (namespaces), arbitrated by weighted round-robin with
+/// per-tenant in-flight caps.
+///
+/// Tenant `t` of `T` owns the contiguous queue range `[t·Q/T, (t+1)·Q/T)`;
+/// within a range, fetches rotate round-robin exactly like the pre-tenancy
+/// arbiter. Across ranges, the arbiter grants each tenant `weight` fetch
+/// credits per cycle and skips tenants at their queue-depth cap. With one
+/// tenant (the default) every step degenerates to the original global
+/// round-robin — the golden-hash tests pin this bit-for-bit.
 ///
 /// The HIL is a passive data structure — the SSD core decides *when* to
 /// fetch (charging [`HilConfig::submission_latency`]) and when to complete.
 #[derive(Clone, Debug)]
 pub struct HostInterface {
     config: HilConfig,
+    tenants: TenantSet,
     queues: Vec<VecDeque<HostRequest>>,
     /// Slots held per queue: a slot is occupied from submission until the
     /// matching completion is posted (the host sees queue_depth outstanding
     /// commands at most — how trace replay against a real device behaves).
     occupied: Vec<usize>,
-    /// Queue each in-flight request was fetched from.
-    inflight_queue: std::collections::HashMap<u64, usize>,
-    /// Round-robin arbitration cursor.
-    next_queue: usize,
+    /// Queue and tenant each in-flight request was fetched from.
+    inflight_queue: std::collections::HashMap<u64, (usize, u8)>,
+    /// Queue-range starts: tenant `t` owns `[range_start[t], range_start[t+1])`.
+    range_start: Vec<usize>,
+    /// Per-tenant round-robin cursor (absolute queue index in the tenant's
+    /// range).
+    cursor: Vec<usize>,
+    /// WRR arbitration: the tenant currently holding credits.
+    active: usize,
+    /// Fetch credits the active tenant has left this cycle.
+    credits: u32,
+    /// In-flight (fetched, not completed) requests per tenant.
+    tenant_inflight: Vec<u64>,
     stats: HilStats,
+    tenant_stats: Vec<HilStats>,
     inflight: u64,
     last_completion: SimTime,
 }
 
 impl HostInterface {
-    /// Creates an idle host interface.
+    /// Creates an idle single-tenant host interface (the pre-tenancy
+    /// behavior; equivalent to `with_tenants(config, TenantSet::single())`).
     ///
     /// # Panics
     ///
     /// Panics if `queues` or `queue_depth` is zero.
     pub fn new(config: HilConfig) -> Self {
+        HostInterface::with_tenants(config, TenantSet::single())
+    }
+
+    /// Creates an idle host interface with the given tenant set. Queues are
+    /// partitioned into contiguous per-tenant ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queues` or `queue_depth` is zero, or if there are more
+    /// tenants than queues (every tenant needs at least one queue).
+    pub fn with_tenants(config: HilConfig, tenants: TenantSet) -> Self {
         assert!(config.queues > 0, "need at least one submission queue");
         assert!(config.queue_depth > 0, "queue depth must be positive");
+        let t = tenants.len();
+        assert!(
+            t <= config.queues,
+            "{t} tenants need {t} queues but only {} are configured",
+            config.queues
+        );
+        let range_start: Vec<usize> = (0..=t).map(|i| i * config.queues / t).collect();
+        let cursor = range_start[..t].to_vec();
+        let credits = tenants.specs()[0].weight;
         HostInterface {
             queues: (0..config.queues).map(|_| VecDeque::new()).collect(),
             occupied: vec![0; config.queues],
             inflight_queue: std::collections::HashMap::new(),
-            next_queue: 0,
+            range_start,
+            cursor,
+            active: 0,
+            credits,
+            tenant_inflight: vec![0; t],
+            tenant_stats: vec![HilStats::default(); t],
+            tenants,
             config,
             stats: HilStats::default(),
             inflight: 0,
@@ -106,14 +158,34 @@ impl HostInterface {
         &self.config
     }
 
+    /// The tenant set the queues are partitioned across.
+    pub fn tenants(&self) -> &TenantSet {
+        &self.tenants
+    }
+
+    /// Number of tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
     /// Statistics so far.
     pub fn stats(&self) -> HilStats {
         self.stats
     }
 
+    /// Per-tenant statistics so far, indexed by tenant id.
+    pub fn tenant_stats(&self) -> &[HilStats] {
+        &self.tenant_stats
+    }
+
     /// Requests fetched but not yet completed.
     pub fn inflight(&self) -> u64 {
         self.inflight
+    }
+
+    /// In-flight requests of one tenant (what the queue-depth cap bounds).
+    pub fn tenant_inflight(&self, tenant: usize) -> u64 {
+        self.tenant_inflight[tenant]
     }
 
     /// Total entries currently queued (not yet fetched).
@@ -126,45 +198,92 @@ impl HostInterface {
         self.last_completion
     }
 
-    /// Which submission queue a request lands in: NVMe hosts typically bind
-    /// queues to submitting cores; hashing the offset models multiple
-    /// submitters over partitioned data.
+    /// The contiguous queue range `[start, end)` owned by a tenant.
+    pub fn queue_range(&self, tenant: usize) -> (usize, usize) {
+        (self.range_start[tenant], self.range_start[tenant + 1])
+    }
+
+    /// Which submission queue a request lands in: its tenant picks the
+    /// namespace's queue range; hashing the offset picks the queue within
+    /// the range (NVMe hosts typically bind queues to submitting cores —
+    /// this models multiple submitters over partitioned data). With one
+    /// tenant the range is every queue and the mapping is the pre-tenancy
+    /// global hash.
     pub fn queue_of(&self, req: &HostRequest) -> usize {
-        (req.offset / (1 << 21)) as usize % self.config.queues
+        let (start, end) = self.queue_range(usize::from(req.tenant));
+        start + (req.offset / (1 << 21)) as usize % (end - start)
     }
 
     /// Places a request into its submission queue. Returns `false` (and
-    /// counts back-pressure) when the queue has no free slot — slots stay
-    /// occupied until the matching completion posts.
+    /// counts back-pressure against the request's tenant) when the queue
+    /// has no free slot — slots stay occupied until the matching completion
+    /// posts.
     pub fn submit(&mut self, req: HostRequest) -> bool {
+        let t = usize::from(req.tenant);
         let q = self.queue_of(&req);
         if self.occupied[q] >= self.config.queue_depth {
             self.stats.backpressured += 1;
+            self.tenant_stats[t].backpressured += 1;
             return false;
         }
         self.occupied[q] += 1;
         self.queues[q].push_back(req);
         self.stats.submitted += 1;
+        self.tenant_stats[t].submitted += 1;
         true
     }
 
-    /// Round-robin fetch of the next submission entry, if any.
-    pub fn fetch(&mut self) -> Option<HostRequest> {
-        let n = self.queues.len();
-        for probe in 0..n {
-            let q = (self.next_queue + probe) % n;
+    /// Round-robin fetch within one tenant's queue range; respects the
+    /// tenant's queue-depth cap.
+    fn fetch_from(&mut self, tenant: usize) -> Option<HostRequest> {
+        let cap = self.tenants.specs()[tenant].qd_cap;
+        if cap != 0 && self.tenant_inflight[tenant] >= u64::from(cap) {
+            return None;
+        }
+        let (start, end) = self.queue_range(tenant);
+        let len = end - start;
+        for probe in 0..len {
+            let q = start + (self.cursor[tenant] - start + probe) % len;
             if let Some(req) = self.queues[q].pop_front() {
-                self.next_queue = (q + 1) % n;
+                self.cursor[tenant] = start + (q - start + 1) % len;
                 self.stats.fetched += 1;
+                self.tenant_stats[tenant].fetched += 1;
                 self.inflight += 1;
-                self.inflight_queue.insert(req.id, q);
+                self.tenant_inflight[tenant] += 1;
+                self.inflight_queue.insert(req.id, (q, req.tenant));
                 return Some(req);
             }
         }
         None
     }
 
-    /// Posts a completion for a fetched request, releasing its queue slot.
+    /// Weighted-round-robin fetch of the next submission entry, if any.
+    ///
+    /// The active tenant spends one credit per fetch; when its credits run
+    /// out — or it has nothing fetchable (empty range or at its cap) — the
+    /// arbiter moves to the next tenant with a fresh `weight` grant. Every
+    /// tenant is offered at most once per call, so `None` means no tenant
+    /// has a fetchable entry (all queues empty, or every queued tenant is
+    /// at its cap).
+    pub fn fetch(&mut self) -> Option<HostRequest> {
+        let t = self.tenants.len();
+        for _ in 0..t {
+            if self.credits == 0 {
+                self.active = (self.active + 1) % t;
+                self.credits = self.tenants.specs()[self.active].weight;
+            }
+            if let Some(req) = self.fetch_from(self.active) {
+                self.credits -= 1;
+                return Some(req);
+            }
+            // Nothing fetchable: forfeit the rest of this tenant's cycle.
+            self.credits = 0;
+        }
+        None
+    }
+
+    /// Posts a completion for a fetched request, releasing its queue slot
+    /// and its tenant's in-flight slot.
     ///
     /// # Panics
     ///
@@ -172,9 +291,13 @@ impl HostInterface {
     pub fn complete(&mut self, id: u64, now: SimTime) {
         assert!(self.inflight > 0, "completion without in-flight request");
         self.inflight -= 1;
-        if let Some(q) = self.inflight_queue.remove(&id) {
+        if let Some((q, t)) = self.inflight_queue.remove(&id) {
             debug_assert!(self.occupied[q] > 0);
             self.occupied[q] -= 1;
+            let t = usize::from(t);
+            debug_assert!(self.tenant_inflight[t] > 0);
+            self.tenant_inflight[t] -= 1;
+            self.tenant_stats[t].completed += 1;
         }
         self.stats.completed += 1;
         self.last_completion = self.last_completion.max(now);
@@ -184,10 +307,16 @@ impl HostInterface {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tenant::TenantSpec;
 
     fn req(id: u64, offset: u64) -> HostRequest {
+        treq(id, 0, offset)
+    }
+
+    fn treq(id: u64, tenant: u8, offset: u64) -> HostRequest {
         HostRequest {
             id,
+            tenant,
             arrival: SimTime::ZERO,
             op: IoOp::Read,
             offset,
@@ -250,5 +379,229 @@ mod tests {
     fn double_completion_panics() {
         let mut hil = HostInterface::new(HilConfig::default());
         hil.complete(1, SimTime::ZERO);
+    }
+
+    // ------------------------------------------------------------------
+    // Tenancy
+    // ------------------------------------------------------------------
+
+    fn pair(w_victim: u32, w_aggr: u32, cap_aggr: u32) -> TenantSet {
+        TenantSet::custom(
+            "test-pair",
+            vec![
+                TenantSpec {
+                    name: "victim",
+                    weight: w_victim,
+                    qd_cap: 0,
+                },
+                TenantSpec {
+                    name: "aggressor",
+                    weight: w_aggr,
+                    qd_cap: cap_aggr,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn tenants_partition_queues_contiguously() {
+        let hil = HostInterface::with_tenants(HilConfig::default(), pair(1, 1, 0));
+        assert_eq!(hil.queue_range(0), (0, 4));
+        assert_eq!(hil.queue_range(1), (4, 8));
+        // Requests of different tenants at the same offset land in their
+        // own namespace's queue range.
+        assert_eq!(hil.queue_of(&treq(1, 0, 0)), 0);
+        assert_eq!(hil.queue_of(&treq(2, 1, 0)), 4);
+        // An uneven split still gives every tenant at least one queue.
+        let three = HostInterface::with_tenants(
+            HilConfig::default(),
+            TenantSet::custom(
+                "three",
+                (0..3)
+                    .map(|_| TenantSpec {
+                        name: "t",
+                        weight: 1,
+                        qd_cap: 0,
+                    })
+                    .collect(),
+            ),
+        );
+        assert_eq!(three.queue_range(0), (0, 2));
+        assert_eq!(three.queue_range(1), (2, 5));
+        assert_eq!(three.queue_range(2), (5, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "tenants need")]
+    fn more_tenants_than_queues_rejected() {
+        HostInterface::with_tenants(
+            HilConfig {
+                queues: 1,
+                ..HilConfig::default()
+            },
+            pair(1, 1, 0),
+        );
+    }
+
+    /// The single-tenant arbiter must replay the pre-tenancy global
+    /// round-robin exactly: same fetch order over an adversarial
+    /// multi-queue fill pattern (WRR degenerates to FIFO-per-queue with a
+    /// rotating cursor).
+    #[test]
+    fn single_tenant_degenerates_to_pre_tenancy_round_robin() {
+        let cfg = HilConfig::default();
+        let mut hil = HostInterface::with_tenants(cfg, TenantSet::single());
+        // Interleave submissions across queues 0,2,5 with repeats.
+        let offsets: Vec<u64> = [0u64, 2, 5, 0, 2, 0, 7, 5]
+            .iter()
+            .map(|q| q * (1 << 21))
+            .collect();
+        for (i, &off) in offsets.iter().enumerate() {
+            assert!(hil.submit(req(i as u64, off)));
+        }
+        // Pre-tenancy reference: cursor walk over all 8 queues.
+        let mut queues: Vec<VecDeque<u64>> = vec![VecDeque::new(); 8];
+        for (i, &off) in offsets.iter().enumerate() {
+            queues[(off >> 21) as usize % 8].push_back(i as u64);
+        }
+        let mut next_queue = 0usize;
+        let mut expected = Vec::new();
+        loop {
+            let mut got = None;
+            for probe in 0..8 {
+                let q = (next_queue + probe) % 8;
+                if let Some(id) = queues[q].pop_front() {
+                    next_queue = (q + 1) % 8;
+                    got = Some(id);
+                    break;
+                }
+            }
+            match got {
+                Some(id) => expected.push(id),
+                None => break,
+            }
+        }
+        let mut actual = Vec::new();
+        while let Some(r) = hil.fetch() {
+            actual.push(r.id);
+        }
+        assert_eq!(actual, expected, "single-tenant WRR must be the old FIFO order");
+    }
+
+    /// Queue-full back-pressure is a retry, not a drop: the same request
+    /// submits successfully once a completion frees its queue slot, and
+    /// both the global and the tenant's `backpressured` counters record
+    /// the rejection.
+    #[test]
+    fn backpressured_request_is_retried_not_dropped() {
+        let mut hil = HostInterface::with_tenants(
+            HilConfig {
+                queues: 2,
+                queue_depth: 1,
+                ..HilConfig::default()
+            },
+            pair(1, 1, 0),
+        );
+        assert!(hil.submit(treq(1, 0, 0)));
+        // Tenant 0's only queue slot is occupied → back-pressure.
+        assert!(!hil.submit(treq(2, 0, 0)));
+        assert_eq!(hil.stats().backpressured, 1);
+        assert_eq!(hil.tenant_stats()[0].backpressured, 1);
+        assert_eq!(hil.tenant_stats()[1].backpressured, 0);
+        // The other tenant's namespace is unaffected.
+        assert!(hil.submit(treq(3, 1, 0)));
+        // Complete tenant 0's request; the rejected request now fits.
+        let r = hil.fetch().unwrap();
+        assert_eq!(r.id, 1);
+        hil.complete(1, SimTime::from_micros(1));
+        assert!(hil.submit(treq(2, 0, 0)), "slot freed: retry must succeed");
+        assert_eq!(hil.stats().submitted, 3);
+        assert_eq!(hil.stats().backpressured, 1, "no new back-pressure");
+    }
+
+    /// WRR grants fetches proportional to weight over a full cycle when
+    /// both tenants have plenty queued.
+    #[test]
+    fn wrr_visits_tenants_proportional_to_weight() {
+        let mut hil = HostInterface::with_tenants(
+            HilConfig {
+                queues: 2,
+                queue_depth: 64,
+                ..HilConfig::default()
+            },
+            pair(3, 1, 0),
+        );
+        for i in 0..16u64 {
+            assert!(hil.submit(treq(i, 0, 0)));
+            assert!(hil.submit(treq(100 + i, 1, 0)));
+        }
+        // Two full WRR cycles = 2 × (3 + 1) fetches.
+        let order: Vec<u8> = (0..8).map(|_| hil.fetch().unwrap().tenant).collect();
+        assert_eq!(
+            order,
+            vec![0, 0, 0, 1, 0, 0, 0, 1],
+            "weight-3 tenant gets 3 fetches per cycle, weight-1 gets 1"
+        );
+        let v = hil.tenant_stats()[0].fetched;
+        let a = hil.tenant_stats()[1].fetched;
+        assert_eq!((v, a), (6, 2));
+    }
+
+    /// A tenant at its queue-depth cap is skipped at fetch time — its
+    /// requests stay queued (not dropped) — and becomes fetchable again
+    /// once a completion frees an in-flight slot.
+    #[test]
+    fn qd_cap_blocks_fetch_until_a_completion() {
+        let mut hil = HostInterface::with_tenants(
+            HilConfig {
+                queues: 2,
+                queue_depth: 8,
+                ..HilConfig::default()
+            },
+            pair(1, 1, 2),
+        );
+        for i in 0..4u64 {
+            assert!(hil.submit(treq(i, 1, 0)));
+        }
+        // Only the aggressor has work; its cap is 2.
+        assert_eq!(hil.fetch().unwrap().id, 0);
+        assert_eq!(hil.fetch().unwrap().id, 1);
+        assert_eq!(hil.tenant_inflight(1), 2);
+        assert!(hil.fetch().is_none(), "at cap: nothing fetchable");
+        assert_eq!(hil.queued(), 2, "capped requests stay queued");
+        // The victim is unaffected by the aggressor's cap.
+        assert!(hil.submit(treq(100, 0, 0)));
+        assert_eq!(hil.fetch().unwrap().id, 100);
+        // A completion frees one aggressor slot.
+        hil.complete(0, SimTime::from_micros(1));
+        assert_eq!(hil.tenant_inflight(1), 1);
+        assert_eq!(hil.fetch().unwrap().id, 2);
+        assert!(hil.fetch().is_none(), "back at cap");
+    }
+
+    /// Per-tenant counters sum to the global ones across a mixed run.
+    #[test]
+    fn tenant_stats_sum_to_global() {
+        let mut hil = HostInterface::with_tenants(HilConfig::default(), pair(2, 1, 3));
+        for i in 0..20u64 {
+            let t = (i % 2) as u8;
+            hil.submit(treq(i, t, (i / 2) << 21));
+        }
+        let mut fetched = Vec::new();
+        while let Some(r) = hil.fetch() {
+            fetched.push(r.id);
+        }
+        for &id in &fetched {
+            hil.complete(id, SimTime::from_micros(id));
+        }
+        let g = hil.stats();
+        let per: Vec<HilStats> = hil.tenant_stats().to_vec();
+        assert_eq!(per.iter().map(|s| s.submitted).sum::<u64>(), g.submitted);
+        assert_eq!(
+            per.iter().map(|s| s.backpressured).sum::<u64>(),
+            g.backpressured
+        );
+        assert_eq!(per.iter().map(|s| s.fetched).sum::<u64>(), g.fetched);
+        assert_eq!(per.iter().map(|s| s.completed).sum::<u64>(), g.completed);
     }
 }

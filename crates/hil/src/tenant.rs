@@ -1,0 +1,218 @@
+//! Tenancy model: named tenants mapped onto NVMe namespaces and
+//! submission-queue ranges, with weighted-round-robin arbitration weights
+//! and per-tenant queue-depth caps.
+//!
+//! A [`TenantSet`] is both an engine input (the [`crate::HostInterface`]
+//! partitions its submission queues across the set and arbitrates fetches
+//! by weight) and a sweep axis (named presets with stable labels, like
+//! `FaultPlan` and `DispatchPolicyKind` in the core crate).
+//!
+//! The default, [`TenantSet::single()`], is one tenant owning every queue
+//! with weight 1 and no cap — the host interface then degenerates exactly
+//! to the pre-tenancy round-robin arbiter, which the RetryAll golden hash
+//! pins bit-for-bit.
+
+/// One tenant's contract: its share of the arbiter and its in-flight cap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TenantSpec {
+    /// Tenant name (namespace label; mix constituents use their app name).
+    pub name: &'static str,
+    /// Weighted-round-robin weight: fetch credits per arbitration cycle.
+    /// Must be at least 1.
+    pub weight: u32,
+    /// Maximum requests this tenant may have in flight (fetched but not
+    /// completed), enforced at fetch time. `0` means unlimited.
+    pub qd_cap: u32,
+}
+
+/// A set of tenants sharing one SSD: the tenancy axis of a run.
+///
+/// Tenants partition the host interface's submission queues into
+/// contiguous per-tenant ranges (tenant `t` of `T` owns queues
+/// `[t·Q/T, (t+1)·Q/T)`), so a request's tenant id picks its namespace's
+/// queue range and its offset picks the queue within the range.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TenantSet {
+    label: String,
+    tenants: Vec<TenantSpec>,
+}
+
+impl Default for TenantSet {
+    fn default() -> Self {
+        TenantSet::single()
+    }
+}
+
+impl TenantSet {
+    /// The default single-tenant set: one tenant (`all`) owning every
+    /// queue, weight 1, no cap. Reproduces the pre-tenancy host interface
+    /// bit-for-bit.
+    pub fn single() -> Self {
+        TenantSet {
+            label: "single".to_string(),
+            tenants: vec![TenantSpec {
+                name: "all",
+                weight: 1,
+                qd_cap: 0,
+            }],
+        }
+    }
+
+    /// Two equal tenants (`victim`, `aggressor`): fair-share WRR, no caps.
+    /// The noisy-neighbor scenario with no QoS protection beyond equal
+    /// arbitration.
+    pub fn pair_fair() -> Self {
+        TenantSet::custom(
+            "pair-fair",
+            vec![
+                TenantSpec {
+                    name: "victim",
+                    weight: 1,
+                    qd_cap: 0,
+                },
+                TenantSpec {
+                    name: "aggressor",
+                    weight: 1,
+                    qd_cap: 0,
+                },
+            ],
+        )
+    }
+
+    /// QoS-protected pair: the latency-sensitive `victim` gets a 4× WRR
+    /// weight while the bursty `aggressor` is capped at 4 in-flight
+    /// requests.
+    pub fn victim_boost() -> Self {
+        TenantSet::custom(
+            "victim-boost",
+            vec![
+                TenantSpec {
+                    name: "victim",
+                    weight: 4,
+                    qd_cap: 0,
+                },
+                TenantSpec {
+                    name: "aggressor",
+                    weight: 1,
+                    qd_cap: 4,
+                },
+            ],
+        )
+    }
+
+    /// An arbitrary tenant set (property tests and custom scenarios).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set is empty, exceeds 8 tenants (the preset queue
+    /// count — every tenant needs at least one queue), or any weight is
+    /// zero.
+    pub fn custom(label: impl Into<String>, tenants: Vec<TenantSpec>) -> Self {
+        assert!(!tenants.is_empty(), "a tenant set needs at least one tenant");
+        assert!(
+            tenants.len() <= 8,
+            "at most 8 tenants (one submission queue each)"
+        );
+        for t in &tenants {
+            assert!(t.weight >= 1, "tenant {} needs a positive weight", t.name);
+        }
+        TenantSet {
+            label: label.into(),
+            tenants,
+        }
+    }
+
+    /// The named presets forming the `tenants` sweep axis.
+    pub fn presets() -> Vec<TenantSet> {
+        vec![
+            TenantSet::single(),
+            TenantSet::pair_fair(),
+            TenantSet::victim_boost(),
+        ]
+    }
+
+    /// Looks a preset up by its label (case-insensitive).
+    pub fn by_label(label: &str) -> Option<TenantSet> {
+        TenantSet::presets()
+            .into_iter()
+            .find(|t| t.label.eq_ignore_ascii_case(label))
+    }
+
+    /// Stable axis label (sweep point labels and manifests).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The tenant contracts, indexed by tenant id.
+    pub fn specs(&self) -> &[TenantSpec] {
+        &self.tenants
+    }
+
+    /// Number of tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Always false: a tenant set has at least one tenant.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// True for one-tenant sets (the bit-identical default path).
+    pub fn is_single(&self) -> bool {
+        self.tenants.len() == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_is_the_default_and_inert_shape() {
+        let s = TenantSet::default();
+        assert_eq!(s, TenantSet::single());
+        assert!(s.is_single());
+        assert_eq!(s.label(), "single");
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+        assert_eq!(s.specs()[0].weight, 1);
+        assert_eq!(s.specs()[0].qd_cap, 0);
+    }
+
+    #[test]
+    fn presets_round_trip_by_label() {
+        for p in TenantSet::presets() {
+            assert_eq!(TenantSet::by_label(p.label()), Some(p.clone()));
+            assert_eq!(TenantSet::by_label(&p.label().to_uppercase()), Some(p));
+        }
+        assert_eq!(TenantSet::by_label("no-such"), None);
+    }
+
+    #[test]
+    fn victim_boost_protects_the_victim() {
+        let v = TenantSet::victim_boost();
+        assert_eq!(v.len(), 2);
+        assert!(v.specs()[0].weight > v.specs()[1].weight);
+        assert_eq!(v.specs()[1].qd_cap, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tenant")]
+    fn empty_set_rejected() {
+        TenantSet::custom("bad", vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive weight")]
+    fn zero_weight_rejected() {
+        TenantSet::custom(
+            "bad",
+            vec![TenantSpec {
+                name: "t",
+                weight: 0,
+                qd_cap: 0,
+            }],
+        );
+    }
+}

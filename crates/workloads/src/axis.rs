@@ -28,6 +28,9 @@ pub enum WorkloadAxis {
     Mix(&'static str),
     /// A custom synthetic workload.
     Spec(WorkloadSpec),
+    /// A named multi-tenant scenario from [`mix`] ("noisy-neighbor",
+    /// "victim-solo"): a tenant-tagged merged trace for QoS sweeps.
+    Scenario(&'static str),
 }
 
 impl WorkloadAxis {
@@ -67,11 +70,28 @@ impl WorkloadAxis {
         mix::TABLE3.iter().map(|m| WorkloadAxis::Mix(m.name)).collect()
     }
 
+    /// The noisy-neighbor QoS scenario: a latency-sensitive read tenant
+    /// (victim, tenant 0) sharing the device with a bursty write tenant
+    /// (aggressor, tenant 1). The request budget splits evenly between the
+    /// two streams.
+    pub fn noisy_neighbor() -> WorkloadAxis {
+        WorkloadAxis::Scenario("noisy-neighbor")
+    }
+
+    /// The victim stream of [`WorkloadAxis::noisy_neighbor`] running alone:
+    /// the per-fabric baseline for measuring the victim's p99 degradation
+    /// under the aggressor burst.
+    pub fn victim_solo() -> WorkloadAxis {
+        WorkloadAxis::Scenario("victim-solo")
+    }
+
     /// The axis value's display name (used in sweep-point labels, manifest
     /// entries, and result file names).
     pub fn name(&self) -> &str {
         match self {
-            WorkloadAxis::Catalog(name) | WorkloadAxis::Mix(name) => name,
+            WorkloadAxis::Catalog(name)
+            | WorkloadAxis::Mix(name)
+            | WorkloadAxis::Scenario(name) => name,
             WorkloadAxis::Spec(spec) => &spec.name,
         }
     }
@@ -97,6 +117,15 @@ impl WorkloadAxis {
                 mix::generate(entry, per_stream)
             }
             WorkloadAxis::Spec(spec) => spec.generate(requests),
+            WorkloadAxis::Scenario("noisy-neighbor") => {
+                mix::noisy_neighbor((requests / 2).max(1))
+            }
+            // Half the budget, like the shared scenario's victim stream:
+            // at the same grid request budget, victim-solo replays the
+            // exact victim stream of noisy-neighbor, making the p99
+            // degradation ratio a comparison of identical streams.
+            WorkloadAxis::Scenario("victim-solo") => mix::victim_solo((requests / 2).max(1)),
+            WorkloadAxis::Scenario(name) => panic!("unknown scenario {name}"),
         }
     }
 }
@@ -151,6 +180,19 @@ mod tests {
             "arrivals too slow to congest: {} µs",
             stats.avg_interarrival_us
         );
+    }
+
+    #[test]
+    fn scenario_axes_generate_tagged_traces() {
+        let shared = WorkloadAxis::noisy_neighbor();
+        assert_eq!(shared.name(), "noisy-neighbor");
+        let t = shared.trace(400);
+        assert_eq!(t.len(), 400); // budget split 200/200 across two streams
+        assert!(t.is_tenant_tagged());
+        assert_eq!(t.tenant_count(), 2);
+        let solo = WorkloadAxis::victim_solo();
+        assert_eq!(solo.name(), "victim-solo");
+        assert_eq!(solo.trace(200).tenant_count(), 1);
     }
 
     #[test]

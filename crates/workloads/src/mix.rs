@@ -105,41 +105,101 @@ pub fn generate(mix: &MixEntry, requests_per_stream: usize) -> Trace {
                 .generate(requests_per_stream)
         })
         .collect();
+    merge_tagged(mix.name, &traces, Some(mix.avg_interarrival_us))
+}
 
+/// Merges constituent traces over disjoint address partitions, tagging each
+/// event with its origin stream's index as its tenant id. Both sorts are
+/// stable, so the event stream is byte-identical to the untagged merge —
+/// the tags purely ride along.
+fn merge_tagged(name: &'static str, traces: &[Trace], compress_to_us: Option<f64>) -> Trace {
     // Disjoint partitions: constituent i occupies [base_i, base_i + fp_i).
-    let mut merged: Vec<TraceEvent> = Vec::with_capacity(traces.len() * requests_per_stream);
+    let mut merged: Vec<(TraceEvent, u8)> =
+        Vec::with_capacity(traces.iter().map(Trace::len).sum());
     let mut base = 0u64;
-    for t in &traces {
+    for (ti, t) in traces.iter().enumerate() {
         for e in t.events() {
-            merged.push(TraceEvent {
-                offset: base + e.offset,
-                ..*e
-            });
+            merged.push((
+                TraceEvent {
+                    offset: base + e.offset,
+                    ..*e
+                },
+                ti as u8,
+            ));
         }
         base += t.footprint_bytes();
     }
-    merged.sort_by_key(|e| e.arrival);
+    merged.sort_by_key(|(e, _)| e.arrival);
 
     // Compress time to the published mix intensity.
-    if merged.len() > 1 {
-        let span = merged
-            .last()
-            .expect("non-empty")
-            .arrival
-            .saturating_since(merged[0].arrival)
-            .as_nanos() as f64;
-        let target_span = mix.avg_interarrival_us * 1_000.0 * (merged.len() - 1) as f64;
-        let scale = target_span / span.max(1.0);
-        let t0 = merged[0].arrival.as_nanos() as f64;
-        for e in &mut merged {
-            let rel = e.arrival.as_nanos() as f64 - t0;
-            e.arrival = SimTime::ZERO + SimDuration::from_nanos_f64(rel * scale);
+    if let Some(avg_interarrival_us) = compress_to_us {
+        if merged.len() > 1 {
+            let span = merged
+                .last()
+                .expect("non-empty")
+                .0
+                .arrival
+                .saturating_since(merged[0].0.arrival)
+                .as_nanos() as f64;
+            let target_span = avg_interarrival_us * 1_000.0 * (merged.len() - 1) as f64;
+            let scale = target_span / span.max(1.0);
+            let t0 = merged[0].0.arrival.as_nanos() as f64;
+            for (e, _) in &mut merged {
+                let rel = e.arrival.as_nanos() as f64 - t0;
+                e.arrival = SimTime::ZERO + SimDuration::from_nanos_f64(rel * scale);
+            }
+            // Compression can collapse equal timestamps; keep ordering stable.
+            merged.sort_by_key(|(e, _)| e.arrival);
         }
-        // Compression can collapse equal timestamps; keep ordering stable.
-        merged.sort_by_key(|e| e.arrival);
     }
 
-    Trace::new(mix.name, base, merged)
+    let (events, tenants): (Vec<TraceEvent>, Vec<u8>) = merged.into_iter().unzip();
+    Trace::with_tenants(name, base, events, tenants)
+}
+
+/// The latency-sensitive victim stream of the noisy-neighbor scenario:
+/// steady small random reads, the kind of tenant whose p99 a QoS scheme
+/// must protect. Poisson arrivals at 20 µs keep the stream
+/// fabric-sensitive: fast enough that interconnect queueing shows up at
+/// the tail, slow enough that the victim's own self-queueing does not
+/// drown out the aggressor's interference.
+fn victim_spec() -> crate::WorkloadSpec {
+    crate::WorkloadSpec::new("victim-reads", 100.0, 4.0, 20.0)
+        .footprint_mb(64)
+        .burst_mean(1.0)
+        .seq_fraction(0.05)
+}
+
+/// The aggressor stream: long near-saturating write bursts over a larger
+/// partition — the noisy neighbor.
+fn aggressor_spec() -> crate::WorkloadSpec {
+    crate::WorkloadSpec::new("aggressor-writes", 0.0, 32.0, 30.0)
+        .footprint_mb(192)
+        .burst_mean(96.0)
+        .intra_burst_gap_us(0.1)
+        .zipf_theta(1.05)
+        .seq_fraction(0.3)
+}
+
+/// The noisy-neighbor scenario: the victim's latency-sensitive reads
+/// (tenant 0) sharing the SSD with the aggressor's write bursts
+/// (tenant 1), over disjoint partitions. `requests_per_stream` requests
+/// from each; arrivals keep each stream's native intensity (no mix-style
+/// compression — the aggressor is already near-saturating).
+pub fn noisy_neighbor(requests_per_stream: usize) -> Trace {
+    let streams = [
+        victim_spec().generate(requests_per_stream),
+        aggressor_spec().generate(requests_per_stream),
+    ];
+    merge_tagged("noisy-neighbor", &streams, None)
+}
+
+/// The victim stream of [`noisy_neighbor`] running alone (same spec, same
+/// partition layout): the per-fabric reference for computing the victim's
+/// p99 *degradation* under the aggressor burst.
+pub fn victim_solo(requests: usize) -> Trace {
+    let streams = [victim_spec().generate(requests)];
+    merge_tagged("victim-solo", &streams, None)
 }
 
 #[cfg(test)]
@@ -210,5 +270,106 @@ mod tests {
     fn names_lookup() {
         assert_eq!(names().len(), 6);
         assert!(by_name("mix7").is_none());
+    }
+
+    #[test]
+    fn tenant_tags_track_constituents_through_compression() {
+        // Every event must carry its origin stream's index, and per-tenant
+        // counts must equal the per-stream request budget — tags must
+        // survive both stable sorts of the merge.
+        let m = by_name("mix2").unwrap(); // three constituents
+        let t = generate(m, 250);
+        assert!(t.is_tenant_tagged());
+        assert_eq!(t.tenant_count(), 3);
+        let mut counts = [0usize; 3];
+        for i in 0..t.len() {
+            counts[usize::from(t.tenant_of(i))] += 1;
+        }
+        assert_eq!(counts, [250, 250, 250]);
+        // Tags also pin the partition: tenant 0 (src2_1) owns the lowest
+        // address range, so every tenant-0 event lands below its footprint.
+        let fp0 = catalog::by_name("src2_1").unwrap().generate(250).footprint_bytes();
+        for (i, e) in t.events().iter().enumerate() {
+            if t.tenant_of(i) == 0 {
+                assert!(e.offset + u64::from(e.bytes) <= fp0);
+            } else {
+                assert!(e.offset >= fp0);
+            }
+        }
+    }
+
+    #[test]
+    fn tagging_left_the_event_stream_unchanged() {
+        // The tagged merge must produce byte-identical events to an untagged
+        // reference merge (stable sorts on the same keys preserve order), so
+        // pre-tenancy mix results stay reproducible.
+        let m = by_name("mix5").unwrap();
+        let t = generate(m, 300);
+        let reference: Vec<Trace> = m
+            .constituents
+            .iter()
+            .map(|n| catalog::by_name(n).unwrap().generate(300))
+            .collect();
+        let mut merged: Vec<TraceEvent> = Vec::new();
+        let mut base = 0u64;
+        for r in &reference {
+            for e in r.events() {
+                merged.push(TraceEvent { offset: base + e.offset, ..*e });
+            }
+            base += r.footprint_bytes();
+        }
+        merged.sort_by_key(|e| e.arrival);
+        let span = merged.last().unwrap().arrival.saturating_since(merged[0].arrival).as_nanos()
+            as f64;
+        let target = m.avg_interarrival_us * 1_000.0 * (merged.len() - 1) as f64;
+        let scale = target / span.max(1.0);
+        let t0 = merged[0].arrival.as_nanos() as f64;
+        for e in &mut merged {
+            let rel = e.arrival.as_nanos() as f64 - t0;
+            e.arrival = SimTime::ZERO + SimDuration::from_nanos_f64(rel * scale);
+        }
+        merged.sort_by_key(|e| e.arrival);
+        assert_eq!(t.events(), &merged[..]);
+    }
+
+    #[test]
+    fn noisy_neighbor_pits_reads_against_write_bursts() {
+        let t = noisy_neighbor(400);
+        assert_eq!(t.len(), 800);
+        assert_eq!(t.tenant_count(), 2);
+        // Victim (tenant 0) is all reads; aggressor (tenant 1) all writes.
+        for (i, e) in t.events().iter().enumerate() {
+            match t.tenant_of(i) {
+                0 => assert_eq!(e.op, IoOp::Read, "victim event {i} is a write"),
+                _ => assert_eq!(e.op, IoOp::Write, "aggressor event {i} is a read"),
+            }
+        }
+        // Deterministic: same call, same bytes and tags.
+        let u = noisy_neighbor(400);
+        assert_eq!(t.events(), u.events());
+        assert_eq!(
+            (0..t.len()).map(|i| t.tenant_of(i)).collect::<Vec<_>>(),
+            (0..u.len()).map(|i| u.tenant_of(i)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn victim_solo_is_the_victim_stream_of_the_shared_run() {
+        // Same spec, so the solo run is a fair degradation baseline: all
+        // reads, same request sizes as the shared run's tenant-0 events.
+        let solo = victim_solo(300);
+        assert_eq!(solo.len(), 300);
+        assert_eq!(solo.tenant_count(), 1);
+        assert!(solo.events().iter().all(|e| e.op == IoOp::Read));
+        let shared = noisy_neighbor(300);
+        let victim_bytes: Vec<u32> = shared
+            .events()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| shared.tenant_of(*i) == 0)
+            .map(|(_, e)| e.bytes)
+            .collect();
+        let solo_bytes: Vec<u32> = solo.events().iter().map(|e| e.bytes).collect();
+        assert_eq!(victim_bytes, solo_bytes);
     }
 }

@@ -77,16 +77,36 @@ pub struct Trace {
     name: String,
     footprint_bytes: u64,
     events: Vec<TraceEvent>,
+    /// Tenant tag per event (parallel to `events`). Empty means the whole
+    /// trace belongs to tenant 0 — the single-tenant default, which keeps
+    /// untagged traces allocation-free.
+    tenants: Vec<u8>,
 }
 
 impl Trace {
-    /// Creates a trace. Events must be sorted by arrival time and stay
-    /// within the footprint.
+    /// Creates a single-tenant trace. Events must be sorted by arrival
+    /// time and stay within the footprint.
     ///
     /// # Panics
     ///
     /// Panics if events are unsorted or address beyond the footprint.
     pub fn new(name: impl Into<String>, footprint_bytes: u64, events: Vec<TraceEvent>) -> Self {
+        Trace::with_tenants(name, footprint_bytes, events, Vec::new())
+    }
+
+    /// Creates a tenant-tagged trace: `tenants[i]` is the tenant id of
+    /// `events[i]`. An empty tag vector means single-tenant (all tenant 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if events are unsorted, address beyond the footprint, or the
+    /// tag vector is non-empty with a length different from the events'.
+    pub fn with_tenants(
+        name: impl Into<String>,
+        footprint_bytes: u64,
+        events: Vec<TraceEvent>,
+        tenants: Vec<u8>,
+    ) -> Self {
         for w in events.windows(2) {
             assert!(w[0].arrival <= w[1].arrival, "trace must be time-sorted");
         }
@@ -96,11 +116,36 @@ impl Trace {
                 "event beyond footprint"
             );
         }
+        assert!(
+            tenants.is_empty() || tenants.len() == events.len(),
+            "tenant tags must be empty or one per event"
+        );
         Trace {
             name: name.into(),
             footprint_bytes,
             events,
+            tenants,
         }
+    }
+
+    /// Tenant id of request `i` (0 for untagged traces).
+    pub fn tenant_of(&self, i: usize) -> u8 {
+        self.tenants.get(i).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct tenants the trace addresses (highest tag + 1;
+    /// 1 for untagged traces).
+    pub fn tenant_count(&self) -> usize {
+        self.tenants
+            .iter()
+            .copied()
+            .max()
+            .map_or(1, |m| usize::from(m) + 1)
+    }
+
+    /// True when the trace carries per-event tenant tags.
+    pub fn is_tenant_tagged(&self) -> bool {
+        !self.tenants.is_empty()
     }
 
     /// Workload name (Table 2 row name for catalog workloads).
@@ -170,6 +215,7 @@ impl Trace {
             name: self.name.clone(),
             footprint_bytes: self.footprint_bytes,
             events: self.events.iter().take(n).copied().collect(),
+            tenants: self.tenants.iter().take(n).copied().collect(),
         }
     }
 }
@@ -234,6 +280,38 @@ mod tests {
         assert_eq!(t2.len(), 3);
         assert_eq!(t2.name(), "t");
         assert!(!t2.is_empty());
+    }
+
+    #[test]
+    fn tenant_tags_follow_events() {
+        let events: Vec<TraceEvent> = (0..6).map(|i| ev(i, IoOp::Read, 0, 4096)).collect();
+        let tags = vec![0u8, 1, 0, 2, 1, 0];
+        let t = Trace::with_tenants("tagged", 1 << 20, events, tags);
+        assert!(t.is_tenant_tagged());
+        assert_eq!(t.tenant_count(), 3);
+        assert_eq!(t.tenant_of(3), 2);
+        // Truncation slices the tags in step with the events.
+        let cut = t.truncated(2);
+        assert_eq!(cut.len(), 2);
+        assert_eq!(cut.tenant_of(1), 1);
+        assert_eq!(cut.tenant_count(), 2);
+        // Untagged traces are tenant 0 everywhere.
+        let plain = Trace::new("plain", 1 << 20, vec![ev(0, IoOp::Read, 0, 4096)]);
+        assert!(!plain.is_tenant_tagged());
+        assert_eq!(plain.tenant_of(0), 0);
+        assert_eq!(plain.tenant_of(99), 0);
+        assert_eq!(plain.tenant_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one per event")]
+    fn mismatched_tenant_tags_rejected() {
+        Trace::with_tenants(
+            "bad",
+            1 << 20,
+            vec![ev(0, IoOp::Read, 0, 4096)],
+            vec![0, 1],
+        );
     }
 
     #[test]

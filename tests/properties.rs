@@ -462,6 +462,179 @@ fn fault_injection_is_sound_on_every_fabric() {
     }
 }
 
+/// Multi-tenant QoS invariants under randomized tenancy: (a) the WRR
+/// arbiter never fetches a tenant past its queue-depth cap under arbitrary
+/// submit/fetch/complete interleavings, and per-tenant HIL stats partition
+/// the global counters; (b) end-to-end, per-tenant run metrics partition
+/// the global run (completions, failures) with Jain's fairness index in
+/// `(0, 1]`, deterministically; (c) tenant-axis sweeps — per-tenant
+/// metrics included — are bit-identical across worker-pool sizes.
+#[test]
+fn tenant_qos_invariants_under_random_tenancy() {
+    use venice::hil::{HilConfig, HostInterface, HostRequest, TenantSet, TenantSpec};
+    use venice::ssd::{run_single, SsdConfig};
+    use venice::workloads::{IoOp, Trace};
+
+    const NAMES: [&str; 4] = ["ten-a", "ten-b", "ten-c", "ten-d"];
+    let mut rng = Xorshift64Star::new(0x7E4A47);
+
+    // (a) HIL-level: randomized tenancy and interleavings never break the
+    // cap or conservation invariants.
+    for case in 0..60 {
+        let t = 1 + rng.next_bounded(4) as usize;
+        let specs: Vec<TenantSpec> = (0..t)
+            .map(|i| TenantSpec {
+                name: NAMES[i],
+                weight: 1 + rng.next_bounded(8) as u32,
+                qd_cap: if rng.next_bool(0.5) {
+                    0 // unlimited
+                } else {
+                    1 + rng.next_bounded(6) as u32
+                },
+            })
+            .collect();
+        let set = TenantSet::custom(format!("prop-{case}"), specs.clone());
+        let config = HilConfig {
+            queues: 8,
+            queue_depth: 2 + rng.next_bounded(7) as usize,
+            ..HilConfig::default()
+        };
+        let mut hil = HostInterface::with_tenants(config, set);
+        let mut next_id = 0u64;
+        let mut inflight: Vec<u64> = Vec::new();
+        for _ in 0..400 {
+            match rng.next_bounded(3) {
+                0 => {
+                    let req = HostRequest {
+                        id: next_id,
+                        tenant: rng.next_bounded(t as u64) as u8,
+                        arrival: SimTime::ZERO,
+                        op: if rng.next_bool(0.5) { IoOp::Read } else { IoOp::Write },
+                        offset: rng.next_bounded(1 << 30),
+                        bytes: 4096,
+                    };
+                    next_id += 1;
+                    let _ = hil.submit(req);
+                }
+                1 => {
+                    if let Some(req) = hil.fetch() {
+                        inflight.push(req.id);
+                    }
+                    for (i, spec) in specs.iter().enumerate() {
+                        if spec.qd_cap != 0 {
+                            assert!(
+                                hil.tenant_inflight(i) <= u64::from(spec.qd_cap),
+                                "case {case}: tenant {i} fetched beyond its cap"
+                            );
+                        }
+                    }
+                }
+                _ => {
+                    if !inflight.is_empty() {
+                        let k = rng.next_bounded(inflight.len() as u64) as usize;
+                        hil.complete(inflight.swap_remove(k), SimTime::ZERO);
+                    }
+                }
+            }
+        }
+        // Per-tenant stats partition the global counters, and the global
+        // in-flight count is the sum of the per-tenant ones.
+        let global = hil.stats();
+        let per: (u64, u64, u64, u64) = hil.tenant_stats().iter().fold(
+            (0, 0, 0, 0),
+            |(s, b, f, c), ts| {
+                (s + ts.submitted, b + ts.backpressured, f + ts.fetched, c + ts.completed)
+            },
+        );
+        assert_eq!(per.0, global.submitted, "case {case}");
+        assert_eq!(per.1, global.backpressured, "case {case}");
+        assert_eq!(per.2, global.fetched, "case {case}");
+        assert_eq!(per.3, global.completed, "case {case}");
+        let tenant_inflight_sum: u64 = (0..t).map(|i| hil.tenant_inflight(i)).sum();
+        assert_eq!(tenant_inflight_sum, hil.inflight(), "case {case}");
+        assert_eq!(global.fetched - global.completed, hil.inflight(), "case {case}");
+    }
+
+    // (b) End-to-end: per-tenant run metrics partition the global run.
+    for case in 0..3u64 {
+        let t = 1 + rng.next_bounded(3) as usize;
+        let specs: Vec<TenantSpec> = (0..t)
+            .map(|i| TenantSpec {
+                name: NAMES[i],
+                weight: 1 + rng.next_bounded(4) as u32,
+                qd_cap: if rng.next_bool(0.7) { 0 } else { 2 + rng.next_bounded(4) as u32 },
+            })
+            .collect();
+        let set = TenantSet::custom(format!("e2e-{case}"), specs);
+        let untagged = WorkloadSpec::new("tenant-prop", 70.0, 4.0, 8.0)
+            .footprint_mb(64)
+            .burst_mean(1.0 + rng.next_f64() * 12.0)
+            .generate(150);
+        let tags: Vec<u8> = (0..untagged.len())
+            .map(|_| rng.next_bounded(t as u64) as u8)
+            .collect();
+        let trace = Trace::with_tenants(
+            "tenant-prop",
+            untagged.footprint_bytes(),
+            untagged.events().to_vec(),
+            tags,
+        );
+        let config = SsdConfig::performance_optimized().with_tenants(set.clone());
+        for fabric in [
+            venice::interconnect::FabricKind::Baseline,
+            venice::interconnect::FabricKind::Venice,
+        ] {
+            let m = run_single(&config, fabric, &trace);
+            let ctx = format!("case {case}: {fabric}");
+            assert_eq!(m.tenants.len(), set.len(), "{ctx}");
+            assert_eq!(
+                m.tenants.iter().map(|x| x.completed).sum::<u64>(),
+                m.completed_requests,
+                "{ctx}: per-tenant completions must partition the global count"
+            );
+            assert_eq!(
+                m.tenants.iter().map(|x| x.failed).sum::<u64>(),
+                m.failed_requests,
+                "{ctx}"
+            );
+            let j = m.fairness_index();
+            assert!(j > 0.0 && j <= 1.0 + 1e-12, "{ctx}: Jain index {j} out of range");
+            let again = run_single(&config, fabric, &trace);
+            assert_eq!(m, again, "{ctx}: tenant-tagged run not deterministic");
+        }
+    }
+
+    // (c) Tenant-axis sweeps — per-tenant metrics included via the full
+    // RunMetrics comparison — are pool-size-stable.
+    {
+        use venice::workloads::WorkloadAxis;
+        use venice_bench::sweep::{SweepGrid, WorkerPool};
+
+        let grid = SweepGrid::new("tenant-determinism")
+            .config(SsdConfig::performance_optimized())
+            .workload(WorkloadAxis::noisy_neighbor())
+            .tenant_sets(&TenantSet::presets())
+            .fabrics(&[
+                venice::ssd::SystemKind::Baseline,
+                venice::ssd::SystemKind::Venice,
+            ])
+            .requests(120);
+        let serial = grid.run_on(&WorkerPool::new(1));
+        let pooled = grid.run_on(&WorkerPool::new(4));
+        assert_eq!(serial.records().len(), 6); // 3 tenant sets × 2 fabrics
+        for (a, b) in serial.records().iter().zip(pooled.records()) {
+            assert_eq!(a.point.label, b.point.label);
+            assert_eq!(
+                a.metrics, b.metrics,
+                "{}: per-tenant metrics differ across pool sizes",
+                a.point.label
+            );
+        }
+        assert_eq!(serial.metrics_fingerprint(), pooled.metrics_fingerprint());
+        assert_eq!(serial.manifest_fingerprint(), pooled.manifest_fingerprint());
+    }
+}
+
 /// Page-address packing over arbitrary geometry is a bijection.
 #[test]
 fn gppa_roundtrip() {
