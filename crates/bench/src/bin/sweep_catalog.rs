@@ -26,7 +26,12 @@
 //! multi-tenant QoS ablation: the victim-solo / noisy-neighbor scenario
 //! pair × every tenant-set preset × the bus fabrics and Venice; also
 //! distills `results/tenant_isolation.json` comparing each fabric's
-//! victim-tenant p99 degradation under the aggressor burst).
+//! victim-tenant p99 degradation under the aggressor burst), `resilience`
+//! (the host-resilience ablation: congestion-heavy traffic × fault-free,
+//! permanent-link, and fault-storm plans × every resilience preset × the
+//! five real fabrics; also distills `results/resilience_ablation.json`
+//! comparing Venice against the bus fabrics' goodput under the link fault
+//! with the full resilience layer armed).
 //!
 //! Sweeps are *resumable*: when `results/sweep_<grid>/` already holds a
 //! manifest with this grid's exact grid hash, points whose record file
@@ -46,7 +51,8 @@ use venice_interconnect::FabricKind;
 use venice_nand::NandTiming;
 use venice_ssd::report::{json_f64, json_str};
 use venice_ssd::{
-    all_systems, DispatchPolicyKind, FaultPlan, ScoutCacheKind, SsdConfig, TenantSet,
+    all_systems, DispatchPolicyKind, FaultPlan, ResiliencePolicy, ScoutCacheKind, SsdConfig,
+    TenantSet,
 };
 use venice_workloads::WorkloadAxis;
 
@@ -130,6 +136,7 @@ fn named_grid(name: &str, requests: Option<usize>) -> Option<SweepGrid> {
         "tenants" => SweepGrid::new("tenants")
             .workload(WorkloadAxis::victim_solo())
             .workload(WorkloadAxis::noisy_neighbor())
+            .workload(WorkloadAxis::noisy_neighbor_trio())
             .queue_depths(&[32])
             .tenant_sets(&TenantSet::presets())
             .fabrics(&[
@@ -139,6 +146,19 @@ fn named_grid(name: &str, requests: Option<usize>) -> Option<SweepGrid> {
                 FabricKind::Venice,
             ])
             .requests(requests.unwrap_or(600)),
+        "resilience" => SweepGrid::new("resilience")
+            .workload(WorkloadAxis::congested())
+            .workload(WorkloadAxis::catalog("src2_1").expect("catalog"))
+            .fault_plans(&[FaultPlan::None, FaultPlan::Link, FaultPlan::Storm])
+            .resilience_policies(&ResiliencePolicy::ALL)
+            .fabrics(&[
+                FabricKind::Baseline,
+                FabricKind::Pssd,
+                FabricKind::PnSsd,
+                FabricKind::NoSsd,
+                FabricKind::Venice,
+            ])
+            .requests(requests.unwrap_or(800)),
         "scoutcache" => SweepGrid::new("scoutcache")
             .workload(WorkloadAxis::congested())
             .workload(WorkloadAxis::catalog("src2_1").expect("catalog"))
@@ -152,7 +172,7 @@ fn named_grid(name: &str, requests: Option<usize>) -> Option<SweepGrid> {
     let grid = grid.config(SsdConfig::performance_optimized());
     let own_default = matches!(
         name,
-        "mini" | "policy" | "bigmesh" | "scoutcache" | "faults" | "tenants"
+        "mini" | "policy" | "bigmesh" | "scoutcache" | "faults" | "tenants" | "resilience"
     );
     Some(match requests {
         Some(r) if !own_default => grid.requests(r),
@@ -160,9 +180,9 @@ fn named_grid(name: &str, requests: Option<usize>) -> Option<SweepGrid> {
     })
 }
 
-const GRID_NAMES: [&str; 12] = [
+const GRID_NAMES: [&str; 13] = [
     "mini", "table2", "mixes", "shapes", "nand", "qd", "design", "policy", "bigmesh",
-    "scoutcache", "faults", "tenants",
+    "scoutcache", "faults", "tenants", "resilience",
 ];
 
 /// Extracts the raw numeric token after the first `"key": ` occurrence.
@@ -360,6 +380,106 @@ fn write_tenant_isolation(outcome: &ResumedSweep, path: &std::path::Path) {
     }
 }
 
+/// Extracts a numeric field from the point JSON's top-level
+/// `"resilience"` object: scoped to start there, so tenant entries (whose
+/// `deadline_misses`/`deadline_met` fields precede it) are skipped.
+fn resilience_num(json: &str, key: &str) -> Option<f64> {
+    let at = json.find("\"resilience\": {")?;
+    json_num(&json[at..], key)
+}
+
+/// Per-(fault plan, resilience policy, fabric) goodput accumulator cell.
+type GoodputCell<'a> = ((&'a str, &'a str, &'a str), (f64, u32));
+
+/// Distills the `resilience` grid into `results/resilience_ablation.json`:
+/// one entry per point plus per-(plan × policy × fabric) mean goodput
+/// (deadline-met completions per second), with a headline comparing
+/// Venice against the bus fabrics under the permanent link fault with the
+/// full resilience layer armed. Venice keeps more requests inside their
+/// deadlines when faults and overload hit together — path diversity turns
+/// the host layer's aborts and retries into recovered goodput instead of
+/// repeated misses against a dead row.
+fn write_resilience_ablation(outcome: &ResumedSweep, path: &std::path::Path) {
+    let mut point_lines = Vec::new();
+    let mut agg: Vec<GoodputCell> = Vec::new();
+    for (p, json) in outcome.points().iter().zip(outcome.point_jsons()) {
+        let goodput = resilience_num(json, "goodput").unwrap_or(0.0);
+        let met = resilience_num(json, "deadline_met").unwrap_or(0.0) as u64;
+        let misses = resilience_num(json, "deadline_misses").unwrap_or(0.0) as u64;
+        let retries = resilience_num(json, "host_retries").unwrap_or(0.0) as u64;
+        let shed = resilience_num(json, "shed_requests").unwrap_or(0.0) as u64;
+        let completed = json_num(json, "completed_requests").unwrap_or(0.0) as u64;
+        point_lines.push(format!(
+            "    {{\"label\": {}, \"workload\": {}, \"fabric\": {}, \
+             \"fault_plan\": {}, \"resilience\": {}, \
+             \"completed_requests\": {completed}, \"deadline_met\": {met}, \
+             \"deadline_misses\": {misses}, \"host_retries\": {retries}, \
+             \"shed_requests\": {shed}, \"goodput\": {}}}",
+            json_str(&p.label),
+            json_str(&p.workload),
+            json_str(p.fabric.label()),
+            json_str(p.fault_plan.label()),
+            json_str(p.resilience.label()),
+            json_f64(goodput),
+        ));
+        let key = (p.fault_plan.label(), p.resilience.label(), p.fabric.label());
+        match agg.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, (sum, n))) => {
+                *sum += goodput;
+                *n += 1;
+            }
+            None => agg.push((key, (goodput, 1))),
+        }
+    }
+    let mean = |plan: &str, policy: &str, fabric: &str| {
+        agg.iter()
+            .find(|((pl, po, fb), _)| *pl == plan && *po == policy && *fb == fabric)
+            .map(|(_, (sum, n))| sum / f64::from(*n))
+    };
+    let agg_lines: Vec<String> = agg
+        .iter()
+        .map(|((plan, policy, fabric), (sum, n))| {
+            format!(
+                "    {{\"fault_plan\": {}, \"resilience\": {}, \"fabric\": {}, \
+                 \"mean_goodput\": {}}}",
+                json_str(plan),
+                json_str(policy),
+                json_str(fabric),
+                json_f64(sum / f64::from(*n)),
+            )
+        })
+        .collect();
+    // Headline: the permanent link fault with the whole host layer armed.
+    // The bus fabrics lose a whole row to the dead link, so a slice of
+    // every tenant's requests burns through its retry budget and goes
+    // terminal while the survivors' tails push past the deadline; Venice
+    // reroutes around the fault and keeps completions inside their
+    // deadlines. (The storm plan's outages are short-lived repairs that
+    // every fabric rides out, so it differentiates policies, not fabrics —
+    // its cells are in `goodput_by_policy` but not the headline.)
+    let venice = mean("link", "full", "Venice").unwrap_or(0.0);
+    let best_bus = ["Baseline", "pSSD", "pnSSD"]
+        .iter()
+        .filter_map(|b| mean("link", "full", b))
+        .fold(0.0f64, f64::max);
+    let highest = venice > best_bus;
+    let doc = format!(
+        "{{\n  \"name\": \"resilience_ablation\",\n  \"grid\": \"resilience\",\n  \
+         \"headline\": {{\"venice_highest_goodput\": {highest}, \
+         \"fault_plan\": \"link\", \"resilience\": \"full\", \
+         \"venice_goodput\": {}, \"best_bus_goodput\": {}}},\n  \
+         \"goodput_by_policy\": [\n{}\n  ],\n  \"points\": [\n{}\n  ]\n}}\n",
+        json_f64(venice),
+        json_f64(best_bus),
+        agg_lines.join(",\n"),
+        point_lines.join(",\n"),
+    );
+    match std::fs::write(path, doc) {
+        Ok(()) => eprintln!("[venice-bench] resilience ablation: {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut grid_name = "table2".to_string();
@@ -432,5 +552,8 @@ fn main() {
     }
     if grid_name == "tenants" {
         write_tenant_isolation(&outcome, &results.join("tenant_isolation.json"));
+    }
+    if grid_name == "resilience" {
+        write_resilience_ablation(&outcome, &results.join("resilience_ablation.json"));
     }
 }

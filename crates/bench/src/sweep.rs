@@ -46,8 +46,8 @@ use venice_interconnect::FabricKind;
 use venice_nand::NandTiming;
 use venice_ssd::report::json_str;
 use venice_ssd::{
-    run_single, DispatchPolicyKind, FaultPlan, RunMetrics, ScoutCacheKind, SsdConfig,
-    TenantSet,
+    run_single, DispatchPolicyKind, FaultPlan, ResiliencePolicy, RunMetrics, ScoutCacheKind,
+    SsdConfig, TenantSet,
 };
 use venice_workloads::{Trace, WorkloadAxis};
 
@@ -164,11 +164,11 @@ impl WorkerPool {
 /// Empty axes fall back to the base: no `configs` means the Table 1
 /// performance-optimized preset, no `fabrics` means all six systems, no
 /// `workloads` means the whole Table 2 catalog, and no `shapes` /
-/// `timings` / `queue_depths` / `policies` / `scout_caches` / `faults`
-/// means each config's own values. Expansion order is fixed — configs ▸
-/// workloads ▸ shapes ▸ timings ▸ queue depths ▸ policies ▸ scout caches ▸
-/// fault plans ▸ fabrics (innermost) — so point ids are stable for a given
-/// grid.
+/// `timings` / `queue_depths` / `policies` / `scout_caches` / `faults` /
+/// `resiliences` means each config's own values. Expansion order is fixed —
+/// configs ▸ workloads ▸ shapes ▸ timings ▸ queue depths ▸ policies ▸
+/// scout caches ▸ fault plans ▸ tenant sets ▸ resilience policies ▸
+/// fabrics (innermost) — so point ids are stable for a given grid.
 #[derive(Clone, Debug)]
 pub struct SweepGrid {
     name: String,
@@ -182,6 +182,7 @@ pub struct SweepGrid {
     scout_caches: Vec<ScoutCacheKind>,
     faults: Vec<FaultPlan>,
     tenant_sets: Vec<TenantSet>,
+    resiliences: Vec<ResiliencePolicy>,
     fabrics: Vec<FabricKind>,
 }
 
@@ -211,6 +212,7 @@ impl SweepGrid {
             scout_caches: Vec::new(),
             faults: Vec::new(),
             tenant_sets: Vec::new(),
+            resiliences: Vec::new(),
             fabrics: Vec::new(),
         }
     }
@@ -316,6 +318,14 @@ impl SweepGrid {
         self
     }
 
+    /// Extends the host-resilience axis (the resilience ablation: each
+    /// preset arms a combination of request deadlines, bounded host retry,
+    /// and submission-side admission control).
+    pub fn resilience_policies(mut self, policies: &[ResiliencePolicy]) -> Self {
+        self.resiliences.extend_from_slice(policies);
+        self
+    }
+
     /// Resolved workload axis (Table 2 catalog when none was set).
     fn effective_workloads(&self) -> Vec<WorkloadAxis> {
         if self.workloads.is_empty() {
@@ -391,6 +401,11 @@ impl SweepGrid {
             } else {
                 self.tenant_sets.clone()
             };
+            let resiliences: Vec<ResiliencePolicy> = if self.resiliences.is_empty() {
+                vec![base.resilience]
+            } else {
+                self.resiliences.clone()
+            };
             for (workload_idx, workload) in workloads.iter().enumerate() {
                 for &(rows, cols) in &shapes {
                     for &timing in &timings {
@@ -399,6 +414,7 @@ impl SweepGrid {
                                 for &scout_cache in &caches {
                                     for &fault_plan in &faults {
                                         for tenant_set in &tenant_sets {
+                                        for &resilience in &resiliences {
                                         for &fabric in &fabrics {
                                             let config = base
                                                 .clone()
@@ -408,7 +424,8 @@ impl SweepGrid {
                                                 .with_dispatch_policy(policy)
                                                 .with_scout_cache(scout_cache)
                                                 .with_fault_plan(fault_plan)
-                                                .with_tenants(tenant_set.clone());
+                                                .with_tenants(tenant_set.clone())
+                                                .with_resilience(resilience);
                                             // Sweeps run unattended: arm the
                                             // generous runaway-run watchdog
                                             // unless the base config set its
@@ -428,7 +445,7 @@ impl SweepGrid {
                                                 .unwrap_or("custom")
                                                 .to_string();
                                             let label = format!(
-                                                "{}/{}/{}x{}/{}/qd{}/{}/{}/{}/{}/{}",
+                                                "{}/{}/{}x{}/{}/qd{}/{}/{}/{}/{}/{}/{}",
                                                 base.name,
                                                 workload.name(),
                                                 rows,
@@ -439,6 +456,7 @@ impl SweepGrid {
                                                 scout_cache.label(),
                                                 fault_plan.label(),
                                                 tenant_set.label(),
+                                                resilience.label(),
                                                 fabric.label()
                                             );
                                             points.push(SweepPoint {
@@ -454,9 +472,11 @@ impl SweepGrid {
                                                 scout_cache,
                                                 fault_plan,
                                                 tenants: tenant_set.label().to_string(),
+                                                resilience,
                                                 fabric,
                                                 config,
                                             });
+                                        }
                                         }
                                         }
                                     }
@@ -701,11 +721,19 @@ impl SweepGrid {
                 .map(|t| t.label().to_string())
                 .collect()
         };
+        let resiliences: Vec<String> = if self.resiliences.is_empty() {
+            vec!["base".to_string()]
+        } else {
+            self.resiliences
+                .iter()
+                .map(|r| r.label().to_string())
+                .collect()
+        };
         format!(
             "{{\"name\": {}, \"requests\": {}, \"configs\": {}, \
              \"workloads\": {}, \"shapes\": {}, \"timings\": {}, \
              \"queue_depths\": {}, \"policies\": {}, \"scout_caches\": {}, \
-             \"faults\": {}, \"tenants\": {}, \"fabrics\": {}}}",
+             \"faults\": {}, \"tenants\": {}, \"resilience\": {}, \"fabrics\": {}}}",
             json_str(&self.name),
             self.requests,
             json_str_list(&configs),
@@ -717,6 +745,7 @@ impl SweepGrid {
             json_str_list(&caches),
             json_str_list(&faults),
             json_str_list(&tenants),
+            json_str_list(&resiliences),
             json_str_list(&fabrics),
         )
     }
@@ -752,6 +781,9 @@ pub struct SweepPoint {
     pub fault_plan: FaultPlan,
     /// Tenant-set axis value label (`"single"` on single-tenant grids).
     pub tenants: String,
+    /// Host-resilience policy under test (`ResiliencePolicy::None` on
+    /// resilience-free grids).
+    pub resilience: ResiliencePolicy,
     /// The fabric under test.
     pub fabric: FabricKind,
     /// The fully resolved configuration this point simulates.
@@ -870,12 +902,12 @@ impl SweepOutcome {
     /// figure renderers consume.
     ///
     /// A row is one full non-fabric coordinate — (config, workload, shape,
-    /// timing, queue depth, policy, scout cache, fault plan, tenant set) —
-    /// so metrics from different configurations are never merged into one
-    /// row: on a grid where `filter` leaves several configs/shapes/timings/
-    /// depths/policies/caches/tenant-sets, the same workload name simply
-    /// appears once per coordinate. Within a row, metrics are in
-    /// fabric-axis order.
+    /// timing, queue depth, policy, scout cache, fault plan, tenant set,
+    /// resilience policy) — so metrics from different configurations are
+    /// never merged into one row: on a grid where `filter` leaves several
+    /// configs/shapes/timings/depths/policies/caches/tenant-sets/resilience
+    /// presets, the same workload name simply appears once per coordinate.
+    /// Within a row, metrics are in fabric-axis order.
     pub fn rows_by_workload(
         &self,
         filter: impl Fn(&SweepPoint) -> bool,
@@ -891,6 +923,7 @@ impl SweepOutcome {
                 p.scout_cache,
                 p.fault_plan,
                 p.tenants.clone(),
+                p.resilience,
             )
         };
         let mut rows: Vec<CatalogRow> = Vec::new();
@@ -1383,7 +1416,7 @@ mod tests {
         }
         let def = grid.definition_json();
         assert!(
-            def.contains("\"tenants\": [\"single\", \"pair-fair\", \"victim-boost\"]"),
+            def.contains("\"tenants\": [\"single\", \"pair-fair\", \"victim-boost\", \"trio-weighted\"]"),
             "definition must carry the tenant axis: {def}"
         );
         // An unset axis serializes as the base marker, like the other axes.
@@ -1392,6 +1425,47 @@ mod tests {
             .requests(50);
         assert!(plain.definition_json().contains("\"tenants\": [\"base\"]"));
         assert!(plain.build_points()[0].config.tenants.is_single());
+    }
+
+    #[test]
+    fn resilience_axis_expands_and_reaches_the_config() {
+        let grid = SweepGrid::new("resilience-axis")
+            .workload(WorkloadAxis::catalog("hm_0").expect("catalog"))
+            .resilience_policies(&ResiliencePolicy::ALL)
+            .fabrics(&[FabricKind::Venice])
+            .requests(50);
+        let points = grid.build_points();
+        assert_eq!(points.len(), ResiliencePolicy::ALL.len());
+        for (p, policy) in points.iter().zip(ResiliencePolicy::ALL) {
+            assert_eq!(p.resilience, policy);
+            assert_eq!(
+                p.config.resilience, policy,
+                "resilience policy must reach the config"
+            );
+            assert!(p.label.contains(policy.label()), "label {}", p.label);
+            assert_eq!(
+                ResiliencePolicy::by_label(policy.label()),
+                Some(policy),
+                "manifest labels must round-trip"
+            );
+        }
+        let def = grid.definition_json();
+        assert!(
+            def.contains(
+                "\"resilience\": [\"none\", \"deadline\", \"retry\", \"deadline-retry\", \
+                 \"shed\", \"full\"]"
+            ),
+            "definition must carry the resilience axis: {def}"
+        );
+        // An unset axis serializes as the base marker, like the other axes.
+        let plain = SweepGrid::new("no-resilience")
+            .workload(WorkloadAxis::catalog("hm_0").expect("catalog"))
+            .requests(50);
+        assert!(plain.definition_json().contains("\"resilience\": [\"base\"]"));
+        assert_eq!(
+            plain.build_points()[0].config.resilience,
+            ResiliencePolicy::None
+        );
     }
 
     #[test]

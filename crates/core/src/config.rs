@@ -6,7 +6,7 @@ use venice_interconnect::{FabricParams, ScoutCacheKind};
 use venice_nand::{ChipGeometry, NandTiming, OpEnergy};
 use venice_sim::SimDuration;
 
-use crate::{DispatchPolicyKind, DispatchScanKind, FaultPlan};
+use crate::{DispatchPolicyKind, DispatchScanKind, FaultPlan, ResiliencePolicy};
 
 /// Static (load-independent) power draw of the SSD, used by the Figure 14
 /// energy model: controller, DRAM, and per-chip standby power.
@@ -74,6 +74,11 @@ pub struct SsdConfig {
     /// axis). [`FaultPlan::None`] (the default) schedules zero events and
     /// reproduces the fault-free engine bit-for-bit.
     pub fault_plan: FaultPlan,
+    /// Host-side resilience policy: deadlines/timeouts, bounded retry, and
+    /// overload admission control (a sweep axis).
+    /// [`ResiliencePolicy::None`] (the default) schedules zero events and
+    /// reproduces the pre-resilience engine bit-for-bit.
+    pub resilience: ResiliencePolicy,
     /// Runaway-run watchdog: abort the run once this many calendar events
     /// have been scheduled. `None` (the preset default) disables the check;
     /// sweeps enable a generous ceiling so no fault scenario can spin the
@@ -122,6 +127,7 @@ impl SsdConfig {
             dispatch: DispatchPolicyKind::RetryAll,
             scan: DispatchScanKind::Incremental,
             fault_plan: FaultPlan::None,
+            resilience: ResiliencePolicy::None,
             max_events: None,
             max_sim_ns: None,
             panic_after_events: None,
@@ -153,6 +159,7 @@ impl SsdConfig {
             dispatch: DispatchPolicyKind::RetryAll,
             scan: DispatchScanKind::Incremental,
             fault_plan: FaultPlan::None,
+            resilience: ResiliencePolicy::None,
             max_events: None,
             max_sim_ns: None,
             panic_after_events: None,
@@ -282,6 +289,15 @@ impl SsdConfig {
     /// it schedules zero calendar events.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = plan;
+        self
+    }
+
+    /// Selects the host-side resilience policy (a sweep-engine axis).
+    /// [`ResiliencePolicy::None`] reproduces the pre-resilience engine
+    /// bit-for-bit — it schedules zero calendar events and takes no
+    /// admission branches.
+    pub fn with_resilience(mut self, policy: ResiliencePolicy) -> Self {
+        self.resilience = policy;
         self
     }
 
@@ -465,6 +481,17 @@ mod tests {
         assert_eq!(armed.fault_plan, FaultPlan::Link);
         assert_eq!(armed.max_events, Some(1_000_000));
         assert_eq!(armed.max_sim_ns, Some(5_000_000_000));
+        armed.validate();
+    }
+
+    #[test]
+    fn resilience_defaults_off_and_applies() {
+        let cfg = SsdConfig::performance_optimized();
+        assert_eq!(cfg.resilience, ResiliencePolicy::None);
+        assert_eq!(SsdConfig::cost_optimized().resilience, ResiliencePolicy::None);
+        let armed = cfg.with_resilience(ResiliencePolicy::Full);
+        assert_eq!(armed.resilience, ResiliencePolicy::Full);
+        assert!(armed.resilience.params().deadline.is_some());
         armed.validate();
     }
 

@@ -45,6 +45,7 @@ mod experiment;
 mod fault;
 mod metrics;
 pub mod report;
+mod resilience;
 mod ssd;
 
 pub use config::{SsdConfig, StaticPower};
@@ -58,6 +59,10 @@ pub use experiment::{
 };
 pub use fault::{FaultAction, FaultPlan};
 pub use metrics::{RunMetrics, RunStatus, TenantMetrics};
+pub use resilience::{
+    AdmissionParams, RequestOutcome, ResilienceParams, ResiliencePolicy, RetryParams,
+    RETRY_JITTER_SEED,
+};
 pub use ssd::SsdSim;
 // Re-exported for config/sweep ergonomics: the scout fast-fail cache mode is
 // an `SsdConfig` knob and a sweep axis, like `DispatchPolicyKind`.

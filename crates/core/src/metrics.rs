@@ -8,7 +8,7 @@ use venice_sim::{SimDuration, SimTime};
 
 use crate::dispatch::DispatchStats;
 use crate::report::{json_f64, json_str};
-use crate::DispatchPolicyKind;
+use crate::{DispatchPolicyKind, ResiliencePolicy};
 
 /// How a run ended (part of [`RunMetrics`] and the sweep manifest's
 /// per-point `status` field).
@@ -61,6 +61,16 @@ pub struct TenantMetrics {
     pub backpressured: u64,
     /// This tenant's requests that completed with error status.
     pub failed: u64,
+    /// This tenant's requests whose final attempt was aborted by its
+    /// deadline (a subset of `failed`).
+    pub deadline_misses: u64,
+    /// Host resubmissions charged to this tenant by the retry policy.
+    pub host_retries: u64,
+    /// This tenant's requests shed by the overload admission policy.
+    pub shed: u64,
+    /// This tenant's requests that completed successfully within their
+    /// deadline (all successful completions when deadlines are unarmed).
+    pub deadline_met: u64,
 }
 
 impl TenantMetrics {
@@ -149,6 +159,22 @@ pub struct RunMetrics {
     /// only path died. They count in `completed_requests` (the calendar
     /// never stalls on them) but not toward availability.
     pub failed_requests: u64,
+    /// Host-resilience preset the run used (`None` on the default path).
+    pub resilience: ResiliencePolicy,
+    /// Requests whose final attempt was aborted by its deadline
+    /// ([`crate::RequestOutcome::DeadlineMiss`]; a subset of
+    /// `failed_requests`).
+    pub deadline_misses: u64,
+    /// Host resubmissions performed by the bounded retry policy.
+    pub host_retries: u64,
+    /// Requests shed at submission by the overload admission policy. Shed
+    /// requests never enter the device: `completed_requests +
+    /// shed_requests` partitions the trace.
+    pub shed_requests: u64,
+    /// Requests that completed successfully within their deadline — the
+    /// goodput numerator. With deadlines unarmed this equals the
+    /// successful completions (`completed_requests - failed_requests`).
+    pub deadline_met_requests: u64,
 }
 
 impl RunMetrics {
@@ -197,6 +223,18 @@ impl RunMetrics {
         } else {
             (self.completed_requests - self.failed_requests) as f64
                 / self.completed_requests as f64
+        }
+    }
+
+    /// Goodput: deadline-met successful completions per second (the
+    /// resilience ablation's headline metric). With every resilience knob
+    /// off this is the successful-completion IOPS.
+    pub fn goodput(&self) -> f64 {
+        let secs = self.execution_time.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.deadline_met_requests as f64 / secs
         }
     }
 
@@ -259,6 +297,11 @@ impl RunMetrics {
             faults_active: 0,
             retried_ops: 0,
             failed_requests: 0,
+            resilience: ResiliencePolicy::None,
+            deadline_misses: 0,
+            host_retries: 0,
+            shed_requests: 0,
+            deadline_met_requests: 0,
         }
     }
 
@@ -303,7 +346,9 @@ impl RunMetrics {
             tenants_json.push_str(&format!(
                 "{{\"name\": {}, \"weight\": {}, \"qd_cap\": {}, \
                  \"completed\": {}, \"conflicted\": {}, \"backpressured\": {}, \
-                 \"failed\": {}, \"mean_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}}}",
+                 \"failed\": {}, \"deadline_misses\": {}, \"host_retries\": {}, \
+                 \"shed\": {}, \"deadline_met\": {}, \
+                 \"mean_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}}}",
                 json_str(t.name),
                 t.weight,
                 t.qd_cap,
@@ -311,6 +356,10 @@ impl RunMetrics {
                 t.conflicted,
                 t.backpressured,
                 t.failed,
+                t.deadline_misses,
+                t.host_retries,
+                t.shed,
+                t.deadline_met,
                 t.latencies.mean().as_nanos(),
                 t.p50().as_nanos(),
                 t.p99().as_nanos(),
@@ -342,6 +391,9 @@ impl RunMetrics {
              \"status\": {},\n  \
              \"faults\": {{\"injected\": {}, \"active\": {}, \"retried_ops\": {}, \
              \"failed_requests\": {}, \"availability\": {}}},\n  \
+             \"resilience\": {{\"policy\": {}, \"deadline_met\": {}, \
+             \"deadline_misses\": {}, \"host_retries\": {}, \
+             \"shed_requests\": {}, \"goodput\": {}}},\n  \
              \"transactions\": {},\n  \"events\": {},\n  \"end_time_ns\": {}\n}}\n",
             json_str(self.system.label()),
             json_str(&self.workload),
@@ -399,6 +451,12 @@ impl RunMetrics {
             self.retried_ops,
             self.failed_requests,
             json_f64(self.availability()),
+            json_str(self.resilience.label()),
+            self.deadline_met_requests,
+            self.deadline_misses,
+            self.host_retries,
+            self.shed_requests,
+            json_f64(self.goodput()),
             self.transactions,
             self.events,
             self.end_time.as_nanos(),
@@ -440,6 +498,10 @@ mod tests {
                 conflicted: 0,
                 backpressured: 0,
                 failed: 0,
+                deadline_misses: 0,
+                host_retries: 0,
+                shed: 0,
+                deadline_met: requests,
             }],
             dispatch: DispatchStats::default(),
             transactions: requests,
@@ -450,6 +512,11 @@ mod tests {
             faults_active: 0,
             retried_ops: 0,
             failed_requests: 0,
+            resilience: ResiliencePolicy::None,
+            deadline_misses: 0,
+            host_retries: 0,
+            shed_requests: 0,
+            deadline_met_requests: requests,
         }
     }
 
@@ -519,7 +586,29 @@ mod tests {
             conflicted: completed / 10,
             backpressured: 0,
             failed: 0,
+            deadline_misses: 0,
+            host_retries: 0,
+            shed: 0,
+            deadline_met: completed,
         }
+    }
+
+    #[test]
+    fn goodput_counts_deadline_met_completions_per_second() {
+        // 100 requests in 1 ms, all deadline-met: goodput = IOPS = 100k.
+        let mut m = metrics(1_000, 100);
+        assert!((m.goodput() - m.iops()).abs() < 1e-9);
+        // Misses and sheds drop out of the numerator.
+        m.deadline_met_requests = 40;
+        m.deadline_misses = 50;
+        m.shed_requests = 10;
+        assert!((m.goodput() - 40_000.0).abs() < 1.0);
+        let json = m.to_json();
+        assert!(json.contains("\"deadline_misses\": 50"));
+        assert!(json.contains("\"shed_requests\": 10"));
+        assert!(json.contains("\"goodput\": 40000"));
+        // Zero execution time guards the division.
+        assert_eq!(metrics(0, 0).goodput(), 0.0);
     }
 
     #[test]
@@ -578,6 +667,8 @@ mod tests {
             "\"status\": \"complete\"",
             "\"faults\": {\"injected\": 0",
             "\"availability\": 1",
+            "\"resilience\": {\"policy\": \"none\"",
+            "\"deadline_met\": 100",
             "\"events\": 400",
         ] {
             assert!(a.contains(needle), "missing {needle} in {a}");

@@ -62,12 +62,14 @@ use venice_interconnect::{
     build_fabric, AcquireError, Fabric, FabricKind, NodeId, PathGrant, ReleaseInfo,
 };
 use venice_nand::{ChipId, FlashChip, NandCommandKind, PageAddr, PhysicalPageAddr};
+use venice_sim::rng::Xorshift64Star;
 use venice_sim::stats::LatencySamples;
 use venice_sim::{DenseBitSet, EventQueue, SimDuration, SimTime};
 use venice_workloads::{IoOp, Trace};
 
 use crate::dispatch::{DispatchScanKind, PolicyState};
-use crate::{FaultAction, FaultPlan, RunMetrics, RunStatus, SsdConfig};
+use crate::resilience::{ResilienceParams, RetryParams, RETRY_JITTER_SEED};
+use crate::{FaultAction, FaultPlan, ResiliencePolicy, RunMetrics, RunStatus, SsdConfig};
 
 /// Simulator events.
 #[derive(Clone, Copy, Debug)]
@@ -88,6 +90,24 @@ enum Event {
     Dispatch,
     /// Scripted fault-plan action `i` fires (see `crate::FaultPlan`).
     Fault(usize),
+    /// A request's per-attempt deadline expired: abort the in-flight
+    /// command at the next command boundary (see `crate::resilience`).
+    HostTimeout(u64),
+    /// A failed / timed-out request resubmits after its retry backoff.
+    HostResubmit(u64),
+}
+
+/// Verdict of the submission-side admission policy for one attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Admission {
+    /// Under the watermarks (or policy off): submit normally.
+    Accept,
+    /// Tenant overloaded but the deadline still looks meetable: defer the
+    /// arrival (backpressure — the host stalls, like a full queue).
+    Defer,
+    /// Tenant overloaded and the tail estimate says the deadline cannot be
+    /// met: shed terminally; the request never enters the device.
+    Shed,
 }
 
 /// Which wire/array phase an in-flight transaction is in.
@@ -141,6 +161,17 @@ struct ReqState {
     /// At least one of the request's transactions failed on a dead chip or
     /// dead path: the request completes with error status.
     failed: bool,
+    /// Host resubmissions so far (bounded retry); 0 on the first attempt.
+    attempts: u32,
+    /// Absolute deadline of the current attempt (`SimTime::ZERO` =
+    /// unarmed); re-armed on every resubmission, so a stale timer is any
+    /// firing whose instant no longer matches this field.
+    deadline_at: SimTime,
+    /// The current attempt's deadline fired: outstanding transactions are
+    /// aborted at the next command boundary.
+    timed_out: bool,
+    /// The request reached its one terminal outcome (completed or shed).
+    done: bool,
 }
 
 struct MigrationState {
@@ -309,6 +340,37 @@ pub struct SsdSim {
     faults_active: u64,
     retried_ops: u64,
     failed_requests: u64,
+
+    /// Expanded host-resilience knobs (all-`None` when the configured
+    /// [`ResiliencePolicy`] is `None`).
+    resilience: ResilienceParams,
+    /// True when any resilience mechanism is armed: gates every new branch
+    /// and every new event, so default runs keep a bit-identical calendar
+    /// (the golden-hash contract), exactly like `fault_mode`.
+    resilience_mode: bool,
+    /// Deterministic retry-jitter stream; consumed only when a retry is
+    /// actually scheduled, so retry-free runs never advance it.
+    retry_rng: Xorshift64Star,
+    /// Outstanding retried requests per tenant (the retry-budget meter):
+    /// incremented when a request's *first* retry is granted, decremented
+    /// at its terminal completion.
+    tenant_retry_outstanding: Vec<u32>,
+    /// Sticky per-tenant overload flags (admission hysteresis): set at the
+    /// high watermark, cleared at the low one.
+    overloaded: Vec<bool>,
+    /// Decaying max of completion latencies (ns): rises instantly to the
+    /// worst recent completion and decays by 1/8 per completion — the cheap
+    /// deterministic tail proxy the deadline-aware shedding decision
+    /// consults.
+    tail_estimate_ns: u64,
+    deadline_misses: u64,
+    host_retries: u64,
+    shed_requests: u64,
+    deadline_met: u64,
+    tenant_deadline_misses: Vec<u64>,
+    tenant_host_retries: Vec<u64>,
+    tenant_shed: Vec<u64>,
+    tenant_deadline_met: Vec<u64>,
 }
 
 impl SsdSim {
@@ -410,6 +472,20 @@ impl SsdSim {
             faults_active: 0,
             retried_ops: 0,
             failed_requests: 0,
+            resilience: config.resilience.params(),
+            resilience_mode: config.resilience != ResiliencePolicy::None,
+            retry_rng: Xorshift64Star::new(RETRY_JITTER_SEED),
+            tenant_retry_outstanding: vec![0; config.tenants.len()],
+            overloaded: vec![false; config.tenants.len()],
+            tail_estimate_ns: 0,
+            deadline_misses: 0,
+            host_retries: 0,
+            shed_requests: 0,
+            deadline_met: 0,
+            tenant_deadline_misses: vec![0; config.tenants.len()],
+            tenant_host_retries: vec![0; config.tenants.len()],
+            tenant_shed: vec![0; config.tenants.len()],
+            tenant_deadline_met: vec![0; config.tenants.len()],
             ftl,
             trace: trace.clone(),
             config,
@@ -476,9 +552,9 @@ impl SsdSim {
                 "simulation drained its event queue with work still outstanding"
             );
             assert_eq!(
-                self.completed,
+                self.completed + self.shed_requests,
                 self.trace.len() as u64,
-                "all requests must complete"
+                "every request must reach one terminal outcome"
             );
         }
         self.finish(status)
@@ -494,6 +570,8 @@ impl SsdSim {
             Event::RequestDone(req) => self.on_request_done(now, req),
             Event::Dispatch => self.on_dispatch(now),
             Event::Fault(i) => self.on_fault(now, i),
+            Event::HostTimeout(r) => self.on_host_timeout(now, r),
+            Event::HostResubmit(r) => self.on_host_resubmit(now, r),
         }
     }
 
@@ -553,15 +631,180 @@ impl SsdSim {
             op: e.op,
             offset: e.offset,
             bytes: e.bytes,
+            deadline: self.resilience.deadline.map(|d| now + d),
         };
+        if self.resilience_mode {
+            match self.admission_verdict(tenant) {
+                Admission::Accept => {}
+                Admission::Defer => {
+                    // Overload backpressure behaves exactly like a full
+                    // queue: the host stalls and the trace shifts.
+                    self.stalled_arrival = Some((req, index));
+                    return;
+                }
+                Admission::Shed => {
+                    self.shed_request(index, tenant);
+                    self.schedule_next_arrival(now, index);
+                    return;
+                }
+            }
+        }
         if self.hil.submit(req) {
-            self.queue
-                .schedule(now + self.config.hil.submission_latency, Event::Process);
+            self.after_submit(now, req.id);
             self.schedule_next_arrival(now, index);
         } else {
             // Queue full: the host stalls; the rest of the trace shifts by
             // however long this submission waits.
             self.stalled_arrival = Some((req, index));
+        }
+    }
+
+    /// Post-submit bookkeeping shared by first attempts, stall resumes, and
+    /// resubmissions: schedules the fetch and arms the attempt's deadline.
+    fn after_submit(&mut self, now: SimTime, req_id: u64) {
+        self.queue
+            .schedule(now + self.config.hil.submission_latency, Event::Process);
+        if let Some(d) = self.resilience.deadline {
+            let at = now + d;
+            self.requests[req_id as usize].deadline_at = at;
+            self.queue.schedule(at, Event::HostTimeout(req_id));
+        }
+    }
+
+    /// Evaluates (and updates — the hysteresis flag is sticky) the
+    /// admission policy for one submission attempt of `tenant`.
+    fn admission_verdict(&mut self, tenant: usize) -> Admission {
+        let Some(adm) = self.resilience.admission else {
+            return Admission::Accept;
+        };
+        let cap = self.hil.namespace_capacity(tenant);
+        let out = self.hil.tenant_outstanding(tenant);
+        if self.overloaded[tenant] {
+            if out <= cap * adm.low_pct as usize / 100 {
+                self.overloaded[tenant] = false;
+            }
+        } else if out >= cap * adm.high_pct as usize / 100 {
+            self.overloaded[tenant] = true;
+        }
+        if !self.overloaded[tenant] {
+            return Admission::Accept;
+        }
+        // Overloaded: shed when the tail estimate says the deadline cannot
+        // be met anyway, otherwise defer (plain backpressure).
+        match self.resilience.deadline {
+            Some(d) if self.tail_estimate_ns > d.as_nanos() => Admission::Shed,
+            _ => Admission::Defer,
+        }
+    }
+
+    /// Terminal [`crate::RequestOutcome::Shed`]: the request never enters
+    /// the device. `completed + shed` partitions the trace.
+    fn shed_request(&mut self, index: usize, tenant: usize) {
+        let st = &mut self.requests[index];
+        debug_assert!(!st.done, "double terminal outcome for request {index}");
+        st.done = true;
+        self.shed_requests += 1;
+        self.tenant_shed[tenant] += 1;
+    }
+
+    /// A request's per-attempt deadline fired. Stale timers (the attempt
+    /// already completed, or a resubmission armed a strictly later
+    /// deadline) are ignored; live ones mark the request timed out so its
+    /// outstanding transactions abort at the next command boundary — queued
+    /// TSU work and ready data bursts at dispatch-visit time, in-flight
+    /// array operations at op-done time — reusing the fail-stop machinery
+    /// from the fault layer.
+    fn on_host_timeout(&mut self, now: SimTime, req_id: u64) {
+        let st = &mut self.requests[req_id as usize];
+        if st.done || st.timed_out || st.deadline_at != now {
+            return;
+        }
+        st.timed_out = true;
+        if st.live {
+            // Kick a round so a fully-queued victim does not wait for an
+            // unrelated wake to get its abort drain.
+            self.schedule_dispatch(now);
+        }
+        // Not yet fetched: the in-flight `Process` event aborts it at fetch
+        // time (`on_process`), so no extra event is needed.
+    }
+
+    /// True when a transaction's owner was timed out: dispatch and
+    /// completion paths fail such transactions at their next visit.
+    fn txn_aborted(&self, req: Option<RequestId>) -> bool {
+        req.is_some_and(|r| self.requests[r.0 as usize].timed_out)
+    }
+
+    /// Attempts to schedule a host resubmission of a failed / timed-out
+    /// attempt. Returns false — the caller classifies the request
+    /// terminally — when retry is off, the attempt cap is reached, or the
+    /// tenant's retry budget is exhausted.
+    fn try_schedule_retry(&mut self, now: SimTime, req_id: u64, tenant: usize) -> bool {
+        let Some(retry) = self.resilience.retry else {
+            return false;
+        };
+        let st = &self.requests[req_id as usize];
+        if st.attempts >= retry.max_retries {
+            return false;
+        }
+        if st.attempts == 0 && self.tenant_retry_outstanding[tenant] >= retry.tenant_budget {
+            return false;
+        }
+        let st = &mut self.requests[req_id as usize];
+        if st.attempts == 0 {
+            self.tenant_retry_outstanding[tenant] += 1;
+        }
+        st.attempts += 1;
+        st.timed_out = false;
+        st.failed = false;
+        // Disarm the old deadline so its still-scheduled timer reads as
+        // stale even if it fires during the backoff window; the
+        // resubmission arms a fresh one.
+        st.deadline_at = SimTime::ZERO;
+        let attempts = st.attempts;
+        self.host_retries += 1;
+        self.tenant_host_retries[tenant] += 1;
+        let delay = self.retry_backoff(retry, attempts);
+        self.queue.schedule(now + delay, Event::HostResubmit(req_id));
+        true
+    }
+
+    /// Exponential backoff with deterministic jitter: `backoff × 2^(n-1)`
+    /// clamped to the cap, plus up to half that step of seeded jitter (the
+    /// jitter decorrelates retry storms without hurting replayability).
+    fn retry_backoff(&mut self, retry: RetryParams, attempt: u32) -> SimDuration {
+        let base = retry.backoff.as_nanos() << (attempt.saturating_sub(1)).min(16);
+        let capped = base.min(retry.backoff_cap.as_nanos());
+        let jitter = self.retry_rng.next_bounded(capped / 2 + 1);
+        SimDuration::from_nanos(capped + jitter)
+    }
+
+    /// A retry backoff elapsed: resubmit the request through the host
+    /// interface. The original arrival is kept so the recorded latency
+    /// spans every attempt; the deadline (if armed) restarts per attempt.
+    fn on_host_resubmit(&mut self, now: SimTime, req_id: u64) {
+        let index = req_id as usize;
+        let e = self.trace.events()[index];
+        let st = &self.requests[index];
+        let req = HostRequest {
+            id: req_id,
+            tenant: st.tenant,
+            arrival: st.arrival,
+            op: e.op,
+            offset: e.offset,
+            bytes: e.bytes,
+            deadline: self.resilience.deadline.map(|d| now + d),
+        };
+        if self.hil.submit(req) {
+            self.after_submit(now, req_id);
+        } else {
+            // Queue full: try again after the same backoff step without
+            // charging an attempt (the device never saw this resubmission).
+            // Completions drain the queue, so this terminates.
+            let retry = self.resilience.retry.expect("resubmit implies retry armed");
+            let attempts = self.requests[index].attempts;
+            let delay = self.retry_backoff(retry, attempts);
+            self.queue.schedule(now + delay, Event::HostResubmit(req_id));
         }
     }
 
@@ -586,6 +829,21 @@ impl SsdSim {
             }
             return;
         };
+        if self.resilience_mode && self.requests[req.id as usize].timed_out {
+            // The deadline fired while the request sat in its submission
+            // queue: abort before it touches the FTL. The error completion
+            // posts through the normal path (zero transactions).
+            let st = &mut self.requests[req.id as usize];
+            st.arrival = req.arrival;
+            st.tenant = req.tenant;
+            st.remaining = 0;
+            st.live = true;
+            self.queue.schedule(
+                now + self.config.hil.completion_latency,
+                Event::RequestDone(req.id),
+            );
+            return;
+        }
         let page = self.config.page_bytes();
         let first = req.offset / page;
         let last = (req.offset + u64::from(req.bytes).max(1) - 1) / page;
@@ -628,14 +886,16 @@ impl SsdSim {
                 }
             }
         }
-        self.requests[req.id as usize] = ReqState {
-            arrival: req.arrival,
-            tenant: req.tenant,
-            remaining: txns,
-            conflicted: false,
-            live: true,
-            failed: false,
-        };
+        // Field-wise update, not a struct overwrite: the resilience fields
+        // (`attempts`, `deadline_at`, `timed_out`, `done`) persist across
+        // resubmissions of the same request.
+        let st = &mut self.requests[req.id as usize];
+        st.arrival = req.arrival;
+        st.tenant = req.tenant;
+        st.remaining = txns;
+        st.conflicted = false;
+        st.live = true;
+        st.failed = false;
         if txns == 0 {
             // Nothing touches flash (e.g. read of never-written data).
             self.queue.schedule(
@@ -692,9 +952,28 @@ impl SsdSim {
         let st = &mut self.requests[req_id as usize];
         debug_assert!(st.live, "request {req_id} not tracked");
         st.live = false;
-        let (arrival, tenant, conflicted, failed) =
-            (st.arrival, usize::from(st.tenant), st.conflicted, st.failed);
+        let (arrival, tenant, conflicted, failed, timed_out, attempts, deadline_at) = (
+            st.arrival,
+            usize::from(st.tenant),
+            st.conflicted,
+            st.failed,
+            st.timed_out,
+            st.attempts,
+            st.deadline_at,
+        );
         self.hil.complete(req_id, now);
+        // Bounded host retry: a failed or timed-out attempt resubmits after
+        // backoff instead of going terminal, while cap and budget allow.
+        // The freed queue slot still re-arms deferred fetches and stalled
+        // arrivals.
+        if self.resilience_mode
+            && (failed || timed_out)
+            && self.try_schedule_retry(now, req_id, tenant)
+        {
+            self.rearm_after_completion(now);
+            return;
+        }
+        // Terminal outcome classification: exactly one per request.
         let latency = now.saturating_since(arrival);
         self.latencies.record(latency);
         self.tenant_latencies[tenant].record(latency);
@@ -702,29 +981,72 @@ impl SsdSim {
             self.conflicted_requests += 1;
             self.tenant_conflicted[tenant] += 1;
         }
-        if failed {
-            // The request reached the host with error status; it still counts
-            // as completed (the calendar drained it) but not as available.
+        if timed_out {
+            // `RequestOutcome::DeadlineMiss`: an error completion — counted
+            // against availability like a device failure.
+            self.deadline_misses += 1;
+            self.tenant_deadline_misses[tenant] += 1;
             self.failed_requests += 1;
             self.tenant_failed[tenant] += 1;
+        } else if failed {
+            // `RequestOutcome::FailedAfterRetries` (with retry off, every
+            // device failure is terminal immediately). The request reached
+            // the host with error status; it still counts as completed (the
+            // calendar drained it) but not as available.
+            self.failed_requests += 1;
+            self.tenant_failed[tenant] += 1;
+        } else if deadline_at == SimTime::ZERO || now <= deadline_at {
+            // `RequestOutcome::Ok` with the deadline met (or unarmed): the
+            // goodput numerator.
+            self.deadline_met += 1;
+            self.tenant_deadline_met[tenant] += 1;
+        }
+        let st = &mut self.requests[req_id as usize];
+        debug_assert!(!st.done, "double terminal outcome for request {req_id}");
+        st.done = true;
+        if attempts > 0 {
+            debug_assert!(self.tenant_retry_outstanding[tenant] > 0);
+            self.tenant_retry_outstanding[tenant] -= 1;
+        }
+        if self.resilience_mode {
+            let l = latency.as_nanos();
+            self.tail_estimate_ns = l.max(self.tail_estimate_ns - self.tail_estimate_ns / 8);
         }
         self.completed += 1;
         self.tenant_completed[tenant] += 1;
         self.last_completion = self.last_completion.max(now);
-        // This completion freed in-flight capacity: retry one fetch that a
-        // queue-depth cap deferred (never taken on the single-tenant path —
-        // `deferred_fetches` stays zero without caps).
+        self.rearm_after_completion(now);
+    }
+
+    /// A completion freed submission capacity: retry one fetch that a
+    /// queue-depth cap deferred (never taken on the single-tenant path —
+    /// `deferred_fetches` stays zero without caps) and resume a stalled
+    /// arrival, re-checking admission when the policy is armed.
+    fn rearm_after_completion(&mut self, now: SimTime) {
         if self.deferred_fetches > 0 && self.hil.queued() > 0 {
             self.deferred_fetches -= 1;
             self.queue
                 .schedule(now + self.config.hil.submission_latency, Event::Process);
         }
-        // A stalled host can resume now that a completion freed a slot.
         if let Some((mut req, index)) = self.stalled_arrival.take() {
+            if self.resilience_mode {
+                match self.admission_verdict(usize::from(req.tenant)) {
+                    Admission::Accept => {}
+                    Admission::Defer => {
+                        self.stalled_arrival = Some((req, index));
+                        return;
+                    }
+                    Admission::Shed => {
+                        self.shed_request(index, usize::from(req.tenant));
+                        self.schedule_next_arrival(now, index);
+                        return;
+                    }
+                }
+            }
             req.arrival = now;
+            req.deadline = self.resilience.deadline.map(|d| now + d);
             if self.hil.submit(req) {
-                self.queue
-                    .schedule(now + self.config.hil.submission_latency, Event::Process);
+                self.after_submit(now, req.id);
                 self.schedule_next_arrival(now, index);
             } else {
                 self.stalled_arrival = Some((req, index));
@@ -1030,6 +1352,20 @@ impl SsdSim {
                     continue;
                 }
                 while let Some(&txn_id) = self.data_pending[c].front() {
+                    if self.resilience_mode && self.txn_aborted(self.slot(txn_id).txn.request) {
+                        // The owning request's deadline fired while this
+                        // burst waited for a path out: fail it at visit
+                        // time and free its die (mirrors the dead-chip
+                        // drain above).
+                        self.data_pending[c].pop_front();
+                        if self.data_pending[c].is_empty() {
+                            self.data_ready.remove(c);
+                        }
+                        let die = self.die_key(self.slot(txn_id).txn.target);
+                        self.die_busy[die] = false;
+                        self.fail_txn(now, txn_id);
+                        continue;
+                    }
                     // Data bursts hold their die's page register, so the TSU
                     // queue age does not apply; pass zero (no starvation
                     // override — the backoff bound alone caps the deferral).
@@ -1116,6 +1452,21 @@ impl SsdSim {
                 while let Some(txn) = self.tsu.peek(c) {
                     let die = self.die_key(txn.target);
                     let (txn_kind, txn_id, txn_req) = (txn.kind, txn.id, txn.request);
+                    if self.resilience_mode && txn_kind.is_read() && self.txn_aborted(txn_req) {
+                        // The owning request's deadline fired while this
+                        // transaction sat queued: fail it at visit time
+                        // (mirrors the dead-chip drain above) — even behind
+                        // a busy die, so abort drains are never blocked.
+                        // Writes are exempt: their page is already allocated,
+                        // and dropping the program here would leave a hole in
+                        // the block's in-order write pointer — they ride to
+                        // the array and the request is still classified a
+                        // miss at completion.
+                        let txn = self.tsu.pop(c).expect("peeked");
+                        debug_assert_eq!(txn.id, txn_id);
+                        self.fail_txn(now, txn_id);
+                        continue;
+                    }
                     if self.die_busy[die] {
                         break; // die occupied: nothing on this chip can start
                     }
@@ -1213,6 +1564,16 @@ impl SsdSim {
         if self.chip_dead[chip] > 0 {
             // The chip died mid-array-op: fail-stop at the command boundary
             // (the op's result is lost; the die frees for post-repair use).
+            let die = self.die_key(txn.target);
+            self.die_busy[die] = false;
+            self.fail_txn(now, txn_id);
+            self.schedule_dispatch(now);
+            return;
+        }
+        if self.resilience_mode && self.txn_aborted(txn.request) {
+            // The deadline fired mid-array-op: fail-stop at the command
+            // boundary, exactly like a chip death — the result is discarded
+            // and the die frees for the next transaction.
             let die = self.die_key(txn.target);
             self.die_busy[die] = false;
             self.fail_txn(now, txn_id);
@@ -1496,6 +1857,10 @@ impl SsdSim {
                 conflicted: self.tenant_conflicted[i],
                 backpressured: tenant_hil[i].backpressured,
                 failed: self.tenant_failed[i],
+                deadline_misses: self.tenant_deadline_misses[i],
+                host_retries: self.tenant_host_retries[i],
+                shed: self.tenant_shed[i],
+                deadline_met: self.tenant_deadline_met[i],
             })
             .collect();
         RunMetrics {
@@ -1523,6 +1888,11 @@ impl SsdSim {
             faults_active: self.faults_active,
             retried_ops: self.retried_ops,
             failed_requests: self.failed_requests,
+            resilience: self.config.resilience,
+            deadline_misses: self.deadline_misses,
+            host_retries: self.host_retries,
+            shed_requests: self.shed_requests,
+            deadline_met_requests: self.deadline_met,
         }
     }
 
@@ -1671,6 +2041,152 @@ mod tests {
             assert_eq!(base.events, none.events, "{kind}");
             assert_eq!(base.execution_time, none.execution_time, "{kind}");
             assert_eq!(base.fabric, none.fabric, "{kind}");
+        }
+    }
+
+    fn run_resilient(kind: FabricKind, trace: &Trace, policy: ResiliencePolicy) -> RunMetrics {
+        let cfg = SsdConfig::performance_optimized()
+            .sized_for_footprint(trace.footprint_bytes())
+            .with_resilience(policy);
+        SsdSim::new(cfg, kind, trace).run()
+    }
+
+    #[test]
+    fn resilience_off_runs_are_bit_identical_with_the_layer_compiled_in() {
+        // ResiliencePolicy::None schedules zero events and takes no
+        // admission/timeout/retry branches: the golden-hash contract
+        // depends on this, exactly like FaultPlan::None.
+        let trace = tiny_trace(300, 70.0, 20.0);
+        for kind in FabricKind::ALL {
+            let base = run(kind, &trace);
+            let none = run_resilient(kind, &trace, ResiliencePolicy::None);
+            assert_eq!(base.events, none.events, "{kind}");
+            assert_eq!(base.execution_time, none.execution_time, "{kind}");
+            assert_eq!(base.fabric, none.fabric, "{kind}");
+            assert_eq!(none.deadline_misses, 0, "{kind}");
+            assert_eq!(none.host_retries, 0, "{kind}");
+            assert_eq!(none.shed_requests, 0, "{kind}");
+            // With deadlines unarmed, every successful completion counts as
+            // deadline-met, so goodput degenerates to successful IOPS.
+            assert_eq!(
+                none.deadline_met_requests,
+                none.completed_requests - none.failed_requests,
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn deadlines_abort_requests_that_blow_past_them() {
+        // Saturating random reads on the Baseline fabric: the p99 tail
+        // (~340µs) blows past the 250µs preset deadline, so timeouts must
+        // fire, abort at command boundaries, and complete the victims with
+        // error status — without stranding anything.
+        let trace = WorkloadSpec::new("unit", 100.0, 16.0, 1.0)
+            .footprint_mb(32)
+            .generate(800);
+        let m = run_resilient(FabricKind::Baseline, &trace, ResiliencePolicy::Deadline);
+        assert_eq!(m.status, RunStatus::Complete);
+        assert_eq!(m.completed_requests, 800, "every request still completes");
+        assert!(m.deadline_misses > 0, "saturation must breach the deadline");
+        assert_eq!(m.failed_requests, m.deadline_misses, "misses are the only failures");
+        assert_eq!(m.shed_requests, 0, "no admission control armed");
+        assert_eq!(
+            m.deadline_met_requests + m.deadline_misses,
+            m.completed_requests,
+            "completions partition into met and missed"
+        );
+        // A deadline-free run of the same trace sees no misses.
+        let free = run(FabricKind::Baseline, &trace);
+        assert_eq!(free.deadline_misses, 0);
+    }
+
+    #[test]
+    fn retries_recover_deadline_misses_that_plain_deadlines_cannot() {
+        // Saturating reads on the Baseline fabric: tail requests blow the
+        // 250µs deadline. Plain deadlines go terminal with a miss; bounded
+        // retry resubmits after backoff with a fresh window measured from
+        // resubmission, so most second attempts land in time.
+        let trace = WorkloadSpec::new("unit", 100.0, 16.0, 1.0)
+            .footprint_mb(32)
+            .generate(800);
+        let dl = run_resilient(FabricKind::Baseline, &trace, ResiliencePolicy::Deadline);
+        let dr = run_resilient(FabricKind::Baseline, &trace, ResiliencePolicy::DeadlineRetry);
+        assert!(dl.deadline_misses > 0, "saturation must breach the deadline");
+        assert!(dr.host_retries > 0, "timeouts must trigger resubmission");
+        assert!(
+            dr.deadline_misses < dl.deadline_misses,
+            "retry must absorb some misses: {} vs {}",
+            dr.deadline_misses,
+            dl.deadline_misses
+        );
+        assert_eq!(dr.completed_requests, 800);
+        assert!(dr.host_retries <= 3 * 800, "the per-request cap bounds total retries");
+    }
+
+    #[test]
+    fn retries_remap_writes_off_a_dead_chip() {
+        // FaultPlan::Chip fail-stops one chip at 20µs; writes mapped there
+        // fail terminally without retry, but a host resubmission allocates
+        // a fresh page through the round-robin allocator and usually lands
+        // on a live plane — bounded retry recovers most victims.
+        let trace = tiny_trace(400, 0.0, 5.0);
+        let cfg = SsdConfig::performance_optimized()
+            .sized_for_footprint(trace.footprint_bytes())
+            .with_fault_plan(FaultPlan::Chip);
+        let bare = SsdSim::new(cfg.clone(), FabricKind::Baseline, &trace).run();
+        let retry = SsdSim::new(
+            cfg.with_resilience(ResiliencePolicy::Retry),
+            FabricKind::Baseline,
+            &trace,
+        )
+        .run();
+        assert!(bare.failed_requests > 0, "chip death must bite");
+        assert!(retry.host_retries > 0, "failures must trigger resubmission");
+        assert!(
+            retry.failed_requests < bare.failed_requests,
+            "retry must recover some victims: {} vs {}",
+            retry.failed_requests,
+            bare.failed_requests
+        );
+        assert_eq!(retry.completed_requests, 400);
+        assert!(retry.availability() > bare.availability());
+    }
+
+    #[test]
+    fn overload_admission_sheds_and_preserves_the_partition_invariant() {
+        // Saturating arrivals against the full layer: occupancy crosses the
+        // high watermark, the decaying-max tail estimate exceeds the
+        // deadline, and the admission policy starts shedding. Shed +
+        // completed must still partition the trace (the run-end assert
+        // enforces the same invariant internally).
+        let trace = WorkloadSpec::new("unit", 100.0, 16.0, 0.5)
+            .footprint_mb(32)
+            .generate(800);
+        let m = run_resilient(FabricKind::Baseline, &trace, ResiliencePolicy::Full);
+        assert_eq!(m.status, RunStatus::Complete);
+        assert!(m.shed_requests > 0, "overload must shed");
+        assert_eq!(m.completed_requests + m.shed_requests, 800);
+        assert!(m.deadline_met_requests > 0, "some requests still succeed");
+        assert!(m.goodput() > 0.0);
+        let by_tenant_shed: u64 = m.tenants.iter().map(|t| t.shed).sum();
+        assert_eq!(by_tenant_shed, m.shed_requests);
+    }
+
+    #[test]
+    fn resilient_runs_are_deterministic() {
+        let trace = WorkloadSpec::new("unit", 90.0, 16.0, 1.0)
+            .footprint_mb(32)
+            .generate(500);
+        for policy in [ResiliencePolicy::DeadlineRetry, ResiliencePolicy::Full] {
+            let a = run_resilient(FabricKind::Venice, &trace, policy);
+            let b = run_resilient(FabricKind::Venice, &trace, policy);
+            assert_eq!(a.execution_time, b.execution_time, "{policy}");
+            assert_eq!(a.events, b.events, "{policy}");
+            assert_eq!(a.deadline_misses, b.deadline_misses, "{policy}");
+            assert_eq!(a.host_retries, b.host_retries, "{policy}");
+            assert_eq!(a.shed_requests, b.shed_requests, "{policy}");
+            assert_eq!(a.latencies, b.latencies, "{policy}");
         }
     }
 

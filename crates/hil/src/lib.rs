@@ -28,6 +28,7 @@
 //!     op: IoOp::Read,
 //!     offset: 0,
 //!     bytes: 4096,
+//!     deadline: None,
 //! });
 //! assert!(accepted);
 //! let fetched = hil.fetch().unwrap();

@@ -24,6 +24,11 @@ pub struct HostRequest {
     pub offset: u64,
     /// Size in bytes.
     pub bytes: u32,
+    /// Optional completion deadline (absolute simulation time), stamped at
+    /// admission by the host resilience policy: past it, the device aborts
+    /// the command at the next command boundary. `None` — the default-path
+    /// value — means the request never times out.
+    pub deadline: Option<SimTime>,
 }
 
 /// HIL configuration.
@@ -203,6 +208,23 @@ impl HostInterface {
         (self.range_start[tenant], self.range_start[tenant + 1])
     }
 
+    /// Submission-side occupancy of a tenant's namespace: slots held across
+    /// its queue range, from submission until the matching completion posts
+    /// (queued *and* in-flight requests). This is what the overload
+    /// admission policy's watermarks are measured against.
+    pub fn tenant_outstanding(&self, tenant: usize) -> usize {
+        let (start, end) = self.queue_range(tenant);
+        self.occupied[start..end].iter().sum()
+    }
+
+    /// Total submission capacity of a tenant's namespace: its queue range
+    /// length × the per-queue depth (the denominator of the admission
+    /// watermark percentages).
+    pub fn namespace_capacity(&self, tenant: usize) -> usize {
+        let (start, end) = self.queue_range(tenant);
+        (end - start) * self.config.queue_depth
+    }
+
     /// Which submission queue a request lands in: its tenant picks the
     /// namespace's queue range; hashing the offset picks the queue within
     /// the range (NVMe hosts typically bind queues to submitting cores —
@@ -321,6 +343,7 @@ mod tests {
             op: IoOp::Read,
             offset,
             bytes: 4096,
+            deadline: None,
         }
     }
 
@@ -577,6 +600,72 @@ mod tests {
         assert_eq!(hil.tenant_inflight(1), 1);
         assert_eq!(hil.fetch().unwrap().id, 2);
         assert!(hil.fetch().is_none(), "back at cap");
+    }
+
+    /// The engine's deferred-fetch re-arm is tenant-agnostic: *any*
+    /// completion triggers a fetch retry. This pins the HIL side of that
+    /// contract — a completion belonging to a different tenant leaves a
+    /// still-capped tenant's work queued (fetch stays `None`, nothing is
+    /// dropped), and only a completion of the capped tenant itself re-arms
+    /// its fetch.
+    #[test]
+    fn cross_tenant_completion_rearms_fetch_without_breaking_caps() {
+        let mut hil = HostInterface::with_tenants(
+            HilConfig {
+                queues: 2,
+                queue_depth: 8,
+                ..HilConfig::default()
+            },
+            pair(1, 1, 2),
+        );
+        // Aggressor fills to its cap with two more queued behind.
+        for i in 0..4u64 {
+            assert!(hil.submit(treq(i, 1, 0)));
+        }
+        assert_eq!(hil.fetch().unwrap().id, 0);
+        assert_eq!(hil.fetch().unwrap().id, 1);
+        assert!(hil.fetch().is_none(), "aggressor at cap");
+        // One victim request goes in-flight alongside.
+        assert!(hil.submit(treq(100, 0, 0)));
+        assert_eq!(hil.fetch().unwrap().id, 100);
+        assert_eq!(hil.tenant_outstanding(1), 4, "2 in-flight + 2 queued");
+        // The *victim's* completion fires the re-armed fetch attempt — it
+        // must come back empty (the aggressor is still at its cap) and must
+        // not disturb the aggressor's queued entries.
+        hil.complete(100, SimTime::from_micros(1));
+        assert!(
+            hil.fetch().is_none(),
+            "a cross-tenant completion must not bypass the cap"
+        );
+        assert_eq!(hil.queued(), 2, "capped work stays queued");
+        assert_eq!(hil.tenant_inflight(1), 2);
+        // The aggressor's own completion is what actually frees a slot.
+        hil.complete(0, SimTime::from_micros(2));
+        assert_eq!(hil.fetch().unwrap().id, 2);
+        assert_eq!(hil.tenant_outstanding(1), 3, "2 in-flight + 1 queued");
+    }
+
+    /// `tenant_outstanding` counts slots from submission to completion and
+    /// `namespace_capacity` is the admission watermark denominator.
+    #[test]
+    fn outstanding_tracks_submission_to_completion() {
+        let mut hil = HostInterface::with_tenants(HilConfig::default(), pair(1, 1, 0));
+        assert_eq!(hil.namespace_capacity(0), 4 * 8);
+        assert_eq!(hil.namespace_capacity(1), 4 * 8);
+        assert_eq!(hil.tenant_outstanding(0), 0);
+        for i in 0..3u64 {
+            assert!(hil.submit(treq(i, 0, i << 21)));
+        }
+        assert_eq!(hil.tenant_outstanding(0), 3, "queued counts");
+        assert_eq!(hil.tenant_outstanding(1), 0, "neighbor unaffected");
+        let fetched = hil.fetch().unwrap();
+        assert_eq!(
+            hil.tenant_outstanding(0),
+            3,
+            "fetching does not release the slot"
+        );
+        hil.complete(fetched.id, SimTime::from_micros(1));
+        assert_eq!(hil.tenant_outstanding(0), 2, "completion releases it");
     }
 
     /// Per-tenant counters sum to the global ones across a mixed run.

@@ -100,6 +100,35 @@ impl TenantSet {
         )
     }
 
+    /// Three tenants with unequal WRR shares for the trio scenario: the
+    /// latency-sensitive `victim` keeps its 4× boost, the mixed
+    /// `victim-mixed` stream gets a middling 2× share, and the `aggressor`
+    /// runs at weight 1 under the same 4-deep in-flight cap as
+    /// [`TenantSet::victim_boost`]. Exercises WRR with *three distinct*
+    /// weights, not just protected-vs-unprotected.
+    pub fn trio_weighted() -> Self {
+        TenantSet::custom(
+            "trio-weighted",
+            vec![
+                TenantSpec {
+                    name: "victim",
+                    weight: 4,
+                    qd_cap: 0,
+                },
+                TenantSpec {
+                    name: "victim-mixed",
+                    weight: 2,
+                    qd_cap: 0,
+                },
+                TenantSpec {
+                    name: "aggressor",
+                    weight: 1,
+                    qd_cap: 4,
+                },
+            ],
+        )
+    }
+
     /// An arbitrary tenant set (property tests and custom scenarios).
     ///
     /// # Panics
@@ -128,6 +157,7 @@ impl TenantSet {
             TenantSet::single(),
             TenantSet::pair_fair(),
             TenantSet::victim_boost(),
+            TenantSet::trio_weighted(),
         ]
     }
 
@@ -195,6 +225,17 @@ mod tests {
         assert_eq!(v.len(), 2);
         assert!(v.specs()[0].weight > v.specs()[1].weight);
         assert_eq!(v.specs()[1].qd_cap, 4);
+    }
+
+    #[test]
+    fn trio_weighted_orders_three_distinct_weights() {
+        let t = TenantSet::trio_weighted();
+        assert_eq!(t.label(), "trio-weighted");
+        assert_eq!(t.len(), 3);
+        let w: Vec<u32> = t.specs().iter().map(|s| s.weight).collect();
+        assert_eq!(w, [4, 2, 1], "the two victims must hold distinct shares");
+        assert_eq!(t.specs()[2].qd_cap, 4, "the aggressor stays capped");
+        assert!(TenantSet::presets().contains(&t));
     }
 
     #[test]

@@ -13,6 +13,12 @@
 //! timestamp, FIFO among equal timestamps — and is bit-identical to the
 //! reference heap ([`ReferenceHeapQueue`]), which `tests/properties.rs`
 //! cross-checks with randomized schedules.
+//!
+//! Control-plane events ride the same wheel as device work: scripted
+//! fault/repair scripts, host request-deadline timeouts, and backoff-jittered
+//! host resubmissions are all ordinary calendar entries, so a run's event
+//! count doubles as a behavioral fingerprint — features whose knobs default
+//! off must schedule zero events to leave it untouched.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};

@@ -29,7 +29,8 @@ pub enum WorkloadAxis {
     /// A custom synthetic workload.
     Spec(WorkloadSpec),
     /// A named multi-tenant scenario from [`mix`] ("noisy-neighbor",
-    /// "victim-solo"): a tenant-tagged merged trace for QoS sweeps.
+    /// "noisy-neighbor-trio", "victim-solo"): a tenant-tagged merged
+    /// trace for QoS sweeps.
     Scenario(&'static str),
 }
 
@@ -78,6 +79,15 @@ impl WorkloadAxis {
         WorkloadAxis::Scenario("noisy-neighbor")
     }
 
+    /// The three-tenant unequal-weight scenario: the latency-sensitive
+    /// victim (tenant 0) and a throughput-oriented mixed second victim
+    /// (tenant 1) sharing the device with the bursty write aggressor
+    /// (tenant 2). The request budget splits evenly across the three
+    /// streams. Pair with the hil crate's `trio-weighted` tenant preset.
+    pub fn noisy_neighbor_trio() -> WorkloadAxis {
+        WorkloadAxis::Scenario("noisy-neighbor-trio")
+    }
+
     /// The victim stream of [`WorkloadAxis::noisy_neighbor`] running alone:
     /// the per-fabric baseline for measuring the victim's p99 degradation
     /// under the aggressor burst.
@@ -119,6 +129,9 @@ impl WorkloadAxis {
             WorkloadAxis::Spec(spec) => spec.generate(requests),
             WorkloadAxis::Scenario("noisy-neighbor") => {
                 mix::noisy_neighbor((requests / 2).max(1))
+            }
+            WorkloadAxis::Scenario("noisy-neighbor-trio") => {
+                mix::noisy_neighbor_trio((requests / 3).max(1))
             }
             // Half the budget, like the shared scenario's victim stream:
             // at the same grid request budget, victim-solo replays the
@@ -190,6 +203,12 @@ mod tests {
         assert_eq!(t.len(), 400); // budget split 200/200 across two streams
         assert!(t.is_tenant_tagged());
         assert_eq!(t.tenant_count(), 2);
+        let trio = WorkloadAxis::noisy_neighbor_trio();
+        assert_eq!(trio.name(), "noisy-neighbor-trio");
+        let t3 = trio.trace(600);
+        assert_eq!(t3.len(), 600); // budget split 200/200/200 across streams
+        assert!(t3.is_tenant_tagged());
+        assert_eq!(t3.tenant_count(), 3);
         let solo = WorkloadAxis::victim_solo();
         assert_eq!(solo.name(), "victim-solo");
         assert_eq!(solo.trace(200).tenant_count(), 1);

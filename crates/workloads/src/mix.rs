@@ -181,6 +181,17 @@ fn aggressor_spec() -> crate::WorkloadSpec {
         .seq_fraction(0.3)
 }
 
+/// The second victim of the three-tenant scenario: a throughput-oriented
+/// mixed stream — steadier and less latency-critical than
+/// [`victim_spec`]'s reads, the kind of tenant an operator would give a
+/// smaller (but non-zero) WRR share.
+fn victim2_spec() -> crate::WorkloadSpec {
+    crate::WorkloadSpec::new("victim-mixed", 70.0, 8.0, 40.0)
+        .footprint_mb(96)
+        .burst_mean(4.0)
+        .seq_fraction(0.2)
+}
+
 /// The noisy-neighbor scenario: the victim's latency-sensitive reads
 /// (tenant 0) sharing the SSD with the aggressor's write bursts
 /// (tenant 1), over disjoint partitions. `requests_per_stream` requests
@@ -192,6 +203,21 @@ pub fn noisy_neighbor(requests_per_stream: usize) -> Trace {
         aggressor_spec().generate(requests_per_stream),
     ];
     merge_tagged("noisy-neighbor", &streams, None)
+}
+
+/// The three-tenant unequal-weight scenario: the latency-sensitive victim
+/// (tenant 0) and a throughput-oriented second victim (tenant 1) sharing
+/// the SSD with the aggressor's write bursts (tenant 2), over disjoint
+/// partitions. Pair with an unequal-weight tenant set (the hil crate's
+/// `trio-weighted` preset) to test that WRR shares track weights when the
+/// victims deserve *different* protections, not just victim-vs-aggressor.
+pub fn noisy_neighbor_trio(requests_per_stream: usize) -> Trace {
+    let streams = [
+        victim_spec().generate(requests_per_stream),
+        victim2_spec().generate(requests_per_stream),
+        aggressor_spec().generate(requests_per_stream),
+    ];
+    merge_tagged("noisy-neighbor-trio", &streams, None)
 }
 
 /// The victim stream of [`noisy_neighbor`] running alone (same spec, same
@@ -346,6 +372,41 @@ mod tests {
         }
         // Deterministic: same call, same bytes and tags.
         let u = noisy_neighbor(400);
+        assert_eq!(t.events(), u.events());
+        assert_eq!(
+            (0..t.len()).map(|i| t.tenant_of(i)).collect::<Vec<_>>(),
+            (0..u.len()).map(|i| u.tenant_of(i)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn noisy_neighbor_trio_layers_a_second_victim_between_the_pair() {
+        let t = noisy_neighbor_trio(300);
+        assert_eq!(t.len(), 900);
+        assert_eq!(t.tenant_count(), 3);
+        // Tenant 0 is the all-read victim, tenant 2 the all-write aggressor;
+        // tenant 1 (the mixed second victim) must carry both ops.
+        let mut ops = [[0usize; 2]; 3];
+        for (i, e) in t.events().iter().enumerate() {
+            ops[usize::from(t.tenant_of(i))][usize::from(e.op == IoOp::Write)] += 1;
+        }
+        assert_eq!(ops[0], [300, 0], "victim must be read-only");
+        assert!(ops[1][0] > 0 && ops[1][1] > 0, "second victim must mix ops");
+        assert_eq!(ops[2], [0, 300], "aggressor must be write-only");
+        // Tenant 0 of the trio is byte-identical to the two-tenant victim:
+        // the trio only *adds* a stream, it does not perturb the others.
+        let pair = noisy_neighbor(300);
+        let stream = |tr: &Trace, tenant: u8| -> Vec<TraceEvent> {
+            tr.events()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| tr.tenant_of(*i) == tenant)
+                .map(|(_, e)| *e)
+                .collect()
+        };
+        assert_eq!(stream(&t, 0), stream(&pair, 0));
+        // Deterministic: same call, same bytes and tags.
+        let u = noisy_neighbor_trio(300);
         assert_eq!(t.events(), u.events());
         assert_eq!(
             (0..t.len()).map(|i| t.tenant_of(i)).collect::<Vec<_>>(),

@@ -512,6 +512,7 @@ fn tenant_qos_invariants_under_random_tenancy() {
                         op: if rng.next_bool(0.5) { IoOp::Read } else { IoOp::Write },
                         offset: rng.next_bounded(1 << 30),
                         bytes: 4096,
+                        deadline: None,
                     };
                     next_id += 1;
                     let _ = hil.submit(req);
@@ -621,12 +622,140 @@ fn tenant_qos_invariants_under_random_tenancy() {
             .requests(120);
         let serial = grid.run_on(&WorkerPool::new(1));
         let pooled = grid.run_on(&WorkerPool::new(4));
-        assert_eq!(serial.records().len(), 6); // 3 tenant sets × 2 fabrics
+        assert_eq!(serial.records().len(), 8); // 4 tenant sets × 2 fabrics
         for (a, b) in serial.records().iter().zip(pooled.records()) {
             assert_eq!(a.point.label, b.point.label);
             assert_eq!(
                 a.metrics, b.metrics,
                 "{}: per-tenant metrics differ across pool sizes",
+                a.point.label
+            );
+        }
+        assert_eq!(serial.metrics_fingerprint(), pooled.metrics_fingerprint());
+        assert_eq!(serial.manifest_fingerprint(), pooled.manifest_fingerprint());
+    }
+}
+
+/// The host resilience layer is sound on every fabric: under every
+/// resilience preset, every fault plan that matters to it, and randomized
+/// traffic, (a) the calendar always drains and every request reaches
+/// exactly one terminal outcome — `completed + shed` partitions the trace
+/// and `deadline_met + failed` partitions the completions; (b) disarmed
+/// mechanisms stay inert (no misses without a deadline, no retries without
+/// retry, no sheds without admission control) and armed retries respect
+/// the per-request cap; (c) `ResiliencePolicy::None` is bit-identical to
+/// the pre-resilience engine; (d) resilience-axis sweeps are bit-identical
+/// across worker-pool sizes, extending the determinism contract to the
+/// resilience axis.
+#[test]
+fn host_resilience_is_sound_on_every_fabric() {
+    use venice::interconnect::FabricKind;
+    use venice::ssd::{run_single, FaultPlan, ResiliencePolicy, RunStatus, SsdConfig};
+
+    let mut rng = Xorshift64Star::new(0x4E51);
+    for case in 0..2u64 {
+        let read_pct = 20.0 + rng.next_f64() * 70.0;
+        let kb = 4.0 + rng.next_f64() * 28.0;
+        let us = 1.0 + rng.next_f64() * 10.0;
+        let n = 120 + rng.next_bounded(120);
+        let trace = WorkloadSpec::new("resilience-prop", read_pct, kb, us)
+            .footprint_mb(48)
+            .burst_mean(1.0 + rng.next_f64() * 16.0)
+            .generate(n as usize);
+        // The storm exercises timeouts and retries against transient
+        // outages; the permanent link fault exercises terminal failures.
+        for plan in [FaultPlan::None, FaultPlan::Link, FaultPlan::Storm] {
+            for &policy in &ResiliencePolicy::ALL {
+                let cfg = SsdConfig::performance_optimized()
+                    .with_fault_plan(plan)
+                    .with_resilience(policy);
+                for fabric in FabricKind::ALL {
+                    let m = run_single(&cfg, fabric, &trace);
+                    let ctx =
+                        format!("case {case}: {fabric}/{}/{}", plan.label(), policy.label());
+                    assert_eq!(m.status, RunStatus::Complete, "{ctx}: run must drain");
+                    // (a) Exactly one terminal outcome per request.
+                    assert_eq!(
+                        m.completed_requests + m.shed_requests,
+                        n,
+                        "{ctx}: completed + shed must partition the trace"
+                    );
+                    assert_eq!(
+                        m.deadline_met_requests + m.failed_requests,
+                        m.completed_requests,
+                        "{ctx}: met + failed must partition the completions"
+                    );
+                    assert!(m.deadline_misses <= m.failed_requests, "{ctx}");
+                    // (b) Disarmed mechanisms stay inert; armed retries
+                    // respect the per-request cap.
+                    let params = policy.params();
+                    if params.deadline.is_none() {
+                        assert_eq!(m.deadline_misses, 0, "{ctx}: no deadline, no misses");
+                    }
+                    match params.retry {
+                        None => assert_eq!(m.host_retries, 0, "{ctx}: retry disarmed"),
+                        Some(r) => assert!(
+                            m.host_retries <= u64::from(r.max_retries) * n,
+                            "{ctx}: {} retries exceed the cap",
+                            m.host_retries
+                        ),
+                    }
+                    if params.admission.is_none() {
+                        assert_eq!(m.shed_requests, 0, "{ctx}: admission disarmed");
+                    }
+                    // Per-tenant breakdowns partition the global counters.
+                    assert_eq!(
+                        m.tenants.iter().map(|t| t.shed).sum::<u64>(),
+                        m.shed_requests,
+                        "{ctx}"
+                    );
+                    assert_eq!(
+                        m.tenants.iter().map(|t| t.host_retries).sum::<u64>(),
+                        m.host_retries,
+                        "{ctx}"
+                    );
+                    assert_eq!(
+                        m.tenants.iter().map(|t| t.deadline_misses).sum::<u64>(),
+                        m.deadline_misses,
+                        "{ctx}"
+                    );
+                    // Determinism extends to resilient runs.
+                    let again = run_single(&cfg, fabric, &trace);
+                    assert_eq!(m, again, "{ctx}: resilient run not deterministic");
+                }
+            }
+            // (c) The None preset is the pre-resilience engine, bit for bit.
+            let bare = SsdConfig::performance_optimized().with_fault_plan(plan);
+            let off = run_single(&bare, FabricKind::Venice, &trace);
+            let none = run_single(
+                &bare.clone().with_resilience(ResiliencePolicy::None),
+                FabricKind::Venice,
+                &trace,
+            );
+            assert_eq!(off, none, "case {case}: {}: None preset not inert", plan.label());
+        }
+    }
+
+    // (d) Resilience-axis sweeps are pool-size-stable.
+    {
+        use venice::workloads::WorkloadAxis;
+        use venice_bench::sweep::{SweepGrid, WorkerPool};
+
+        let grid = SweepGrid::new("resilience-determinism")
+            .config(SsdConfig::performance_optimized())
+            .workload(WorkloadAxis::congested())
+            .fault_plans(&[FaultPlan::None, FaultPlan::Storm])
+            .resilience_policies(&ResiliencePolicy::ALL)
+            .fabrics(&[venice::ssd::SystemKind::Baseline, venice::ssd::SystemKind::Venice])
+            .requests(150);
+        let serial = grid.run_on(&WorkerPool::new(1));
+        let pooled = grid.run_on(&WorkerPool::new(4));
+        assert_eq!(serial.records().len(), 24); // 2 plans × 6 policies × 2 fabrics
+        for (a, b) in serial.records().iter().zip(pooled.records()) {
+            assert_eq!(a.point.label, b.point.label);
+            assert_eq!(
+                a.metrics, b.metrics,
+                "{}: resilient metrics differ across pool sizes",
                 a.point.label
             );
         }
