@@ -28,10 +28,15 @@
 //! distills `results/tenant_isolation.json` comparing each fabric's
 //! victim-tenant p99 degradation under the aggressor burst), `resilience`
 //! (the host-resilience ablation: congestion-heavy traffic × fault-free,
-//! permanent-link, and fault-storm plans × every resilience preset × the
-//! five real fabrics; also distills `results/resilience_ablation.json`
-//! comparing Venice against the bus fabrics' goodput under the link fault
-//! with the full resilience layer armed).
+//! permanent-link, and fault-storm plans × every resilience preset ×
+//! single vs deadline-split tenant sets × the five real fabrics; also
+//! distills `results/resilience_ablation.json` comparing Venice against
+//! the bus fabrics' goodput under the link fault with the full resilience
+//! layer armed), `rebuild` (the RAIN redundancy ablation: congestion-heavy
+//! traffic × the permanent chip-death plan × no-redundancy vs die-level
+//! parity × the five real fabrics; also distills
+//! `results/rebuild_ablation.json` comparing data loss, degraded-read
+//! service, and rebuild MTTR across fabrics).
 //!
 //! Sweeps are *resumable*: when `results/sweep_<grid>/` already holds a
 //! manifest with this grid's exact grid hash, points whose record file
@@ -51,8 +56,8 @@ use venice_interconnect::FabricKind;
 use venice_nand::NandTiming;
 use venice_ssd::report::{json_f64, json_str};
 use venice_ssd::{
-    all_systems, DispatchPolicyKind, FaultPlan, ResiliencePolicy, ScoutCacheKind, SsdConfig,
-    TenantSet,
+    all_systems, DispatchPolicyKind, FaultPlan, RedundancyKind, ResiliencePolicy, ScoutCacheKind,
+    SsdConfig, TenantSet,
 };
 use venice_workloads::WorkloadAxis;
 
@@ -150,7 +155,21 @@ fn named_grid(name: &str, requests: Option<usize>) -> Option<SweepGrid> {
             .workload(WorkloadAxis::congested())
             .workload(WorkloadAxis::catalog("src2_1").expect("catalog"))
             .fault_plans(&[FaultPlan::None, FaultPlan::Link, FaultPlan::Storm])
+            .tenant_sets(&[TenantSet::single(), TenantSet::deadline_split()])
             .resilience_policies(&ResiliencePolicy::ALL)
+            .fabrics(&[
+                FabricKind::Baseline,
+                FabricKind::Pssd,
+                FabricKind::PnSsd,
+                FabricKind::NoSsd,
+                FabricKind::Venice,
+            ])
+            .requests(requests.unwrap_or(800)),
+        "rebuild" => SweepGrid::new("rebuild")
+            .workload(WorkloadAxis::congested())
+            .fault_plans(&[FaultPlan::Chip, FaultPlan::ChipAndLink])
+            .resilience_policies(&[ResiliencePolicy::DeadlineRetry])
+            .redundancy_kinds(&RedundancyKind::ALL)
             .fabrics(&[
                 FabricKind::Baseline,
                 FabricKind::Pssd,
@@ -173,6 +192,7 @@ fn named_grid(name: &str, requests: Option<usize>) -> Option<SweepGrid> {
     let own_default = matches!(
         name,
         "mini" | "policy" | "bigmesh" | "scoutcache" | "faults" | "tenants" | "resilience"
+            | "rebuild"
     );
     Some(match requests {
         Some(r) if !own_default => grid.requests(r),
@@ -180,9 +200,9 @@ fn named_grid(name: &str, requests: Option<usize>) -> Option<SweepGrid> {
     })
 }
 
-const GRID_NAMES: [&str; 13] = [
+const GRID_NAMES: [&str; 14] = [
     "mini", "table2", "mixes", "shapes", "nand", "qd", "design", "policy", "bigmesh",
-    "scoutcache", "faults", "tenants", "resilience",
+    "scoutcache", "faults", "tenants", "resilience", "rebuild",
 ];
 
 /// Extracts the raw numeric token after the first `"key": ` occurrence.
@@ -388,8 +408,9 @@ fn resilience_num(json: &str, key: &str) -> Option<f64> {
     json_num(&json[at..], key)
 }
 
-/// Per-(fault plan, resilience policy, fabric) goodput accumulator cell.
-type GoodputCell<'a> = ((&'a str, &'a str, &'a str), (f64, u32));
+/// Per-(fault plan, resilience policy, tenant set, fabric) goodput
+/// accumulator cell.
+type GoodputCell<'a> = ((&'a str, &'a str, &'a str, &'a str), (f64, u32));
 
 /// Distills the `resilience` grid into `results/resilience_ablation.json`:
 /// one entry per point plus per-(plan × policy × fabric) mean goodput
@@ -409,20 +430,32 @@ fn write_resilience_ablation(outcome: &ResumedSweep, path: &std::path::Path) {
         let retries = resilience_num(json, "host_retries").unwrap_or(0.0) as u64;
         let shed = resilience_num(json, "shed_requests").unwrap_or(0.0) as u64;
         let completed = json_num(json, "completed_requests").unwrap_or(0.0) as u64;
+        // On deadline-split points, the per-class miss counts show the
+        // latency class absorbing the policy's pressure while the batch
+        // class (relaxed deadline) and the unarmed class stay clean.
+        let victim_misses = tenant_num(json, "victim", "deadline_misses").unwrap_or(0.0) as u64;
+        let batch_misses = tenant_num(json, "batch", "deadline_misses").unwrap_or(0.0) as u64;
         point_lines.push(format!(
             "    {{\"label\": {}, \"workload\": {}, \"fabric\": {}, \
-             \"fault_plan\": {}, \"resilience\": {}, \
+             \"fault_plan\": {}, \"resilience\": {}, \"tenants\": {}, \
              \"completed_requests\": {completed}, \"deadline_met\": {met}, \
-             \"deadline_misses\": {misses}, \"host_retries\": {retries}, \
+             \"deadline_misses\": {misses}, \"latency_class_misses\": {victim_misses}, \
+             \"batch_class_misses\": {batch_misses}, \"host_retries\": {retries}, \
              \"shed_requests\": {shed}, \"goodput\": {}}}",
             json_str(&p.label),
             json_str(&p.workload),
             json_str(p.fabric.label()),
             json_str(p.fault_plan.label()),
             json_str(p.resilience.label()),
+            json_str(&p.tenants),
             json_f64(goodput),
         ));
-        let key = (p.fault_plan.label(), p.resilience.label(), p.fabric.label());
+        let key = (
+            p.fault_plan.label(),
+            p.resilience.label(),
+            p.tenants.as_str(),
+            p.fabric.label(),
+        );
         match agg.iter_mut().find(|(k, _)| *k == key) {
             Some((_, (sum, n))) => {
                 *sum += goodput;
@@ -431,19 +464,24 @@ fn write_resilience_ablation(outcome: &ResumedSweep, path: &std::path::Path) {
             None => agg.push((key, (goodput, 1))),
         }
     }
+    // Headline means are scoped to the single-tenant rows so adding the
+    // deadline-split axis can never shift the fabric comparison.
     let mean = |plan: &str, policy: &str, fabric: &str| {
         agg.iter()
-            .find(|((pl, po, fb), _)| *pl == plan && *po == policy && *fb == fabric)
+            .find(|((pl, po, tn, fb), _)| {
+                *pl == plan && *po == policy && *tn == "single" && *fb == fabric
+            })
             .map(|(_, (sum, n))| sum / f64::from(*n))
     };
     let agg_lines: Vec<String> = agg
         .iter()
-        .map(|((plan, policy, fabric), (sum, n))| {
+        .map(|((plan, policy, tenants, fabric), (sum, n))| {
             format!(
-                "    {{\"fault_plan\": {}, \"resilience\": {}, \"fabric\": {}, \
-                 \"mean_goodput\": {}}}",
+                "    {{\"fault_plan\": {}, \"resilience\": {}, \"tenants\": {}, \
+                 \"fabric\": {}, \"mean_goodput\": {}}}",
                 json_str(plan),
                 json_str(policy),
+                json_str(tenants),
                 json_str(fabric),
                 json_f64(sum / f64::from(*n)),
             )
@@ -476,6 +514,161 @@ fn write_resilience_ablation(outcome: &ResumedSweep, path: &std::path::Path) {
     );
     match std::fs::write(path, doc) {
         Ok(()) => eprintln!("[venice-bench] resilience ablation: {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+/// Extracts a numeric field from the point JSON's top-level
+/// `"redundancy"` object: scoped to start there, so the per-tenant
+/// `data_loss` fields (which precede it in the document) are skipped.
+fn redundancy_num(json: &str, key: &str) -> Option<f64> {
+    let at = json.find("\"redundancy\": {")?;
+    json_num(&json[at..], key)
+}
+
+/// Simulated nanosecond at which [`FaultPlan::Chip`] kills its die — the
+/// MTTR clock's start (`rebuild_done_ns - CHIP_DEATH_NS`).
+const CHIP_DEATH_NS: f64 = 20_000.0;
+
+/// One parity cell of the rebuild grid: the numbers the headline booleans
+/// compare per `(fault plan, fabric)` coordinate.
+struct RebuildCell {
+    fault: &'static str,
+    redundancy: String,
+    fabric: &'static str,
+    data_loss: u64,
+    goodput: f64,
+    mttr_ns: f64,
+    rebuilt: u64,
+    skipped: u64,
+}
+
+impl RebuildCell {
+    /// A recovery is complete only when every dead-chip page was actually
+    /// reconstructed: the engine drained (`mttr_ns > 0`), rebuilt
+    /// something, and skipped nothing. A bus fabric whose severed row
+    /// hides the survivors drains *fast* but skips every page — that is a
+    /// failed recovery, not a low MTTR.
+    fn recovered(&self) -> bool {
+        self.mttr_ns > 0.0 && self.rebuilt > 0 && self.skipped == 0
+    }
+}
+
+/// Distills the `rebuild` grid into `results/rebuild_ablation.json`: one
+/// entry per point plus a headline with three claims. (1) Die-level
+/// parity turns the permanent chip death from silent data loss into
+/// degraded-but-correct service: every parity point on every fabric and
+/// fault plan has zero [`venice_ssd::RequestOutcome::DataLoss`] requests.
+/// (2, 3) On the `chip-link` plan — the chip death landing on an
+/// already-degraded fabric: the severed row link plus the crossing column
+/// cut through the east-neighbor survivor — Venice sustains the highest
+/// foreground goodput (successful completions only) AND the lowest
+/// rebuild MTTR of the bus designs, *completing* the recovery: Baseline
+/// and pSSD cannot reach the survivors behind the severed row bus, and
+/// even pnSSD's row+column redundancy loses the east-neighbor survivor,
+/// so strict parity forces their rebuilds to skip pages (an incomplete
+/// recovery never wins the MTTR comparison, however fast it drained).
+/// NoSSD, the other mesh, is excluded from the booleans (its points still
+/// land in the artifact), mirroring the bus-only precedent of the fault,
+/// tenant-isolation, and resilience ablation headlines.
+fn write_rebuild_ablation(outcome: &ResumedSweep, path: &std::path::Path) {
+    let mut point_lines = Vec::new();
+    let mut cells: Vec<RebuildCell> = Vec::new();
+    for (p, json) in outcome.points().iter().zip(outcome.point_jsons()) {
+        let data_loss = redundancy_num(json, "data_loss_requests").unwrap_or(0.0) as u64;
+        let degraded = redundancy_num(json, "degraded_reads").unwrap_or(0.0) as u64;
+        let rebuilt = redundancy_num(json, "rebuilt_pages").unwrap_or(0.0) as u64;
+        let skipped = redundancy_num(json, "rebuild_skipped_pages").unwrap_or(0.0) as u64;
+        let done_ns = redundancy_num(json, "rebuild_done_ns").unwrap_or(0.0);
+        let completed = json_num(json, "completed_requests").unwrap_or(0.0);
+        let failed = json_num(json, "failed_requests").unwrap_or(0.0);
+        let exec_ns = json_num(json, "execution_time_ns").unwrap_or(0.0);
+        // Successful completions only: a fabric that fast-fails the
+        // severed row's requests must not "win" goodput on error
+        // completions it never actually served.
+        let goodput = if exec_ns > 0.0 {
+            (completed - failed).max(0.0) / (exec_ns / 1e9)
+        } else {
+            0.0
+        };
+        let mttr_ns = if done_ns > CHIP_DEATH_NS {
+            done_ns - CHIP_DEATH_NS
+        } else {
+            0.0
+        };
+        point_lines.push(format!(
+            "    {{\"label\": {}, \"workload\": {}, \"fault\": {}, \
+             \"fabric\": {}, \
+             \"redundancy\": {}, \"completed_requests\": {}, \
+             \"data_loss_requests\": {data_loss}, \"degraded_reads\": {degraded}, \
+             \"rebuilt_pages\": {rebuilt}, \"rebuild_skipped_pages\": {skipped}, \
+             \"rebuild_mttr_ns\": {}, \
+             \"foreground_goodput\": {}}}",
+            json_str(&p.label),
+            json_str(&p.workload),
+            json_str(p.fault_plan.label()),
+            json_str(p.fabric.label()),
+            json_str(&p.redundancy.label()),
+            completed as u64,
+            json_f64(mttr_ns),
+            json_f64(goodput),
+        ));
+        cells.push(RebuildCell {
+            fault: p.fault_plan.label(),
+            redundancy: p.redundancy.label(),
+            fabric: p.fabric.label(),
+            data_loss,
+            goodput,
+            mttr_ns,
+            rebuilt,
+            skipped,
+        });
+    }
+    let parity: Vec<&RebuildCell> = cells
+        .iter()
+        .filter(|c| c.redundancy.starts_with("parity"))
+        .collect();
+    // Claim 1: parity turns the chip death into zero data-loss requests on
+    // every fabric and every plan (the no-redundancy half records the
+    // losses for contrast).
+    let parity_zero_data_loss = !parity.is_empty() && parity.iter().all(|c| c.data_loss == 0);
+    let bare_data_loss: u64 = cells
+        .iter()
+        .filter(|c| c.redundancy == "none")
+        .map(|c| c.data_loss)
+        .sum();
+    // Claims 2 and 3 read the chip-link parity points: the degraded-fabric
+    // head-to-head where the fabric — not the NAND — is the rebuild's
+    // bottleneck, bus-scoped per the repo's ablation precedent.
+    let bus = |f: &str| matches!(f, "Baseline" | "pSSD" | "pnSSD");
+    let head: Vec<&&RebuildCell> = parity.iter().filter(|c| c.fault == "chip-link").collect();
+    let venice = head.iter().find(|c| c.fabric == "Venice");
+    let venice_highest_goodput = venice.is_some_and(|v| {
+        let rivals: Vec<&&&RebuildCell> = head.iter().filter(|c| bus(c.fabric)).collect();
+        !rivals.is_empty() && rivals.iter().all(|c| v.goodput > c.goodput)
+    });
+    let venice_lowest_mttr = venice.is_some_and(|v| {
+        let rivals: Vec<&&&RebuildCell> = head.iter().filter(|c| bus(c.fabric)).collect();
+        v.recovered()
+            && !rivals.is_empty()
+            && rivals.iter().all(|c| !c.recovered() || v.mttr_ns < c.mttr_ns)
+    });
+    let (venice_goodput, venice_mttr) =
+        venice.map_or((0.0, 0.0), |v| (v.goodput, v.mttr_ns));
+    let doc = format!(
+        "{{\n  \"name\": \"rebuild_ablation\",\n  \"grid\": \"rebuild\",\n  \
+         \"headline\": {{\"parity_zero_data_loss\": {parity_zero_data_loss}, \
+         \"venice_highest_goodput\": {venice_highest_goodput}, \
+         \"venice_lowest_mttr\": {venice_lowest_mttr}, \
+         \"bare_data_loss_requests\": {bare_data_loss}, \
+         \"venice_foreground_goodput\": {}, \"venice_mttr_ns\": {}}},\n  \
+         \"points\": [\n{}\n  ]\n}}\n",
+        json_f64(venice_goodput),
+        json_f64(venice_mttr),
+        point_lines.join(",\n"),
+    );
+    match std::fs::write(path, doc) {
+        Ok(()) => eprintln!("[venice-bench] rebuild ablation: {}", path.display()),
         Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
     }
 }
@@ -555,5 +748,8 @@ fn main() {
     }
     if grid_name == "resilience" {
         write_resilience_ablation(&outcome, &results.join("resilience_ablation.json"));
+    }
+    if grid_name == "rebuild" {
+        write_rebuild_ablation(&outcome, &results.join("rebuild_ablation.json"));
     }
 }

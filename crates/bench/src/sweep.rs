@@ -46,8 +46,8 @@ use venice_interconnect::FabricKind;
 use venice_nand::NandTiming;
 use venice_ssd::report::json_str;
 use venice_ssd::{
-    run_single, DispatchPolicyKind, FaultPlan, ResiliencePolicy, RunMetrics, ScoutCacheKind,
-    SsdConfig, TenantSet,
+    run_single, DispatchPolicyKind, FaultPlan, RedundancyKind, ResiliencePolicy, RunMetrics,
+    ScoutCacheKind, SsdConfig, TenantSet,
 };
 use venice_workloads::{Trace, WorkloadAxis};
 
@@ -165,10 +165,11 @@ impl WorkerPool {
 /// performance-optimized preset, no `fabrics` means all six systems, no
 /// `workloads` means the whole Table 2 catalog, and no `shapes` /
 /// `timings` / `queue_depths` / `policies` / `scout_caches` / `faults` /
-/// `resiliences` means each config's own values. Expansion order is fixed —
-/// configs ▸ workloads ▸ shapes ▸ timings ▸ queue depths ▸ policies ▸
-/// scout caches ▸ fault plans ▸ tenant sets ▸ resilience policies ▸
-/// fabrics (innermost) — so point ids are stable for a given grid.
+/// `resiliences` / `redundancies` means each config's own values.
+/// Expansion order is fixed — configs ▸ workloads ▸ shapes ▸ timings ▸
+/// queue depths ▸ policies ▸ scout caches ▸ fault plans ▸ tenant sets ▸
+/// resilience policies ▸ redundancy schemes ▸ fabrics (innermost) — so
+/// point ids are stable for a given grid.
 #[derive(Clone, Debug)]
 pub struct SweepGrid {
     name: String,
@@ -183,6 +184,7 @@ pub struct SweepGrid {
     faults: Vec<FaultPlan>,
     tenant_sets: Vec<TenantSet>,
     resiliences: Vec<ResiliencePolicy>,
+    redundancies: Vec<RedundancyKind>,
     fabrics: Vec<FabricKind>,
 }
 
@@ -213,6 +215,7 @@ impl SweepGrid {
             faults: Vec::new(),
             tenant_sets: Vec::new(),
             resiliences: Vec::new(),
+            redundancies: Vec::new(),
             fabrics: Vec::new(),
         }
     }
@@ -326,6 +329,14 @@ impl SweepGrid {
         self
     }
 
+    /// Extends the redundancy-scheme axis (the RAIN rebuild ablation: each
+    /// scheme stripes pages into die-level parity groups, arming degraded
+    /// reads and the background rebuild engine on chip death).
+    pub fn redundancy_kinds(mut self, kinds: &[RedundancyKind]) -> Self {
+        self.redundancies.extend_from_slice(kinds);
+        self
+    }
+
     /// Resolved workload axis (Table 2 catalog when none was set).
     fn effective_workloads(&self) -> Vec<WorkloadAxis> {
         if self.workloads.is_empty() {
@@ -406,6 +417,11 @@ impl SweepGrid {
             } else {
                 self.resiliences.clone()
             };
+            let redundancies: Vec<RedundancyKind> = if self.redundancies.is_empty() {
+                vec![base.redundancy]
+            } else {
+                self.redundancies.clone()
+            };
             for (workload_idx, workload) in workloads.iter().enumerate() {
                 for &(rows, cols) in &shapes {
                     for &timing in &timings {
@@ -415,6 +431,7 @@ impl SweepGrid {
                                     for &fault_plan in &faults {
                                         for tenant_set in &tenant_sets {
                                         for &resilience in &resiliences {
+                                        for &redundancy in &redundancies {
                                         for &fabric in &fabrics {
                                             let config = base
                                                 .clone()
@@ -425,7 +442,8 @@ impl SweepGrid {
                                                 .with_scout_cache(scout_cache)
                                                 .with_fault_plan(fault_plan)
                                                 .with_tenants(tenant_set.clone())
-                                                .with_resilience(resilience);
+                                                .with_resilience(resilience)
+                                                .with_redundancy(redundancy);
                                             // Sweeps run unattended: arm the
                                             // generous runaway-run watchdog
                                             // unless the base config set its
@@ -445,7 +463,7 @@ impl SweepGrid {
                                                 .unwrap_or("custom")
                                                 .to_string();
                                             let label = format!(
-                                                "{}/{}/{}x{}/{}/qd{}/{}/{}/{}/{}/{}/{}",
+                                                "{}/{}/{}x{}/{}/qd{}/{}/{}/{}/{}/{}/{}/{}",
                                                 base.name,
                                                 workload.name(),
                                                 rows,
@@ -457,6 +475,7 @@ impl SweepGrid {
                                                 fault_plan.label(),
                                                 tenant_set.label(),
                                                 resilience.label(),
+                                                redundancy.label(),
                                                 fabric.label()
                                             );
                                             points.push(SweepPoint {
@@ -473,9 +492,11 @@ impl SweepGrid {
                                                 fault_plan,
                                                 tenants: tenant_set.label().to_string(),
                                                 resilience,
+                                                redundancy,
                                                 fabric,
                                                 config,
                                             });
+                                        }
                                         }
                                         }
                                         }
@@ -729,11 +750,17 @@ impl SweepGrid {
                 .map(|r| r.label().to_string())
                 .collect()
         };
+        let redundancies: Vec<String> = if self.redundancies.is_empty() {
+            vec!["base".to_string()]
+        } else {
+            self.redundancies.iter().map(|r| r.label()).collect()
+        };
         format!(
             "{{\"name\": {}, \"requests\": {}, \"configs\": {}, \
              \"workloads\": {}, \"shapes\": {}, \"timings\": {}, \
              \"queue_depths\": {}, \"policies\": {}, \"scout_caches\": {}, \
-             \"faults\": {}, \"tenants\": {}, \"resilience\": {}, \"fabrics\": {}}}",
+             \"faults\": {}, \"tenants\": {}, \"resilience\": {}, \
+             \"redundancy\": {}, \"fabrics\": {}}}",
             json_str(&self.name),
             self.requests,
             json_str_list(&configs),
@@ -746,6 +773,7 @@ impl SweepGrid {
             json_str_list(&faults),
             json_str_list(&tenants),
             json_str_list(&resiliences),
+            json_str_list(&redundancies),
             json_str_list(&fabrics),
         )
     }
@@ -784,6 +812,9 @@ pub struct SweepPoint {
     /// Host-resilience policy under test (`ResiliencePolicy::None` on
     /// resilience-free grids).
     pub resilience: ResiliencePolicy,
+    /// Redundancy scheme under test (`RedundancyKind::None` on
+    /// redundancy-free grids).
+    pub redundancy: RedundancyKind,
     /// The fabric under test.
     pub fabric: FabricKind,
     /// The fully resolved configuration this point simulates.
@@ -903,11 +934,12 @@ impl SweepOutcome {
     ///
     /// A row is one full non-fabric coordinate — (config, workload, shape,
     /// timing, queue depth, policy, scout cache, fault plan, tenant set,
-    /// resilience policy) — so metrics from different configurations are
-    /// never merged into one row: on a grid where `filter` leaves several
-    /// configs/shapes/timings/depths/policies/caches/tenant-sets/resilience
-    /// presets, the same workload name simply appears once per coordinate.
-    /// Within a row, metrics are in fabric-axis order.
+    /// resilience policy, redundancy scheme) — so metrics from different
+    /// configurations are never merged into one row: on a grid where
+    /// `filter` leaves several configs/shapes/timings/depths/policies/
+    /// caches/tenant-sets/resilience/redundancy presets, the same workload
+    /// name simply appears once per coordinate. Within a row, metrics are
+    /// in fabric-axis order.
     pub fn rows_by_workload(
         &self,
         filter: impl Fn(&SweepPoint) -> bool,
@@ -924,6 +956,7 @@ impl SweepOutcome {
                 p.fault_plan,
                 p.tenants.clone(),
                 p.resilience,
+                p.redundancy,
             )
         };
         let mut rows: Vec<CatalogRow> = Vec::new();
@@ -1465,6 +1498,44 @@ mod tests {
         assert_eq!(
             plain.build_points()[0].config.resilience,
             ResiliencePolicy::None
+        );
+    }
+
+    #[test]
+    fn redundancy_axis_expands_and_reaches_the_config() {
+        let grid = SweepGrid::new("redundancy-axis")
+            .workload(WorkloadAxis::catalog("hm_0").expect("catalog"))
+            .redundancy_kinds(&RedundancyKind::ALL)
+            .fabrics(&[FabricKind::Venice])
+            .requests(50);
+        let points = grid.build_points();
+        assert_eq!(points.len(), RedundancyKind::ALL.len());
+        for (p, kind) in points.iter().zip(RedundancyKind::ALL) {
+            assert_eq!(p.redundancy, kind);
+            assert_eq!(
+                p.config.redundancy, kind,
+                "redundancy scheme must reach the config"
+            );
+            assert!(p.label.contains(&kind.label()), "label {}", p.label);
+            assert_eq!(
+                RedundancyKind::by_label(&kind.label()),
+                Some(kind),
+                "manifest labels must round-trip"
+            );
+        }
+        let def = grid.definition_json();
+        assert!(
+            def.contains("\"redundancy\": [\"none\", \"parity4\"]"),
+            "definition must carry the redundancy axis: {def}"
+        );
+        // An unset axis serializes as the base marker, like the other axes.
+        let plain = SweepGrid::new("no-redundancy")
+            .workload(WorkloadAxis::catalog("hm_0").expect("catalog"))
+            .requests(50);
+        assert!(plain.definition_json().contains("\"redundancy\": [\"base\"]"));
+        assert_eq!(
+            plain.build_points()[0].config.redundancy,
+            RedundancyKind::None
         );
     }
 

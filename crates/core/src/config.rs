@@ -6,7 +6,7 @@ use venice_interconnect::{FabricParams, ScoutCacheKind};
 use venice_nand::{ChipGeometry, NandTiming, OpEnergy};
 use venice_sim::SimDuration;
 
-use crate::{DispatchPolicyKind, DispatchScanKind, FaultPlan, ResiliencePolicy};
+use crate::{DispatchPolicyKind, DispatchScanKind, FaultPlan, RedundancyKind, ResiliencePolicy};
 
 /// Static (load-independent) power draw of the SSD, used by the Figure 14
 /// energy model: controller, DRAM, and per-chip standby power.
@@ -79,6 +79,11 @@ pub struct SsdConfig {
     /// [`ResiliencePolicy::None`] (the default) schedules zero events and
     /// reproduces the pre-resilience engine bit-for-bit.
     pub resilience: ResiliencePolicy,
+    /// Die-level redundancy scheme: RAIN parity groups with
+    /// reconstruct-on-read and background rebuild (a sweep axis).
+    /// [`RedundancyKind::None`] (the default) schedules zero events and
+    /// allocates identically — the pre-redundancy engine bit-for-bit.
+    pub redundancy: RedundancyKind,
     /// Runaway-run watchdog: abort the run once this many calendar events
     /// have been scheduled. `None` (the preset default) disables the check;
     /// sweeps enable a generous ceiling so no fault scenario can spin the
@@ -128,6 +133,7 @@ impl SsdConfig {
             scan: DispatchScanKind::Incremental,
             fault_plan: FaultPlan::None,
             resilience: ResiliencePolicy::None,
+            redundancy: RedundancyKind::None,
             max_events: None,
             max_sim_ns: None,
             panic_after_events: None,
@@ -160,6 +166,7 @@ impl SsdConfig {
             scan: DispatchScanKind::Incremental,
             fault_plan: FaultPlan::None,
             resilience: ResiliencePolicy::None,
+            redundancy: RedundancyKind::None,
             max_events: None,
             max_sim_ns: None,
             panic_after_events: None,
@@ -298,6 +305,15 @@ impl SsdConfig {
     /// admission branches.
     pub fn with_resilience(mut self, policy: ResiliencePolicy) -> Self {
         self.resilience = policy;
+        self
+    }
+
+    /// Selects the die-level redundancy scheme (a sweep-engine axis).
+    /// [`RedundancyKind::None`] reproduces the pre-redundancy engine
+    /// bit-for-bit — it schedules zero calendar events and allocates
+    /// identically; `Parity` changes nothing until a chip actually dies.
+    pub fn with_redundancy(mut self, redundancy: RedundancyKind) -> Self {
+        self.redundancy = redundancy;
         self
     }
 
@@ -492,6 +508,17 @@ mod tests {
         let armed = cfg.with_resilience(ResiliencePolicy::Full);
         assert_eq!(armed.resilience, ResiliencePolicy::Full);
         assert!(armed.resilience.params().deadline.is_some());
+        armed.validate();
+    }
+
+    #[test]
+    fn redundancy_defaults_none_and_applies() {
+        let cfg = SsdConfig::performance_optimized();
+        assert_eq!(cfg.redundancy, RedundancyKind::None);
+        assert_eq!(SsdConfig::cost_optimized().redundancy, RedundancyKind::None);
+        let armed = cfg.with_redundancy(RedundancyKind::Parity { group: 4 });
+        assert_eq!(armed.redundancy, RedundancyKind::Parity { group: 4 });
+        assert!(armed.redundancy.is_armed());
         armed.validate();
     }
 

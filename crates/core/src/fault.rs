@@ -80,6 +80,16 @@ pub enum FaultPlan {
     /// A permanent chip/die death at 20 µs, above the fabric: the fabric
     /// path stays healthy but the die never answers again.
     Chip,
+    /// The `Chip` death plus two link severances at 20 µs around the same
+    /// focal row — the `Link` row cut and a crossing column cut through
+    /// the dead chip's east-neighbor survivor: a rebuild must thread its
+    /// reconstruction traffic through an already-degraded fabric. Bus
+    /// designs lose the dead chip's whole row — its parity-group
+    /// survivors included — and even a row+column bus design loses the
+    /// east-neighbor survivor, so their rebuilds can only skip pages;
+    /// only the path-diverse meshes still reach the complete survivor set
+    /// and recover everything.
+    ChipAndLink,
     /// Transient NAND program/erase errors: two chips are armed with two
     /// one-shot failures each at 10 µs; every failed op retries once.
     TransientNand,
@@ -96,13 +106,14 @@ const REPAIR_AT_US: u64 = 120;
 
 impl FaultPlan {
     /// All plans, in presentation order.
-    pub const ALL: [FaultPlan; 8] = [
+    pub const ALL: [FaultPlan; 9] = [
         FaultPlan::None,
         FaultPlan::Link,
         FaultPlan::LinkCross,
         FaultPlan::LinkRepair,
         FaultPlan::Router,
         FaultPlan::Chip,
+        FaultPlan::ChipAndLink,
         FaultPlan::TransientNand,
         FaultPlan::Storm,
     ];
@@ -116,6 +127,7 @@ impl FaultPlan {
             FaultPlan::LinkRepair => "link-repair",
             FaultPlan::Router => "router",
             FaultPlan::Chip => "chip",
+            FaultPlan::ChipAndLink => "chip-link",
             FaultPlan::TransientNand => "transient-nand",
             FaultPlan::Storm => "storm",
         }
@@ -194,6 +206,38 @@ impl FaultPlan {
                 }
             }
             FaultPlan::Chip => {
+                script.push((at, FaultAction::ChipDeath(node(r, cols / 2))));
+            }
+            FaultPlan::ChipAndLink => {
+                // The links sever first so the death lands on an
+                // already-degraded fabric; all three share the focal row,
+                // so on a bus design the dead chip's survivors sit behind
+                // the severed row bus. The crossing column link runs
+                // through the dead chip's east neighbor — its first parity
+                // survivor — so a row+column bus design loses exactly that
+                // one survivor too: strict parity then blocks every
+                // reconstruction, and only a path-diverse mesh can still
+                // reach the full survivor set.
+                if row_link_ok {
+                    script.push((
+                        at,
+                        FaultAction::Fabric(FabricFault::LinkDown {
+                            a: node(r, c0),
+                            b: node(r, c0 + 1),
+                        }),
+                    ));
+                }
+                let c1 = cols / 2 + 1;
+                if rows >= 2 && c1 < cols {
+                    let rb = if r + 1 < rows { r + 1 } else { r - 1 };
+                    script.push((
+                        at,
+                        FaultAction::Fabric(FabricFault::LinkDown {
+                            a: node(r, c1),
+                            b: node(rb, c1),
+                        }),
+                    ));
+                }
                 script.push((at, FaultAction::ChipDeath(node(r, cols / 2))));
             }
             FaultPlan::TransientNand => {

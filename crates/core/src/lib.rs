@@ -44,6 +44,7 @@ mod dispatch;
 mod experiment;
 mod fault;
 mod metrics;
+mod redundancy;
 pub mod report;
 mod resilience;
 mod ssd;
@@ -59,9 +60,13 @@ pub use experiment::{
 };
 pub use fault::{FaultAction, FaultPlan};
 pub use metrics::{RunMetrics, RunStatus, TenantMetrics};
+pub use redundancy::{
+    parity_group, RedundancyKind, REBUILD_BURST, REBUILD_MAX_JOBS, REBUILD_RATE,
+    REBUILD_RETRY_LIMIT, REBUILD_SCAN_BATCH, REBUILD_TICK,
+};
 pub use resilience::{
     AdmissionParams, RequestOutcome, ResilienceParams, ResiliencePolicy, RetryParams,
-    RETRY_JITTER_SEED,
+    BATCH_DEADLINE, LATENCY_DEADLINE, RETRY_JITTER_SEED,
 };
 pub use ssd::SsdSim;
 // Re-exported for config/sweep ergonomics: the scout fast-fail cache mode is
@@ -69,5 +74,6 @@ pub use ssd::SsdSim;
 pub use venice_interconnect::ScoutCacheKind;
 // Re-exported for config/sweep ergonomics: the tenancy model is an
 // `SsdConfig` knob and a sweep axis; it lives in `venice_hil` because the
-// host interface enforces it.
-pub use venice_hil::{TenantSet, TenantSpec};
+// host interface enforces it. `DeadlineClass` rides along: it is a tenant
+// attribute the core's per-tenant deadline stamping consumes.
+pub use venice_hil::{DeadlineClass, TenantSet, TenantSpec};

@@ -6,9 +6,11 @@ use venice_interconnect::FabricStats;
 use venice_sim::stats::LatencySamples;
 use venice_sim::{SimDuration, SimTime};
 
+use venice_hil::DeadlineClass;
+
 use crate::dispatch::DispatchStats;
 use crate::report::{json_f64, json_str};
-use crate::{DispatchPolicyKind, ResiliencePolicy};
+use crate::{DispatchPolicyKind, RedundancyKind, ResiliencePolicy};
 
 /// How a run ended (part of [`RunMetrics`] and the sweep manifest's
 /// per-point `status` field).
@@ -51,6 +53,9 @@ pub struct TenantMetrics {
     pub weight: u32,
     /// The tenant's queue-depth cap (0 = unlimited).
     pub qd_cap: u32,
+    /// The tenant's deadline contract class (inert unless the resilience
+    /// policy arms deadlines).
+    pub deadline_class: DeadlineClass,
     /// End-to-end latencies of this tenant's requests.
     pub latencies: LatencySamples,
     /// Requests of this tenant that completed.
@@ -61,6 +66,9 @@ pub struct TenantMetrics {
     pub backpressured: u64,
     /// This tenant's requests that completed with error status.
     pub failed: u64,
+    /// This tenant's requests that hit unreconstructable data loss
+    /// ([`crate::RequestOutcome::DataLoss`]; a subset of `failed`).
+    pub data_loss: u64,
     /// This tenant's requests whose final attempt was aborted by its
     /// deadline (a subset of `failed`).
     pub deadline_misses: u64,
@@ -175,6 +183,30 @@ pub struct RunMetrics {
     /// goodput numerator. With deadlines unarmed this equals the
     /// successful completions (`completed_requests - failed_requests`).
     pub deadline_met_requests: u64,
+    /// Die-level redundancy scheme the run used (`None` on the default
+    /// path).
+    pub redundancy: RedundancyKind,
+    /// Foreground reads served by parity reconstruction (the read landed
+    /// on a dead chip and fanned out to the surviving group members
+    /// instead of failing).
+    pub degraded_reads: u64,
+    /// Pages the background rebuild engine reconstructed and remapped off
+    /// the dead chip.
+    pub rebuilt_pages: u64,
+    /// Dead-chip pages the rebuild engine gave up on (no parity-group
+    /// survivor was spawnable — peers media-dead, unreachable behind a
+    /// fabric fault, or migration-busy). Non-zero means the recovery is
+    /// incomplete even if `rebuild_done_ns` is set.
+    pub rebuild_skipped_pages: u64,
+    /// Absolute simulation time (ns) at which the background rebuild
+    /// finished draining — the MTTR endpoint (`rebuild_done_ns` minus the
+    /// fault-plan injection time is the rebuild makespan). Zero when no
+    /// rebuild ran or it did not finish.
+    pub rebuild_done_ns: u64,
+    /// Requests that hit unreconstructable data loss
+    /// ([`crate::RequestOutcome::DataLoss`]; a subset of
+    /// `failed_requests`).
+    pub data_loss_requests: u64,
 }
 
 impl RunMetrics {
@@ -217,6 +249,14 @@ impl RunMetrics {
     /// Fraction of completed requests that completed *successfully* (no
     /// dead-chip / dead-path error): the fault ablation's availability
     /// metric. 1.0 for a clean run; 0.0 when nothing completed.
+    ///
+    /// What it covers: the engine's ability to keep *completing* requests
+    /// around faults — dead paths routed around, dead chips fail-stopped,
+    /// degraded reads reconstructed (a reconstructed read counts as a
+    /// success). What it does **not** cover: durability. Without
+    /// redundancy a dead chip's data is gone; those requests complete with
+    /// [`crate::RequestOutcome::DataLoss`] and are counted here merely as
+    /// failures — see `data_loss_requests` for the durability story.
     pub fn availability(&self) -> f64 {
         if self.completed_requests == 0 {
             0.0
@@ -302,6 +342,12 @@ impl RunMetrics {
             host_retries: 0,
             shed_requests: 0,
             deadline_met_requests: 0,
+            redundancy: RedundancyKind::None,
+            degraded_reads: 0,
+            rebuilt_pages: 0,
+            rebuild_skipped_pages: 0,
+            rebuild_done_ns: 0,
+            data_loss_requests: 0,
         }
     }
 
@@ -345,17 +391,21 @@ impl RunMetrics {
             }
             tenants_json.push_str(&format!(
                 "{{\"name\": {}, \"weight\": {}, \"qd_cap\": {}, \
+                 \"deadline_class\": {}, \
                  \"completed\": {}, \"conflicted\": {}, \"backpressured\": {}, \
-                 \"failed\": {}, \"deadline_misses\": {}, \"host_retries\": {}, \
+                 \"failed\": {}, \"data_loss\": {}, \"deadline_misses\": {}, \
+                 \"host_retries\": {}, \
                  \"shed\": {}, \"deadline_met\": {}, \
                  \"mean_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}}}",
                 json_str(t.name),
                 t.weight,
                 t.qd_cap,
+                json_str(t.deadline_class.label()),
                 t.completed,
                 t.conflicted,
                 t.backpressured,
                 t.failed,
+                t.data_loss,
                 t.deadline_misses,
                 t.host_retries,
                 t.shed,
@@ -394,6 +444,10 @@ impl RunMetrics {
              \"resilience\": {{\"policy\": {}, \"deadline_met\": {}, \
              \"deadline_misses\": {}, \"host_retries\": {}, \
              \"shed_requests\": {}, \"goodput\": {}}},\n  \
+             \"redundancy\": {{\"kind\": {}, \"degraded_reads\": {}, \
+             \"rebuilt_pages\": {}, \"rebuild_skipped_pages\": {}, \
+             \"rebuild_done_ns\": {}, \
+             \"data_loss_requests\": {}}},\n  \
              \"transactions\": {},\n  \"events\": {},\n  \"end_time_ns\": {}\n}}\n",
             json_str(self.system.label()),
             json_str(&self.workload),
@@ -457,6 +511,12 @@ impl RunMetrics {
             self.host_retries,
             self.shed_requests,
             json_f64(self.goodput()),
+            json_str(&self.redundancy.label()),
+            self.degraded_reads,
+            self.rebuilt_pages,
+            self.rebuild_skipped_pages,
+            self.rebuild_done_ns,
+            self.data_loss_requests,
             self.transactions,
             self.events,
             self.end_time.as_nanos(),
@@ -493,11 +553,13 @@ mod tests {
                 name: "all",
                 weight: 1,
                 qd_cap: 0,
+                deadline_class: DeadlineClass::Default,
                 latencies: LatencySamples::new(),
                 completed: requests,
                 conflicted: 0,
                 backpressured: 0,
                 failed: 0,
+                data_loss: 0,
                 deadline_misses: 0,
                 host_retries: 0,
                 shed: 0,
@@ -517,6 +579,12 @@ mod tests {
             host_retries: 0,
             shed_requests: 0,
             deadline_met_requests: requests,
+            redundancy: RedundancyKind::None,
+            degraded_reads: 0,
+            rebuilt_pages: 0,
+            rebuild_skipped_pages: 0,
+            rebuild_done_ns: 0,
+            data_loss_requests: 0,
         }
     }
 
@@ -581,11 +649,13 @@ mod tests {
             name,
             weight,
             qd_cap: 0,
+            deadline_class: DeadlineClass::Default,
             latencies,
             completed,
             conflicted: completed / 10,
             backpressured: 0,
             failed: 0,
+            data_loss: 0,
             deadline_misses: 0,
             host_retries: 0,
             shed: 0,
@@ -648,6 +718,31 @@ mod tests {
         let failed = RunMetrics::failed(FabricKind::Venice, "wl", "test");
         assert_eq!(failed.fairness_index(), 1.0);
         assert!(failed.to_json().contains("\"tenants\": []"));
+    }
+
+    #[test]
+    fn redundancy_counters_serialize_in_their_own_section() {
+        let mut m = metrics(1_000, 100);
+        let json = m.to_json();
+        assert!(json.contains(
+            "\"redundancy\": {\"kind\": \"none\", \"degraded_reads\": 0, \
+             \"rebuilt_pages\": 0, \"rebuild_skipped_pages\": 0, \
+             \"rebuild_done_ns\": 0, \"data_loss_requests\": 0}"
+        ));
+        m.redundancy = RedundancyKind::Parity { group: 4 };
+        m.degraded_reads = 7;
+        m.rebuilt_pages = 123;
+        m.rebuild_done_ns = 456_000;
+        m.data_loss_requests = 0;
+        m.tenants[0].data_loss = 0;
+        m.tenants[0].deadline_class = DeadlineClass::Latency;
+        let armed = m.to_json();
+        assert!(armed.contains("\"kind\": \"parity4\""));
+        assert!(armed.contains("\"degraded_reads\": 7"));
+        assert!(armed.contains("\"rebuilt_pages\": 123"));
+        assert!(armed.contains("\"rebuild_done_ns\": 456000"));
+        assert!(armed.contains("\"deadline_class\": \"latency\""));
+        assert!(armed.contains("\"data_loss\": 0"));
     }
 
     #[test]

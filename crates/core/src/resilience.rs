@@ -25,7 +25,9 @@
 //!
 //! Every request reaches exactly one terminal [`RequestOutcome`];
 //! `shed + completed` partitions the trace, and `Ok + DeadlineMiss +
-//! FailedAfterRetries` partitions the completions.
+//! FailedAfterRetries + DataLoss` partitions the completions
+//! ([`RequestOutcome::DataLoss`] — unreconstructable data on a dead chip —
+//! is carved out of the generic failure class by the redundancy layer).
 //!
 //! [`ResiliencePolicy::None`] expands to all-off parameters and therefore
 //! schedules zero calendar events and takes no admission branches — the
@@ -60,6 +62,12 @@ pub enum RequestOutcome {
     /// Rejected at submission by the overload admission policy; the request
     /// never entered the device.
     Shed,
+    /// The request addressed data on a permanently dead chip that no
+    /// redundancy scheme can reconstruct ([`crate::RedundancyKind::None`],
+    /// or a parity group with no survivors): the data is *gone*, not
+    /// merely unreachable. Distinct from fabric-level failure — retrying
+    /// cannot help — and a subset of the failed completions.
+    DataLoss,
 }
 
 impl RequestOutcome {
@@ -70,6 +78,7 @@ impl RequestOutcome {
             RequestOutcome::DeadlineMiss => "deadline-miss",
             RequestOutcome::FailedAfterRetries => "failed-after-retries",
             RequestOutcome::Shed => "shed",
+            RequestOutcome::DataLoss => "data-loss",
         }
     }
 }
@@ -121,6 +130,16 @@ pub struct ResilienceParams {
 /// saturated tail (p99 ≈ 340–400µs on the Baseline fabric), so overload
 /// and fault windows produce misses while nominal service does not.
 const DEADLINE: SimDuration = SimDuration::from_micros(250);
+
+/// Deadline of a [`venice_hil::DeadlineClass::Latency`] tenant when the
+/// policy arms deadlines: well under the preset 250 µs contract, so a
+/// latency-sensitive victim's misses surface while its neighbors' don't.
+pub const LATENCY_DEADLINE: SimDuration = SimDuration::from_micros(100);
+
+/// Deadline of a [`venice_hil::DeadlineClass::Batch`] tenant when the
+/// policy arms deadlines: far looser than the preset contract — batch work
+/// cares about completion, not tail latency.
+pub const BATCH_DEADLINE: SimDuration = SimDuration::from_micros(1_000);
 
 const RETRY: RetryParams = RetryParams {
     max_retries: 3,
@@ -260,6 +279,10 @@ mod tests {
             "failed-after-retries"
         );
         assert_eq!(RequestOutcome::Shed.label(), "shed");
+        assert_eq!(RequestOutcome::DataLoss.label(), "data-loss");
         assert_eq!(RequestOutcome::default(), RequestOutcome::Ok);
+        // Per-class deadlines straddle the policy's own 250 µs contract.
+        assert!(LATENCY_DEADLINE < SimDuration::from_micros(250));
+        assert!(BATCH_DEADLINE > SimDuration::from_micros(250));
     }
 }

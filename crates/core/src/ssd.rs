@@ -57,7 +57,7 @@ use venice_ftl::{
     Ftl, FtlConfig, Gppa, MappingCache, MigrationJob, RequestId, Transaction,
     TransactionScheduler, TxnId, TxnKind,
 };
-use venice_hil::{HostInterface, HostRequest};
+use venice_hil::{DeadlineClass, HostInterface, HostRequest};
 use venice_interconnect::{
     build_fabric, AcquireError, Fabric, FabricKind, NodeId, PathGrant, ReleaseInfo,
 };
@@ -68,7 +68,13 @@ use venice_sim::{DenseBitSet, EventQueue, SimDuration, SimTime};
 use venice_workloads::{IoOp, Trace};
 
 use crate::dispatch::{DispatchScanKind, PolicyState};
-use crate::resilience::{ResilienceParams, RetryParams, RETRY_JITTER_SEED};
+use crate::redundancy::{
+    REBUILD_BURST, REBUILD_MAX_JOBS, REBUILD_RATE, REBUILD_RETRY_LIMIT, REBUILD_SCAN_BATCH,
+    REBUILD_TICK,
+};
+use crate::resilience::{
+    ResilienceParams, RetryParams, BATCH_DEADLINE, LATENCY_DEADLINE, RETRY_JITTER_SEED,
+};
 use crate::{FaultAction, FaultPlan, ResiliencePolicy, RunMetrics, RunStatus, SsdConfig};
 
 /// Simulator events.
@@ -95,6 +101,13 @@ enum Event {
     HostTimeout(u64),
     /// A failed / timed-out request resubmits after its retry backoff.
     HostResubmit(u64),
+    /// One pacing quantum of the background rebuild engine (see
+    /// `crate::redundancy`): refill the token bucket, advance the scan of
+    /// the dead chip's logical pages, and launch reconstruction jobs.
+    /// Scheduled only while a rebuild is active, so redundancy-off runs —
+    /// and redundancy-on runs that never lose a chip — keep a bit-identical
+    /// calendar.
+    RebuildTick,
 }
 
 /// Verdict of the submission-side admission policy for one attempt.
@@ -170,6 +183,10 @@ struct ReqState {
     /// The current attempt's deadline fired: outstanding transactions are
     /// aborted at the next command boundary.
     timed_out: bool,
+    /// The attempt read a page whose only copy sat on a dead chip with no
+    /// reconstructable redundancy: the failure is *data loss*, not a
+    /// routing casualty (see [`crate::RequestOutcome::DataLoss`]).
+    data_loss: bool,
     /// The request reached its one terminal outcome (completed or shed).
     done: bool,
 }
@@ -180,6 +197,95 @@ struct MigrationState {
     reads_pending: u32,
     writes_pending: u32,
     erase_issued: bool,
+}
+
+/// One in-flight rebuild job: reconstruct the dead chip's copy of `lpa`
+/// from its surviving parity-group members, then remap it onto a live
+/// plane. Jobs are bounded by [`REBUILD_MAX_JOBS`], so lookups are linear
+/// scans over a tiny `Vec` — no hashing (the ROADMAP storage rule).
+struct RebuildJob {
+    lpa: u64,
+    /// Outstanding reconstruction reads; the remapped write launches when
+    /// this reaches zero (a buffer-resident page starts at zero).
+    reads_pending: u32,
+}
+
+/// The background rebuild engine for one dead chip (see
+/// `crate::redundancy` for the pacing constants and the RAIN model).
+/// One chip rebuilds at a time — later permanent deaths queue behind it
+/// in [`SsdSim::rebuild_pending`] — mirroring a real RAID controller's
+/// serialized rebuild.
+struct RebuildState {
+    /// The dead chip being rebuilt.
+    chip: usize,
+    /// Scan cursor over the logical address space: pages mapped to the
+    /// dead chip are staged into the HIL's background lane as they are
+    /// found.
+    next_lpa: u64,
+    /// Token bucket: [`REBUILD_RATE`] tokens per [`REBUILD_TICK`], capped
+    /// at [`REBUILD_BURST`]; launching one job costs one token, so a
+    /// saturated bucket defers staged pages instead of dropping them.
+    tokens: u32,
+    /// In-flight reconstruction jobs (≤ [`REBUILD_MAX_JOBS`], enforced by
+    /// the HIL background lane's in-flight cap).
+    jobs: Vec<RebuildJob>,
+    /// The scan cursor reached the end of the logical space.
+    scan_done: bool,
+    /// Re-stage counts for severed-survivor pages, keyed by lpa (linear
+    /// scans — the list only ever holds pages of the one chip being
+    /// rebuilt). A page that exhausts [`REBUILD_RETRY_LIMIT`] attempts is
+    /// skipped.
+    retries: Vec<(u64, u32)>,
+    /// Blocked pages parked until the next tick re-submits them to the
+    /// background lane — tick spacing keeps one page from burning all its
+    /// bounded attempts (and the whole token bucket) against a blocker
+    /// that has not had a single event's time to clear.
+    deferred: Vec<u64>,
+}
+
+/// What `survivor_targets` found for one dead page's parity group. XOR
+/// reconstruction is all-or-nothing: every media-alive survivor that ever
+/// wrote the mirrored block must contribute, so one blocked peer blocks
+/// the whole page and one destroyed peer loses it outright.
+struct SurvivorSet {
+    /// Spawnable reconstruction-read targets (peers that never wrote the
+    /// mirrored block are absent — XOR with an erased page is free).
+    targets: Vec<PhysicalPageAddr>,
+    /// Media-alive peers unreachable behind a fabric fault's blast
+    /// radius. The severance may never heal, so rebuild retries against
+    /// them are bounded by [`REBUILD_RETRY_LIMIT`].
+    severed: u32,
+    /// Media-alive peers whose plane hosts an active migration. Always
+    /// transient — migrations are finite — so rebuild defers these pages
+    /// without burning a bounded attempt.
+    migrating: u32,
+    /// A peer's media is permanently gone (overlapping chip deaths): the
+    /// group is short a member forever and the page is unrecoverable.
+    lost: bool,
+}
+
+impl SurvivorSet {
+    /// True when a media-alive survivor is unreadable right now: XOR
+    /// reconstruction needs the complete set, so one blocked peer blocks
+    /// the whole page.
+    fn blocked(&self) -> bool {
+        self.severed > 0 || self.migrating > 0
+    }
+}
+
+/// Outcome of one foreground degraded-read attempt.
+enum DegradedRead {
+    /// The complete survivor set was readable: reconstruction reads
+    /// spawned (zero when every contribution was an erased page — the
+    /// content reconstructs without touching flash).
+    Spawned(u32),
+    /// A media-alive survivor is transiently unreadable: the attempt
+    /// fails as a routing casualty, never as data loss — a resilience
+    /// retry can reconstruct once the path or plane drains.
+    Blocked,
+    /// A survivor's media is gone with the primary: even parity cannot
+    /// recover the page.
+    Lost,
 }
 
 /// A fixed-capacity bitset over dense ids (physical page indices).
@@ -333,6 +439,12 @@ pub struct SsdSim {
     /// Per-chip count of overlapping death causes (fabric blast radius +
     /// scripted chip deaths); a chip is dead while its count is non-zero.
     chip_dead: Vec<u8>,
+    /// Per-chip media-loss flag: set only by a permanent
+    /// [`FaultAction::ChipDeath`], never cleared (dies don't heal). A chip
+    /// in `chip_dead` but not here is merely unreachable (fabric blast
+    /// radius) — its data is intact, so failures against it classify as
+    /// routing casualties, never as data loss.
+    media_dead: Vec<bool>,
     /// Per-chip armed transient NAND failures: each charge fails one
     /// program/erase once (retried after a full re-issue latency).
     transient_charges: Vec<u32>,
@@ -371,6 +483,34 @@ pub struct SsdSim {
     tenant_host_retries: Vec<u64>,
     tenant_shed: Vec<u64>,
     tenant_deadline_met: Vec<u64>,
+
+    /// True when the configured [`RedundancyKind`] is armed: gates the
+    /// degraded-read fan-out and the rebuild engine, so
+    /// `RedundancyKind::None` runs schedule zero extra events and allocate
+    /// identically (the golden-hash contract, exactly like `fault_mode`).
+    redundancy_mode: bool,
+    /// The active rebuild, if a permanent chip death armed one.
+    rebuild: Option<RebuildState>,
+    /// Permanently dead chips waiting behind the active rebuild.
+    rebuild_pending: VecDeque<usize>,
+    /// A [`Event::RebuildTick`] is on the calendar (at most one at a time).
+    rebuild_tick_armed: bool,
+    /// Foreground reads served by parity reconstruction instead of the
+    /// dead chip (one per reconstructed page read).
+    degraded_reads: u64,
+    /// Dead-chip pages reconstructed and remapped by the rebuild engine.
+    rebuilt_pages: u64,
+    /// Dead-chip pages the rebuild engine had to give up on: no
+    /// parity-group survivor was spawnable when the job launched (peers
+    /// media-dead, unreachable behind a fabric fault, or migration-busy).
+    /// Non-zero means the recovery is incomplete — the pages stay mapped
+    /// to the dead chip and a later foreground read still classifies them.
+    rebuild_skipped_pages: u64,
+    /// Instant the last rebuild drained (ZERO = none ran); MTTR is this
+    /// minus the fault-injection time.
+    rebuild_done: SimTime,
+    data_loss_requests: u64,
+    tenant_data_loss: Vec<u64>,
 }
 
 impl SsdSim {
@@ -467,6 +607,7 @@ impl SsdSim {
                 .events_for(config.fabric.rows, config.fabric.cols),
             fault_mode: config.fault_plan != FaultPlan::None,
             chip_dead: vec![0; chip_count],
+            media_dead: vec![false; chip_count],
             transient_charges: vec![0; chip_count],
             faults_injected: 0,
             faults_active: 0,
@@ -486,6 +627,16 @@ impl SsdSim {
             tenant_host_retries: vec![0; config.tenants.len()],
             tenant_shed: vec![0; config.tenants.len()],
             tenant_deadline_met: vec![0; config.tenants.len()],
+            redundancy_mode: config.redundancy.is_armed(),
+            rebuild: None,
+            rebuild_pending: VecDeque::new(),
+            rebuild_tick_armed: false,
+            degraded_reads: 0,
+            rebuilt_pages: 0,
+            rebuild_skipped_pages: 0,
+            rebuild_done: SimTime::ZERO,
+            data_loss_requests: 0,
+            tenant_data_loss: vec![0; config.tenants.len()],
             ftl,
             trace: trace.clone(),
             config,
@@ -548,7 +699,9 @@ impl SsdSim {
                 self.tsu.is_empty()
                     && self.live_txns == 0
                     && self.stalled_arrival.is_none()
-                    && self.throttled_writes.is_empty(),
+                    && self.throttled_writes.is_empty()
+                    && self.rebuild.is_none()
+                    && self.rebuild_pending.is_empty(),
                 "simulation drained its event queue with work still outstanding"
             );
             assert_eq!(
@@ -572,6 +725,7 @@ impl SsdSim {
             Event::Fault(i) => self.on_fault(now, i),
             Event::HostTimeout(r) => self.on_host_timeout(now, r),
             Event::HostResubmit(r) => self.on_host_resubmit(now, r),
+            Event::RebuildTick => self.on_rebuild_tick(now),
         }
     }
 
@@ -631,7 +785,7 @@ impl SsdSim {
             op: e.op,
             offset: e.offset,
             bytes: e.bytes,
-            deadline: self.resilience.deadline.map(|d| now + d),
+            deadline: self.deadline_for(tenant).map(|d| now + d),
         };
         if self.resilience_mode {
             match self.admission_verdict(tenant) {
@@ -659,12 +813,31 @@ impl SsdSim {
         }
     }
 
+    /// Per-attempt deadline for `tenant`: the policy deadline modulated by
+    /// the tenant's [`DeadlineClass`]. `None` when the policy arms no
+    /// deadline (classes are inert then) or the class opts the tenant out;
+    /// with every class at the default the result is exactly the policy
+    /// deadline, so existing runs are bit-identical.
+    fn deadline_for(&self, tenant: usize) -> Option<SimDuration> {
+        let base = self.resilience.deadline?;
+        match self.config.tenants.specs()[tenant].deadline {
+            DeadlineClass::Default => Some(base),
+            DeadlineClass::Latency => Some(LATENCY_DEADLINE),
+            DeadlineClass::Batch => Some(BATCH_DEADLINE),
+            DeadlineClass::None => None,
+        }
+    }
+
     /// Post-submit bookkeeping shared by first attempts, stall resumes, and
     /// resubmissions: schedules the fetch and arms the attempt's deadline.
     fn after_submit(&mut self, now: SimTime, req_id: u64) {
         self.queue
             .schedule(now + self.config.hil.submission_latency, Event::Process);
-        if let Some(d) = self.resilience.deadline {
+        // Same tag clamp as `on_arrival`, so every attempt of a request
+        // resolves to the same tenant (and therefore deadline class).
+        let tenant =
+            usize::from(self.trace.tenant_of(req_id as usize)).min(self.config.tenants.len() - 1);
+        if let Some(d) = self.deadline_for(tenant) {
             let at = now + d;
             self.requests[req_id as usize].deadline_at = at;
             self.queue.schedule(at, Event::HostTimeout(req_id));
@@ -691,7 +864,7 @@ impl SsdSim {
         }
         // Overloaded: shed when the tail estimate says the deadline cannot
         // be met anyway, otherwise defer (plain backpressure).
-        match self.resilience.deadline {
+        match self.deadline_for(tenant) {
             Some(d) if self.tail_estimate_ns > d.as_nanos() => Admission::Shed,
             _ => Admission::Defer,
         }
@@ -757,6 +930,7 @@ impl SsdSim {
         st.attempts += 1;
         st.timed_out = false;
         st.failed = false;
+        st.data_loss = false;
         // Disarm the old deadline so its still-scheduled timer reads as
         // stale even if it fires during the backoff window; the
         // resubmission arms a fresh one.
@@ -786,6 +960,7 @@ impl SsdSim {
         let index = req_id as usize;
         let e = self.trace.events()[index];
         let st = &self.requests[index];
+        let deadline = self.deadline_for(usize::from(st.tenant)).map(|d| now + d);
         let req = HostRequest {
             id: req_id,
             tenant: st.tenant,
@@ -793,7 +968,7 @@ impl SsdSim {
             op: e.op,
             offset: e.offset,
             bytes: e.bytes,
-            deadline: self.resilience.deadline.map(|d| now + d),
+            deadline,
         };
         if self.hil.submit(req) {
             self.after_submit(now, req_id);
@@ -848,6 +1023,8 @@ impl SsdSim {
         let first = req.offset / page;
         let last = (req.offset + u64::from(req.bytes).max(1) - 1) / page;
         let mut txns = 0u32;
+        let mut data_loss = false;
+        let mut transient_loss = false;
         for lpa in first..=last {
             if lpa >= self.ftl.logical_pages() {
                 continue; // footprint rounding edge
@@ -862,15 +1039,64 @@ impl SsdSim {
                     }
                     Some(gppa) => {
                         let target = self.ftl.config().array.unpack(gppa);
-                        self.spawn_txn(
-                            now,
-                            TxnKind::UserRead,
-                            target,
-                            Some(lpa),
-                            Some(req.id),
-                            NO_MIGRATION,
-                        );
-                        txns += 1;
+                        let chip = usize::from(target.chip.0);
+                        if self.fault_mode && self.chip_dead[chip] > 0 {
+                            if self.redundancy_mode {
+                                // Degraded read: fan reconstruction reads
+                                // out to the surviving parity-group members
+                                // through the normal TSU/fabric path; the
+                                // controller XORs them (free in this timing
+                                // model).
+                                match self.spawn_degraded_read(now, lpa, req.id, target) {
+                                    DegradedRead::Spawned(fanout) => {
+                                        self.degraded_reads += 1;
+                                        txns += fanout;
+                                    }
+                                    DegradedRead::Blocked => transient_loss = true,
+                                    // Unrecoverable by parity — but data is
+                                    // *lost* only when the primary's own
+                                    // media died. A group-mate of the dead
+                                    // chip that merely sits behind a fabric
+                                    // fault keeps its data; that failure
+                                    // stays a routing casualty.
+                                    DegradedRead::Lost => {
+                                        if self.media_dead[chip] {
+                                            data_loss = true;
+                                        } else {
+                                            transient_loss = true;
+                                        }
+                                    }
+                                }
+                            } else {
+                                // No redundancy: the read rides to dispatch
+                                // and fails there (the pre-redundancy event
+                                // stream, bit-identical), now *classified*
+                                // as data loss when the die itself is gone.
+                                // A chip that is merely unreachable (fabric
+                                // blast radius) keeps its data — that
+                                // failure stays a routing casualty.
+                                data_loss |= self.media_dead[chip];
+                                self.spawn_txn(
+                                    now,
+                                    TxnKind::UserRead,
+                                    target,
+                                    Some(lpa),
+                                    Some(req.id),
+                                    NO_MIGRATION,
+                                );
+                                txns += 1;
+                            }
+                        } else {
+                            self.spawn_txn(
+                                now,
+                                TxnKind::UserRead,
+                                target,
+                                Some(lpa),
+                                Some(req.id),
+                                NO_MIGRATION,
+                            );
+                            txns += 1;
+                        }
                     }
                     None => self.zero_reads += 1,
                 },
@@ -895,7 +1121,12 @@ impl SsdSim {
         st.remaining = txns;
         st.conflicted = false;
         st.live = true;
-        st.failed = false;
+        // A lost page fails the attempt up front (its error completion may
+        // post with zero transactions when reconstruction had no survivor
+        // to read). A transiently unreconstructable page fails the attempt
+        // the same way but is a routing-class casualty, not data loss.
+        st.failed = data_loss || transient_loss;
+        st.data_loss = data_loss;
         if txns == 0 {
             // Nothing touches flash (e.g. read of never-written data).
             self.queue.schedule(
@@ -952,7 +1183,7 @@ impl SsdSim {
         let st = &mut self.requests[req_id as usize];
         debug_assert!(st.live, "request {req_id} not tracked");
         st.live = false;
-        let (arrival, tenant, conflicted, failed, timed_out, attempts, deadline_at) = (
+        let (arrival, tenant, conflicted, failed, timed_out, attempts, deadline_at, data_loss) = (
             st.arrival,
             usize::from(st.tenant),
             st.conflicted,
@@ -960,6 +1191,7 @@ impl SsdSim {
             st.timed_out,
             st.attempts,
             st.deadline_at,
+            st.data_loss,
         );
         self.hil.complete(req_id, now);
         // Bounded host retry: a failed or timed-out attempt resubmits after
@@ -995,6 +1227,14 @@ impl SsdSim {
             // calendar drained it) but not as available.
             self.failed_requests += 1;
             self.tenant_failed[tenant] += 1;
+            if data_loss {
+                // `RequestOutcome::DataLoss`: the failure is durability,
+                // not routing — the page's only copy sat on a dead chip
+                // with nothing to reconstruct it from (a strict subset of
+                // failed completions).
+                self.data_loss_requests += 1;
+                self.tenant_data_loss[tenant] += 1;
+            }
         } else if deadline_at == SimTime::ZERO || now <= deadline_at {
             // `RequestOutcome::Ok` with the deadline met (or unarmed): the
             // goodput numerator.
@@ -1044,7 +1284,7 @@ impl SsdSim {
                 }
             }
             req.arrival = now;
-            req.deadline = self.resilience.deadline.map(|d| now + d);
+            req.deadline = self.deadline_for(usize::from(req.tenant)).map(|d| now + d);
             if self.hil.submit(req) {
                 self.after_submit(now, req.id);
                 self.schedule_next_arrival(now, index);
@@ -1237,7 +1477,10 @@ impl SsdSim {
                 }
                 let impact = self.fabric.inject_fault(fault);
                 for node in impact.dead_chips {
-                    self.kill_chip(now, usize::from(node.0));
+                    // Fabric blast radii are outages, not media loss: they
+                    // never arm a rebuild (the chip's data is intact behind
+                    // the severed path).
+                    self.kill_chip(now, usize::from(node.0), false);
                 }
                 for node in impact.revived_chips {
                     self.revive_chip(usize::from(node.0));
@@ -1247,7 +1490,7 @@ impl SsdSim {
             }
             FaultAction::ChipDeath(node) => {
                 self.faults_active += 1;
-                self.kill_chip(now, usize::from(node.0));
+                self.kill_chip(now, usize::from(node.0), true);
             }
             FaultAction::ArmTransient { chip, charges } => {
                 self.transient_charges[usize::from(chip.0)] += charges;
@@ -1263,10 +1506,23 @@ impl SsdSim {
     /// Marks a chip unreachable and fail-drains everything queued for it.
     /// Failing a transaction runs its normal completion bookkeeping, which
     /// can spawn *new* transactions onto the same dead chip (relocation
-    /// writes, source-block erases), so the drain loops until both the TSU
-    /// queues and the pending data bursts are empty.
-    fn kill_chip(&mut self, now: SimTime, chip: usize) {
+    /// writes, source-block erases) or advance in-flight *rebuild* jobs
+    /// (whose remapped writes land elsewhere), so the drain loops until
+    /// both the TSU queues — the rebuild class included — and the pending
+    /// data bursts are empty.
+    ///
+    /// `permanent` distinguishes media loss (a scripted
+    /// [`FaultAction::ChipDeath`] — the die is gone and, with redundancy
+    /// armed, a background rebuild starts) from a fabric outage's blast
+    /// radius (the chip is merely unreachable until repair).
+    fn kill_chip(&mut self, now: SimTime, chip: usize, permanent: bool) {
         self.chip_dead[chip] += 1;
+        if permanent {
+            self.media_dead[chip] = true;
+            if self.redundancy_mode {
+                self.start_rebuild(now, chip);
+            }
+        }
         if self.chip_dead[chip] > 1 {
             return; // already dead via an overlapping fault
         }
@@ -1309,6 +1565,383 @@ impl SsdSim {
             }
         }
         self.complete_txn(now, txn, migration);
+    }
+
+    // ------------------------------------------------------------------
+    // Redundancy: degraded reads & background rebuild
+    // ------------------------------------------------------------------
+
+    /// Reconstruction-read targets for a dead chip's page: the surviving
+    /// members of its parity group, each mirrored at the dead page's
+    /// address with the page clamped to the peer block's write pointer (a
+    /// peer that never wrote the block contributes nothing — XOR with an
+    /// erased page is free). Peers whose plane hosts an active migration
+    /// count as `blocked`: the migration's victim-block erase may already
+    /// be in flight, and a mirrored read spawned now could land on the
+    /// block *after* the erase resets its write pointer. A read spawned
+    /// when no migration is active is safe — it holds a `block_users`
+    /// count, so any later erase waits for it to drain. Peers behind a
+    /// fabric fault's blast radius are `blocked` too (their media is
+    /// intact but unreadable), and a media-dead peer marks the whole set
+    /// `lost` — XOR cannot reconstruct around a missing member.
+    fn survivor_targets(&self, dead: PhysicalPageAddr) -> SurvivorSet {
+        let cols = self.config.fabric.cols;
+        let mut set =
+            SurvivorSet { targets: Vec::new(), severed: 0, migrating: 0, lost: false };
+        for peer in self.config.redundancy.survivors(dead.chip.0, cols) {
+            let c = usize::from(peer);
+            let wp = self.chips[c].write_pointer(dead.addr);
+            if wp == 0 {
+                continue; // never wrote the block: no contribution needed
+            }
+            if self.media_dead[c] {
+                set.lost = true;
+                continue;
+            }
+            if self.chip_dead[c] > 0 {
+                set.severed += 1;
+                continue;
+            }
+            let probe = PhysicalPageAddr { chip: ChipId(peer), addr: dead.addr };
+            if self.plane_under_migration(self.ftl.config().array.plane_index(probe)) {
+                set.migrating += 1;
+                continue;
+            }
+            let mut addr = dead.addr;
+            addr.page = addr.page.min(wp - 1);
+            set.targets.push(PhysicalPageAddr { chip: ChipId(peer), addr });
+        }
+        set
+    }
+
+    /// True when any active GC / wear migration targets `plane` (the
+    /// active-slot list is tiny, so a linear scan suffices).
+    fn plane_under_migration(&self, plane: usize) -> bool {
+        self.migrations.iter().flatten().any(|m| m.job.plane == plane)
+    }
+
+    /// Fans one foreground read of a dead chip's page out to its surviving
+    /// parity-group members: one reconstruction read per contributing
+    /// survivor, all owned by the originating request so the completion
+    /// posts only once every member arrived. XOR reconstruction is
+    /// all-or-nothing, so a single blocked (or destroyed) survivor fails
+    /// the whole attempt — partial fan-outs would decode garbage.
+    fn spawn_degraded_read(
+        &mut self,
+        now: SimTime,
+        lpa: u64,
+        req_id: u64,
+        dead: PhysicalPageAddr,
+    ) -> DegradedRead {
+        let set = self.survivor_targets(dead);
+        if set.lost {
+            return DegradedRead::Lost;
+        }
+        if set.blocked() {
+            return DegradedRead::Blocked;
+        }
+        for &target in &set.targets {
+            self.spawn_txn(now, TxnKind::UserRead, target, Some(lpa), Some(req_id), NO_MIGRATION);
+        }
+        DegradedRead::Spawned(set.targets.len() as u32)
+    }
+
+    /// Arms the background rebuild of a permanently dead `chip`, queueing
+    /// behind an active rebuild (one chip rebuilds at a time, like a real
+    /// RAID controller's serialized rebuild).
+    fn start_rebuild(&mut self, now: SimTime, chip: usize) {
+        debug_assert!(self.redundancy_mode);
+        if self.rebuild.as_ref().is_some_and(|r| r.chip == chip)
+            || self.rebuild_pending.contains(&chip)
+        {
+            return; // already rebuilding / queued (overlapping scripts)
+        }
+        if self.rebuild.is_some() {
+            self.rebuild_pending.push_back(chip);
+            return;
+        }
+        self.hil.set_background_cap(REBUILD_MAX_JOBS);
+        self.rebuild = Some(RebuildState {
+            chip,
+            next_lpa: 0,
+            tokens: REBUILD_BURST,
+            jobs: Vec::new(),
+            scan_done: false,
+            retries: Vec::new(),
+            deferred: Vec::new(),
+        });
+        if !self.rebuild_tick_armed {
+            self.rebuild_tick_armed = true;
+            self.queue.schedule(now + REBUILD_TICK, Event::RebuildTick);
+        }
+    }
+
+    /// One pacing quantum of the rebuild engine: refill the token bucket,
+    /// advance the scan of the logical space (staging dead-chip pages into
+    /// the HIL's background lane), and launch reconstruction jobs while
+    /// tokens and job slots last. The tick re-arms itself only while a
+    /// rebuild is active, so a finished rebuild stops touching the
+    /// calendar.
+    fn on_rebuild_tick(&mut self, now: SimTime) {
+        if self.rebuild.is_none() {
+            self.rebuild_tick_armed = false;
+            return;
+        }
+        let chip = {
+            let r = self.rebuild.as_mut().expect("checked above");
+            r.tokens = (r.tokens + REBUILD_RATE).min(REBUILD_BURST);
+            r.chip
+        };
+        // Re-submit last tick's blocked pages first: their blockers have
+        // had a tick to clear, and queue order retries them before fresh
+        // scan output claims the tokens.
+        let parked = std::mem::take(
+            &mut self.rebuild.as_mut().expect("checked above").deferred,
+        );
+        for lpa in parked {
+            self.hil.submit_background(lpa);
+        }
+        let logical = self.ftl.logical_pages();
+        let mut scanned = 0u64;
+        while scanned < REBUILD_SCAN_BATCH {
+            let lpa = {
+                let r = self.rebuild.as_mut().expect("checked above");
+                if r.scan_done || r.next_lpa >= logical {
+                    r.scan_done = true;
+                    break;
+                }
+                let l = r.next_lpa;
+                r.next_lpa += 1;
+                l
+            };
+            scanned += 1;
+            let on_dead = self.ftl.translate(lpa).is_some_and(|g| {
+                usize::from(self.ftl.config().array.unpack(g).chip.0) == chip
+            });
+            if on_dead {
+                // Stage into the HIL's background lane: invisible to
+                // foreground arbitration, deferred (never dropped) when
+                // the in-flight cap or the token bucket is exhausted.
+                self.hil.submit_background(lpa);
+            }
+        }
+        while self.rebuild.as_ref().expect("checked above").tokens > 0 {
+            let Some(lpa) = self.hil.fetch_background() else {
+                break;
+            };
+            self.rebuild.as_mut().expect("checked above").tokens -= 1;
+            self.launch_rebuild_job(now, lpa);
+        }
+        self.maybe_finish_rebuild(now);
+        if self.rebuild.is_some() {
+            self.queue.schedule(now + REBUILD_TICK, Event::RebuildTick);
+        } else {
+            self.rebuild_tick_armed = false;
+        }
+        self.schedule_dispatch(now);
+    }
+
+    /// Launches one reconstruction job for a staged logical page. Pages
+    /// remapped since the scan staged them (host overwrite, GC) need
+    /// nothing; buffer-resident pages skip straight to the remapped write;
+    /// the rest spawn one low-priority [`TxnKind::RebuildRead`] per
+    /// contributing group member. Strict parity: a page whose survivor
+    /// set is short a *transiently* unreadable member re-stages with
+    /// bounded attempts ([`REBUILD_RETRY_LIMIT`]) — each retry costs a
+    /// token, so the pacing bucket bounds the churn — and a page short a
+    /// *destroyed* member (or out of attempts) is skipped and counted in
+    /// `rebuild_skipped_pages`. The rebuild always drains, and a
+    /// foreground read classifies any true loss.
+    fn launch_rebuild_job(&mut self, now: SimTime, lpa: u64) {
+        let chip = self.rebuild.as_ref().expect("rebuild active").chip;
+        let on_dead = self
+            .ftl
+            .translate(lpa)
+            .filter(|g| usize::from(self.ftl.config().array.unpack(*g).chip.0) == chip);
+        let Some(gppa) = on_dead else {
+            self.hil.complete_background();
+            return;
+        };
+        if self.pending_programs.contains(gppa.0) {
+            // The lost copy's program never landed but its data is still in
+            // the controller's write buffer: rebuild without touching the
+            // survivors.
+            let r = self.rebuild.as_mut().expect("rebuild active");
+            r.jobs.push(RebuildJob { lpa, reads_pending: 0 });
+            let idx = r.jobs.len() - 1;
+            self.launch_rebuild_write(now, idx);
+            return;
+        }
+        let dead = self.ftl.config().array.unpack(gppa);
+        let set = self.survivor_targets(dead);
+        if set.lost {
+            // Overlapping deaths destroyed a group member: the page stays
+            // mapped to the dead chip and the recovery is incomplete.
+            self.rebuild_skipped_pages += 1;
+            self.hil.complete_background();
+            return;
+        }
+        if set.severed > 0 {
+            // A media-alive survivor sits behind a fabric fault that may
+            // never heal: defer rather than reconstruct from a partial
+            // set, up to REBUILD_RETRY_LIMIT tick-spaced attempts so a
+            // permanent severance cannot stall the drain.
+            let r = self.rebuild.as_mut().expect("rebuild active");
+            match r.retries.iter().position(|(l, _)| *l == lpa) {
+                Some(i) if r.retries[i].1 >= REBUILD_RETRY_LIMIT => {
+                    r.retries.swap_remove(i);
+                    self.rebuild_skipped_pages += 1;
+                }
+                Some(i) => {
+                    r.retries[i].1 += 1;
+                    r.deferred.push(lpa);
+                }
+                None => {
+                    r.retries.push((lpa, 1));
+                    r.deferred.push(lpa);
+                }
+            }
+            self.hil.complete_background();
+            return;
+        }
+        if set.migrating > 0 {
+            // A survivor's plane hosts an active migration. Migrations are
+            // finite and GC quiesces once writes drain, so parking the
+            // page until the next tick always terminates — no bounded
+            // attempt is burned on a blocker that is guaranteed to clear.
+            let r = self.rebuild.as_mut().expect("rebuild active");
+            r.deferred.push(lpa);
+            self.hil.complete_background();
+            return;
+        }
+        let r = self.rebuild.as_mut().expect("rebuild active");
+        r.retries.retain(|(l, _)| *l != lpa);
+        r.jobs.push(RebuildJob { lpa, reads_pending: set.targets.len() as u32 });
+        let idx = r.jobs.len() - 1;
+        if set.targets.is_empty() {
+            // Every contribution was an erased page: the content
+            // reconstructs without touching flash — write it straight out.
+            self.launch_rebuild_write(now, idx);
+            return;
+        }
+        for target in set.targets {
+            self.spawn_txn(now, TxnKind::RebuildRead, target, Some(lpa), None, NO_MIGRATION);
+        }
+    }
+
+    /// A reconstruction read arrived (or fail-drained — the bookkeeping
+    /// must advance either way so `kill_chip` drains never strand a job):
+    /// when the last one lands, the reconstructed page is written back out.
+    fn on_rebuild_read_done(&mut self, now: SimTime, txn: Transaction) {
+        let lpa = txn.lpa.expect("rebuild read has an lpa");
+        let r = self.rebuild.as_mut().expect("rebuild read implies active rebuild");
+        let idx = r
+            .jobs
+            .iter()
+            .position(|j| j.lpa == lpa)
+            .expect("rebuild read has a job");
+        r.jobs[idx].reads_pending -= 1;
+        if r.jobs[idx].reads_pending == 0 {
+            self.launch_rebuild_write(now, idx);
+        }
+    }
+
+    /// Writes one reconstructed page back out through the normal FTL
+    /// allocator, retrying allocations that land on a dead plane (the
+    /// discarded pages are plain invalidated space for GC). The program is
+    /// spawned immediately after its allocation — any interleaved
+    /// allocation would break the chip's in-order program contract. Out of
+    /// space defers the page back into the background lane rather than
+    /// dropping it; GC frees room (the dead chip's invalidated blocks are
+    /// reclaimable) and a later tick retries.
+    fn launch_rebuild_write(&mut self, now: SimTime, job_idx: usize) {
+        let (lpa, chip) = {
+            let r = self.rebuild.as_ref().expect("rebuild active");
+            (r.jobs[job_idx].lpa, r.chip)
+        };
+        let still_dead = self
+            .ftl
+            .translate(lpa)
+            .is_some_and(|g| usize::from(self.ftl.config().array.unpack(g).chip.0) == chip);
+        if !still_dead {
+            // Remapped while its reconstruction reads were in flight
+            // (host overwrite): nothing left to rebuild.
+            self.retire_rebuild_job(now, job_idx);
+            return;
+        }
+        let attempts = self.config.array.total_planes().max(1);
+        let mut dest = None;
+        for _ in 0..attempts {
+            match self.ftl.allocate_write(lpa) {
+                Ok(gppa) => {
+                    let target = self.ftl.config().array.unpack(gppa);
+                    if self.chip_dead[usize::from(target.chip.0)] == 0 {
+                        dest = Some((gppa, target));
+                        break;
+                    }
+                    // Dead-plane allocation: superseded by the next attempt.
+                }
+                Err(venice_ftl::FtlError::OutOfSpace) => break,
+                Err(e) => panic!("rebuild write failed: {e}"),
+            }
+        }
+        match dest {
+            Some((gppa, target)) => {
+                self.pending_programs.insert(gppa.0);
+                self.spawn_txn(now, TxnKind::RebuildWrite, target, Some(lpa), None, NO_MIGRATION);
+            }
+            None => {
+                let r = self.rebuild.as_mut().expect("rebuild active");
+                r.jobs.swap_remove(job_idx);
+                self.hil.complete_background();
+                self.hil.submit_background(lpa);
+                self.check_gc(now);
+            }
+        }
+    }
+
+    /// A remapped rebuild write landed (or fail-drained): the page is
+    /// rebuilt and its job retires.
+    fn on_rebuild_write_done(&mut self, now: SimTime, txn: Transaction) {
+        let lpa = txn.lpa.expect("rebuild write has an lpa");
+        let r = self.rebuild.as_mut().expect("rebuild write implies active rebuild");
+        let idx = r
+            .jobs
+            .iter()
+            .position(|j| j.lpa == lpa && j.reads_pending == 0)
+            .expect("rebuild write has a job");
+        self.rebuilt_pages += 1;
+        self.retire_rebuild_job(now, idx);
+        self.check_gc(now);
+    }
+
+    /// Removes one finished job and, when the scan is done and nothing is
+    /// staged or in flight, retires the whole rebuild — recording the MTTR
+    /// endpoint and starting the next queued chip, if any.
+    fn retire_rebuild_job(&mut self, now: SimTime, job_idx: usize) {
+        self.rebuild
+            .as_mut()
+            .expect("rebuild active")
+            .jobs
+            .swap_remove(job_idx);
+        self.hil.complete_background();
+        self.maybe_finish_rebuild(now);
+    }
+
+    fn maybe_finish_rebuild(&mut self, now: SimTime) {
+        let done = self
+            .rebuild
+            .as_ref()
+            .is_some_and(|r| r.scan_done && r.jobs.is_empty() && r.deferred.is_empty())
+            && self.hil.background_queued() == 0;
+        if !done {
+            return;
+        }
+        self.rebuild = None;
+        self.rebuild_done = now;
+        if let Some(chip) = self.rebuild_pending.pop_front() {
+            self.start_rebuild(now, chip);
+        }
     }
 
     /// Pending read-data bursts (they hold their die's page register, so
@@ -1649,6 +2282,8 @@ impl SsdSim {
             TxnKind::GcRead | TxnKind::WearRead => self.on_migration_read_done(now, txn, migration),
             TxnKind::GcWrite | TxnKind::WearWrite => self.on_migration_write_done(now, migration),
             TxnKind::GcErase | TxnKind::WearErase => self.on_migration_erase_done(now, migration),
+            TxnKind::RebuildRead => self.on_rebuild_read_done(now, txn),
+            TxnKind::RebuildWrite => self.on_rebuild_write_done(now, txn),
             TxnKind::MapRead | TxnKind::MapWrite => {}
         }
     }
@@ -1852,11 +2487,13 @@ impl SsdSim {
                 name: spec.name,
                 weight: spec.weight,
                 qd_cap: spec.qd_cap,
+                deadline_class: spec.deadline,
                 latencies: self.tenant_latencies[i].clone(),
                 completed: self.tenant_completed[i],
                 conflicted: self.tenant_conflicted[i],
                 backpressured: tenant_hil[i].backpressured,
                 failed: self.tenant_failed[i],
+                data_loss: self.tenant_data_loss[i],
                 deadline_misses: self.tenant_deadline_misses[i],
                 host_retries: self.tenant_host_retries[i],
                 shed: self.tenant_shed[i],
@@ -1893,6 +2530,12 @@ impl SsdSim {
             host_retries: self.host_retries,
             shed_requests: self.shed_requests,
             deadline_met_requests: self.deadline_met,
+            redundancy: self.config.redundancy,
+            degraded_reads: self.degraded_reads,
+            rebuilt_pages: self.rebuilt_pages,
+            rebuild_skipped_pages: self.rebuild_skipped_pages,
+            rebuild_done_ns: self.rebuild_done.as_nanos(),
+            data_loss_requests: self.data_loss_requests,
         }
     }
 
@@ -1919,6 +2562,7 @@ pub fn __test_target(chip: u16) -> PhysicalPageAddr {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::RedundancyKind;
     use venice_sim::SimDuration;
     use venice_workloads::WorkloadSpec;
 
@@ -2042,6 +2686,104 @@ mod tests {
             assert_eq!(base.execution_time, none.execution_time, "{kind}");
             assert_eq!(base.fabric, none.fabric, "{kind}");
         }
+    }
+
+    #[test]
+    fn redundancy_off_runs_are_bit_identical_with_the_subsystem_compiled_in() {
+        // RedundancyKind::None schedules zero rebuild ticks, takes no
+        // degraded-read branches, and allocates identically: the
+        // golden-hash contract depends on this, exactly like
+        // FaultPlan::None and ResiliencePolicy::None.
+        let trace = tiny_trace(300, 70.0, 20.0);
+        for kind in FabricKind::ALL {
+            let base = run(kind, &trace);
+            let cfg = SsdConfig::performance_optimized()
+                .sized_for_footprint(trace.footprint_bytes())
+                .with_redundancy(RedundancyKind::None);
+            let none = SsdSim::new(cfg, kind, &trace).run();
+            assert_eq!(base.events, none.events, "{kind}");
+            assert_eq!(base.execution_time, none.execution_time, "{kind}");
+            assert_eq!(base.fabric, none.fabric, "{kind}");
+            assert_eq!(none.degraded_reads, 0, "{kind}");
+            assert_eq!(none.rebuilt_pages, 0, "{kind}");
+            assert_eq!(none.rebuild_done_ns, 0, "{kind}");
+            assert_eq!(none.data_loss_requests, 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn parity_rebuild_recovers_a_dead_chips_pages() {
+        // FaultPlan::Chip fail-stops one chip at 20µs. Without redundancy,
+        // reads of its pages are terminal data loss; with a parity group
+        // armed, foreground reads reconstruct from the survivors and the
+        // background rebuild remaps every page off the dead chip — zero
+        // data loss and a finite MTTR. A 4×4 grid concentrates 1/16 of the
+        // pages on the victim so saturating reads are guaranteed to land
+        // in the rebuild window.
+        let trace = WorkloadSpec::new("unit", 100.0, 8.0, 1.0)
+            .footprint_mb(32)
+            .generate(400);
+        for kind in [FabricKind::Baseline, FabricKind::Venice] {
+            let cfg = SsdConfig::performance_optimized()
+                .with_mesh(4, 4)
+                .sized_for_footprint(trace.footprint_bytes())
+                .with_fault_plan(FaultPlan::Chip);
+            let bare = SsdSim::new(cfg.clone(), kind, &trace).run();
+            assert!(bare.data_loss_requests > 0, "{kind}: loss must bite bare");
+            assert!(
+                bare.data_loss_requests <= bare.failed_requests,
+                "{kind}: data loss is a subset of failures"
+            );
+            assert_eq!(bare.rebuilt_pages, 0, "{kind}");
+
+            let parity = SsdSim::new(
+                cfg.with_redundancy(RedundancyKind::Parity { group: 4 }),
+                kind,
+                &trace,
+            )
+            .run();
+            assert_eq!(parity.status, RunStatus::Complete, "{kind}");
+            assert_eq!(parity.completed_requests, 400, "{kind}");
+            assert_eq!(parity.data_loss_requests, 0, "{kind}: parity must cover");
+            assert!(parity.rebuilt_pages > 0, "{kind}: rebuild must remap pages");
+            assert!(
+                parity.rebuild_done_ns > 20_000,
+                "{kind}: MTTR endpoint after the 20µs fault, got {}",
+                parity.rebuild_done_ns
+            );
+            assert!(parity.degraded_reads > 0, "{kind}: window reads reconstruct");
+            assert!(
+                parity.availability() >= bare.availability(),
+                "{kind}: reconstruction cannot hurt availability"
+            );
+        }
+    }
+
+    #[test]
+    fn deadline_classes_split_one_policy_deadline() {
+        // The deadline-split tenant set gives the victim a tight latency
+        // contract and frees the aggressor of any deadline while keeping
+        // arbitration identical to pair_fair. Saturating the Baseline
+        // fabric must breach the victim's 100µs contract, while the
+        // deadline-free aggressor can never miss.
+        use venice_hil::TenantSet;
+        let trace = venice_workloads::mix::noisy_neighbor(400);
+        let cfg = SsdConfig::performance_optimized()
+            .sized_for_footprint(trace.footprint_bytes())
+            .with_tenants(TenantSet::deadline_split())
+            .with_resilience(ResiliencePolicy::Deadline);
+        let m = SsdSim::new(cfg, FabricKind::Baseline, &trace).run();
+        assert_eq!(m.status, RunStatus::Complete);
+        let victim = &m.tenants[0];
+        let aggressor = &m.tenants[1];
+        assert_eq!(victim.deadline_class, DeadlineClass::Latency);
+        assert_eq!(aggressor.deadline_class, DeadlineClass::None);
+        assert!(victim.deadline_misses > 0, "tight contract must breach");
+        assert_eq!(aggressor.deadline_misses, 0, "deadline-free tenant cannot miss");
+        assert_eq!(
+            m.deadline_misses, victim.deadline_misses,
+            "all misses belong to the victim"
+        );
     }
 
     fn run_resilient(kind: FabricKind, trace: &Trace, policy: ResiliencePolicy) -> RunMetrics {

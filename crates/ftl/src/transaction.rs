@@ -33,6 +33,15 @@ pub enum TxnKind {
     MapRead,
     /// Mapping-table write-back.
     MapWrite,
+    /// Survivor-page read issued by the redundancy rebuild engine
+    /// (reconstructing a dead chip's page from its parity group). Lowest
+    /// dispatch priority: the TSU serves these only when a chip has no
+    /// other queued work.
+    RebuildRead,
+    /// Remapped program of a reconstructed page issued by the rebuild
+    /// engine. Rides the normal write queue — NAND program-order rules
+    /// bind it to its allocation like every other program.
+    RebuildWrite,
 }
 
 impl TxnKind {
@@ -40,7 +49,11 @@ impl TxnKind {
     pub fn is_read(&self) -> bool {
         matches!(
             self,
-            TxnKind::UserRead | TxnKind::GcRead | TxnKind::WearRead | TxnKind::MapRead
+            TxnKind::UserRead
+                | TxnKind::GcRead
+                | TxnKind::WearRead
+                | TxnKind::MapRead
+                | TxnKind::RebuildRead
         )
     }
 
@@ -48,7 +61,11 @@ impl TxnKind {
     pub fn is_write(&self) -> bool {
         matches!(
             self,
-            TxnKind::UserWrite | TxnKind::GcWrite | TxnKind::WearWrite | TxnKind::MapWrite
+            TxnKind::UserWrite
+                | TxnKind::GcWrite
+                | TxnKind::WearWrite
+                | TxnKind::MapWrite
+                | TxnKind::RebuildWrite
         )
     }
 
@@ -89,7 +106,7 @@ mod tests {
         use TxnKind::*;
         for k in [
             UserRead, UserWrite, GcRead, GcWrite, GcErase, WearRead, WearWrite, WearErase,
-            MapRead, MapWrite,
+            MapRead, MapWrite, RebuildRead, RebuildWrite,
         ] {
             let classes =
                 u8::from(k.is_read()) + u8::from(k.is_write()) + u8::from(k.is_erase());
@@ -99,5 +116,7 @@ mod tests {
         assert!(!UserWrite.is_background());
         assert!(GcRead.is_background());
         assert!(MapWrite.is_background());
+        assert!(RebuildRead.is_background());
+        assert!(RebuildWrite.is_background());
     }
 }

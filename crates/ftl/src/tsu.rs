@@ -10,14 +10,19 @@
 //! exposes the age of each chip's oldest entry
 //! ([`TransactionScheduler::oldest_enqueue`]) so dispatch policies can
 //! prioritize starving chips instead of treating all queued work alike.
+//!
+//! Rebuild survivor reads ([`crate::TxnKind::RebuildRead`]) form a fourth,
+//! *lowest-priority* class: a chip serves them only when it has no other
+//! queued work, so background reconstruction traffic never delays
+//! foreground reads, programs, or erases at the TSU. Rebuild *writes* ride
+//! the normal write queue — NAND program-order rules bind each program to
+//! its allocation order within the block, rebuild or not.
 
 use std::collections::VecDeque;
 
 use venice_sim::{DenseBitSet, SimTime};
 
-use crate::Transaction;
-#[cfg(test)]
-use crate::TxnKind;
+use crate::{Transaction, TxnKind};
 
 /// One queued transaction plus the time it entered the TSU.
 #[derive(Clone, Copy, Debug)]
@@ -32,6 +37,8 @@ pub struct ChipQueues {
     reads: VecDeque<Queued>,
     writes: VecDeque<Queued>,
     erases: VecDeque<Queued>,
+    /// Rebuild survivor reads: served only when every other class is empty.
+    rebuilds: VecDeque<Queued>,
 }
 
 impl ChipQueues {
@@ -40,18 +47,19 @@ impl ChipQueues {
             reads: VecDeque::new(),
             writes: VecDeque::new(),
             erases: VecDeque::new(),
+            rebuilds: VecDeque::new(),
         }
     }
 
     fn len(&self) -> usize {
-        self.reads.len() + self.writes.len() + self.erases.len()
+        self.reads.len() + self.writes.len() + self.erases.len() + self.rebuilds.len()
     }
 
-    /// Earliest enqueue time across the three class queues. Fronts are the
+    /// Earliest enqueue time across the class queues. Fronts are the
     /// oldest entry of each class, so the minimum over fronts is the oldest
     /// entry on the chip.
     fn oldest(&self) -> Option<SimTime> {
-        [&self.reads, &self.writes, &self.erases]
+        [&self.reads, &self.writes, &self.erases, &self.rebuilds]
             .into_iter()
             .filter_map(|q| q.front().map(|e| e.at))
             .min()
@@ -125,7 +133,9 @@ impl TransactionScheduler {
         let chip = usize::from(txn.target.chip.0);
         let q = &mut self.chips[chip];
         let e = Queued { txn, at: now };
-        if txn.kind.is_read() {
+        if txn.kind == TxnKind::RebuildRead {
+            q.rebuilds.push_back(e);
+        } else if txn.kind.is_read() {
             q.reads.push_back(e);
         } else if txn.kind.is_write() {
             q.writes.push_back(e);
@@ -137,13 +147,15 @@ impl TransactionScheduler {
     }
 
     /// The next transaction that would dispatch on `chip`: the oldest read
-    /// if any (read priority), else the head write, else the head erase.
+    /// if any (read priority), else the head write, else the head erase,
+    /// and only on an otherwise idle chip the head rebuild read.
     pub fn peek(&self, chip: u16) -> Option<&Transaction> {
         let q = &self.chips[usize::from(chip)];
         q.reads
             .front()
             .or_else(|| q.writes.front())
             .or_else(|| q.erases.front())
+            .or_else(|| q.rebuilds.front())
             .map(|e| &e.txn)
     }
 
@@ -154,7 +166,8 @@ impl TransactionScheduler {
             .reads
             .pop_front()
             .or_else(|| q.writes.pop_front())
-            .or_else(|| q.erases.pop_front());
+            .or_else(|| q.erases.pop_front())
+            .or_else(|| q.rebuilds.pop_front());
         if t.is_some() {
             self.pending -= 1;
             if q.len() == 0 {
@@ -165,8 +178,9 @@ impl TransactionScheduler {
     }
 
     /// Removes *every* transaction queued on `chip` into `out` (cleared
-    /// first), in dispatch order (reads, then writes, then erases, FIFO
-    /// within each class), clearing the chip's busy bit.
+    /// first), in dispatch order (reads, then writes, then erases, then
+    /// rebuild reads, FIFO within each class), clearing the chip's busy
+    /// bit.
     ///
     /// This is the chip-death path: the engine completes the drained
     /// transactions with error status instead of dispatching them. The
@@ -180,6 +194,7 @@ impl TransactionScheduler {
                 .drain(..)
                 .chain(q.writes.drain(..))
                 .chain(q.erases.drain(..))
+                .chain(q.rebuilds.drain(..))
                 .map(|e| e.txn),
         );
         self.pending -= out.len();
@@ -245,7 +260,9 @@ impl TransactionScheduler {
         let chip = usize::from(txn.target.chip.0);
         let q = &mut self.chips[chip];
         let e = Queued { txn, at };
-        if txn.kind.is_read() {
+        if txn.kind == TxnKind::RebuildRead {
+            q.rebuilds.push_front(e);
+        } else if txn.kind.is_read() {
             q.reads.push_front(e);
         } else if txn.kind.is_write() {
             q.writes.push_front(e);
@@ -315,6 +332,40 @@ mod tests {
         tsu.drain_chip_into(0, &mut out);
         assert!(out.is_empty());
         assert_eq!(tsu.pending(), 1);
+    }
+
+    #[test]
+    fn rebuild_reads_are_the_lowest_priority_class() {
+        let mut tsu = TransactionScheduler::new(1);
+        tsu.enqueue(txn(1, TxnKind::RebuildRead, 0), at(0));
+        tsu.enqueue(txn(2, TxnKind::UserWrite, 0), at(1));
+        tsu.enqueue(txn(3, TxnKind::GcErase, 0), at(2));
+        tsu.enqueue(txn(4, TxnKind::UserRead, 0), at(3));
+        tsu.enqueue(txn(5, TxnKind::RebuildWrite, 0), at(4));
+        // Reads, then writes (rebuild writes ride the write FIFO), then
+        // erases — the rebuild read dispatches only once the chip idles.
+        assert_eq!(tsu.peek(0).unwrap().id, TxnId(4));
+        assert_eq!(tsu.pop(0).unwrap().id, TxnId(4));
+        assert_eq!(tsu.pop(0).unwrap().id, TxnId(2));
+        assert_eq!(tsu.pop(0).unwrap().id, TxnId(5));
+        assert_eq!(tsu.pop(0).unwrap().id, TxnId(3));
+        assert_eq!(tsu.pop(0).unwrap().id, TxnId(1));
+        assert!(tsu.pop(0).is_none());
+        // requeue_front puts a failed rebuild read back at its class head
+        // with its age intact, and the drain path empties the class too.
+        tsu.enqueue(txn(6, TxnKind::RebuildRead, 0), at(6));
+        let head = tsu.pop(0).unwrap();
+        tsu.requeue_front(head, at(6));
+        assert_eq!(tsu.oldest_enqueue(0), Some(at(6)));
+        tsu.enqueue(txn(7, TxnKind::UserRead, 0), at(7));
+        let mut out = Vec::new();
+        tsu.drain_chip_into(0, &mut out);
+        assert_eq!(
+            out.iter().map(|t| t.id).collect::<Vec<_>>(),
+            [TxnId(7), TxnId(6)],
+            "drain yields rebuild reads last"
+        );
+        assert!(tsu.is_empty());
     }
 
     #[test]

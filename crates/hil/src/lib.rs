@@ -45,4 +45,4 @@ mod nvme;
 mod tenant;
 
 pub use nvme::{HilConfig, HilStats, HostInterface, HostRequest};
-pub use tenant::{TenantSet, TenantSpec};
+pub use tenant::{DeadlineClass, TenantSet, TenantSpec};

@@ -12,6 +12,41 @@
 //! to the pre-tenancy round-robin arbiter, which the RetryAll golden hash
 //! pins bit-for-bit.
 
+/// Per-tenant deadline contract class.
+///
+/// The host resilience layer resolves the class into a concrete deadline
+/// when its deadline mechanism is armed (`ResiliencePolicy` presets with a
+/// deadline); with deadlines unarmed, classes are inert — the default
+/// single-tenant path stays bit-identical regardless of class. The HIL
+/// itself never consults the class; it is a tenant attribute the core's
+/// admission stamping reads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum DeadlineClass {
+    /// The policy's own deadline (today's 250 µs contract) — the default,
+    /// reproducing the single-deadline behavior bit-for-bit.
+    #[default]
+    Default,
+    /// Latency-sensitive: a tighter deadline than the policy default.
+    Latency,
+    /// Batch/throughput: a much looser deadline than the policy default.
+    Batch,
+    /// Deadline-free: never stamped, never aborted by timeout even when
+    /// the policy arms deadlines for its neighbors.
+    None,
+}
+
+impl DeadlineClass {
+    /// Stable label used in sweep-point labels, manifests, and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DeadlineClass::Default => "default",
+            DeadlineClass::Latency => "latency",
+            DeadlineClass::Batch => "batch",
+            DeadlineClass::None => "none",
+        }
+    }
+}
+
 /// One tenant's contract: its share of the arbiter and its in-flight cap.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct TenantSpec {
@@ -23,6 +58,10 @@ pub struct TenantSpec {
     /// Maximum requests this tenant may have in flight (fetched but not
     /// completed), enforced at fetch time. `0` means unlimited.
     pub qd_cap: u32,
+    /// Deadline contract class, resolved against the armed resilience
+    /// policy by the core ([`DeadlineClass::Default`] keeps the policy's
+    /// single deadline).
+    pub deadline: DeadlineClass,
 }
 
 /// A set of tenants sharing one SSD: the tenancy axis of a run.
@@ -54,6 +93,7 @@ impl TenantSet {
                 name: "all",
                 weight: 1,
                 qd_cap: 0,
+                deadline: DeadlineClass::Default,
             }],
         }
     }
@@ -69,11 +109,13 @@ impl TenantSet {
                     name: "victim",
                     weight: 1,
                     qd_cap: 0,
+                    deadline: DeadlineClass::Default,
                 },
                 TenantSpec {
                     name: "aggressor",
                     weight: 1,
                     qd_cap: 0,
+                    deadline: DeadlineClass::Default,
                 },
             ],
         )
@@ -90,11 +132,13 @@ impl TenantSet {
                     name: "victim",
                     weight: 4,
                     qd_cap: 0,
+                    deadline: DeadlineClass::Default,
                 },
                 TenantSpec {
                     name: "aggressor",
                     weight: 1,
                     qd_cap: 4,
+                    deadline: DeadlineClass::Default,
                 },
             ],
         )
@@ -114,16 +158,45 @@ impl TenantSet {
                     name: "victim",
                     weight: 4,
                     qd_cap: 0,
+                    deadline: DeadlineClass::Default,
                 },
                 TenantSpec {
                     name: "victim-mixed",
                     weight: 2,
                     qd_cap: 0,
+                    deadline: DeadlineClass::Default,
                 },
                 TenantSpec {
                     name: "aggressor",
                     weight: 1,
                     qd_cap: 4,
+                    deadline: DeadlineClass::Default,
+                },
+            ],
+        )
+    }
+
+    /// The deadline-class pair: arbitration-neutral (equal weights, no
+    /// caps — exactly [`TenantSet::pair_fair`]) but with *split deadline
+    /// contracts*: the latency-sensitive `victim` holds a tight
+    /// [`DeadlineClass::Latency`] deadline while the `aggressor` runs
+    /// deadline-free ([`DeadlineClass::None`]). Isolates the per-tenant
+    /// deadline axis from the WRR/cap axes.
+    pub fn deadline_split() -> Self {
+        TenantSet::custom(
+            "deadline-split",
+            vec![
+                TenantSpec {
+                    name: "victim",
+                    weight: 1,
+                    qd_cap: 0,
+                    deadline: DeadlineClass::Latency,
+                },
+                TenantSpec {
+                    name: "aggressor",
+                    weight: 1,
+                    qd_cap: 0,
+                    deadline: DeadlineClass::None,
                 },
             ],
         )
@@ -161,10 +234,13 @@ impl TenantSet {
         ]
     }
 
-    /// Looks a preset up by its label (case-insensitive).
+    /// Looks a preset up by its label (case-insensitive). Covers the
+    /// [`TenantSet::presets`] axis plus the named specialty sets
+    /// ([`TenantSet::deadline_split`]) that grids opt into individually.
     pub fn by_label(label: &str) -> Option<TenantSet> {
         TenantSet::presets()
             .into_iter()
+            .chain([TenantSet::deadline_split()])
             .find(|t| t.label.eq_ignore_ascii_case(label))
     }
 
@@ -239,6 +315,38 @@ mod tests {
     }
 
     #[test]
+    fn deadline_split_isolates_the_deadline_axis() {
+        let d = TenantSet::deadline_split();
+        assert_eq!(d.label(), "deadline-split");
+        assert_eq!(d.len(), 2);
+        // Arbitration-neutral: same weights/caps as pair_fair.
+        let p = TenantSet::pair_fair();
+        for (a, b) in d.specs().iter().zip(p.specs()) {
+            assert_eq!((a.name, a.weight, a.qd_cap), (b.name, b.weight, b.qd_cap));
+        }
+        assert_eq!(d.specs()[0].deadline, DeadlineClass::Latency);
+        assert_eq!(d.specs()[1].deadline, DeadlineClass::None);
+        // Not on the default tenants axis, but label-addressable.
+        assert!(!TenantSet::presets().contains(&d));
+        assert_eq!(TenantSet::by_label("Deadline-Split"), Some(d));
+        // Preset sets all carry the Default class (bit-identity contract).
+        for set in TenantSet::presets() {
+            for spec in set.specs() {
+                assert_eq!(spec.deadline, DeadlineClass::Default);
+            }
+        }
+        assert_eq!(DeadlineClass::default(), DeadlineClass::Default);
+        for (class, label) in [
+            (DeadlineClass::Default, "default"),
+            (DeadlineClass::Latency, "latency"),
+            (DeadlineClass::Batch, "batch"),
+            (DeadlineClass::None, "none"),
+        ] {
+            assert_eq!(class.label(), label);
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "at least one tenant")]
     fn empty_set_rejected() {
         TenantSet::custom("bad", vec![]);
@@ -253,6 +361,7 @@ mod tests {
                 name: "t",
                 weight: 0,
                 qd_cap: 0,
+                deadline: DeadlineClass::Default,
             }],
         );
     }

@@ -10,7 +10,7 @@
 //! cargo run --release --example mixed_tenants
 //! ```
 
-use venice::hil::{TenantSet, TenantSpec};
+use venice::hil::{DeadlineClass, TenantSet, TenantSpec};
 use venice::interconnect::FabricKind;
 use venice::ssd::{run_systems, SsdConfig};
 use venice::workloads::mix;
@@ -30,7 +30,7 @@ fn main() {
             m.name,
             m.constituents
                 .iter()
-                .map(|&name| TenantSpec { name, weight: 1, qd_cap: 0 })
+                .map(|&name| TenantSpec { name, weight: 1, qd_cap: 0, deadline: DeadlineClass::Default })
                 .collect(),
         );
         let cfg = base.clone().with_tenants(tenants);

@@ -471,7 +471,7 @@ fn fault_injection_is_sound_on_every_fabric() {
 /// metrics included — are bit-identical across worker-pool sizes.
 #[test]
 fn tenant_qos_invariants_under_random_tenancy() {
-    use venice::hil::{HilConfig, HostInterface, HostRequest, TenantSet, TenantSpec};
+    use venice::hil::{DeadlineClass, HilConfig, HostInterface, HostRequest, TenantSet, TenantSpec};
     use venice::ssd::{run_single, SsdConfig};
     use venice::workloads::{IoOp, Trace};
 
@@ -491,6 +491,7 @@ fn tenant_qos_invariants_under_random_tenancy() {
                 } else {
                     1 + rng.next_bounded(6) as u32
                 },
+                deadline: DeadlineClass::Default,
             })
             .collect();
         let set = TenantSet::custom(format!("prop-{case}"), specs.clone());
@@ -564,6 +565,7 @@ fn tenant_qos_invariants_under_random_tenancy() {
                 name: NAMES[i],
                 weight: 1 + rng.next_bounded(4) as u32,
                 qd_cap: if rng.next_bool(0.7) { 0 } else { 2 + rng.next_bounded(4) as u32 },
+                deadline: DeadlineClass::Default,
             })
             .collect();
         let set = TenantSet::custom(format!("e2e-{case}"), specs);
@@ -756,6 +758,105 @@ fn host_resilience_is_sound_on_every_fabric() {
             assert_eq!(
                 a.metrics, b.metrics,
                 "{}: resilient metrics differ across pool sizes",
+                a.point.label
+            );
+        }
+        assert_eq!(serial.metrics_fingerprint(), pooled.metrics_fingerprint());
+        assert_eq!(serial.manifest_fingerprint(), pooled.manifest_fingerprint());
+    }
+}
+
+/// Die-level parity redundancy is sound on every fabric: under the
+/// permanent chip-death plan and randomized traffic, (a) the calendar
+/// always drains with the rebuild engine armed and every request reaches
+/// a terminal state; (b) parity turns the chip death into zero data-loss
+/// requests on every fabric, while the bare run's losses stay a strict
+/// subset of its failures; (c) the background rebuild runs to completion
+/// — pages recovered, a finite MTTR endpoint after the 20 µs death —
+/// deterministically; (d) `RedundancyKind::None` is bit-identical to the
+/// pre-redundancy engine; (e) redundancy-axis sweeps are bit-identical
+/// across worker-pool sizes, extending the determinism contract to the
+/// redundancy axis.
+#[test]
+fn rebuild_is_sound_on_every_fabric() {
+    use venice::interconnect::FabricKind;
+    use venice::ssd::{run_single, FaultPlan, RedundancyKind, RunStatus, SsdConfig};
+
+    let mut rng = Xorshift64Star::new(0x4EB1);
+    for case in 0..2u64 {
+        let read_pct = 60.0 + rng.next_f64() * 40.0;
+        let kb = 4.0 + rng.next_f64() * 12.0;
+        let us = 1.0 + rng.next_f64() * 6.0;
+        let n = 150 + rng.next_bounded(150);
+        let trace = WorkloadSpec::new("rebuild-prop", read_pct, kb, us)
+            .footprint_mb(32)
+            .burst_mean(1.0 + rng.next_f64() * 8.0)
+            .generate(n as usize);
+        // A 4×4 mesh keeps a meaningful share of the pages on the victim
+        // die, so the rebuild and the degraded-read window both matter.
+        let bare = SsdConfig::performance_optimized()
+            .with_mesh(4, 4)
+            .with_fault_plan(FaultPlan::Chip);
+        let parity = bare
+            .clone()
+            .with_redundancy(RedundancyKind::Parity { group: 4 });
+        for fabric in FabricKind::ALL {
+            let ctx = format!("case {case}: {fabric}");
+            let m = run_single(&parity, fabric, &trace);
+            assert_eq!(m.status, RunStatus::Complete, "{ctx}: run must drain");
+            assert_eq!(
+                m.completed_requests, n,
+                "{ctx}: every request must reach a terminal state"
+            );
+            // (b) Parity averts the data loss the bare run suffers.
+            assert_eq!(m.data_loss_requests, 0, "{ctx}: parity must avert data loss");
+            assert!(
+                m.tenants.iter().all(|t| t.data_loss == 0),
+                "{ctx}: per-tenant data loss must be zero too"
+            );
+            // (c) The rebuild ran to completion after the 20 µs death.
+            assert!(m.rebuilt_pages > 0, "{ctx}: rebuild must recover pages");
+            assert!(m.rebuild_done_ns > 20_000, "{ctx}: MTTR endpoint recorded");
+            let again = run_single(&parity, fabric, &trace);
+            assert_eq!(m, again, "{ctx}: rebuilt run not deterministic");
+            let lost = run_single(&bare, fabric, &trace);
+            assert_eq!(lost.status, RunStatus::Complete, "{ctx}: bare run must drain");
+            assert!(
+                lost.data_loss_requests <= lost.failed_requests,
+                "{ctx}: data loss must stay a subset of failures"
+            );
+            assert_eq!(lost.rebuilt_pages, 0, "{ctx}: no redundancy, no rebuild");
+            assert_eq!(lost.rebuild_done_ns, 0, "{ctx}");
+            // (d) The None scheme is the pre-redundancy engine, bit for bit.
+            let none = run_single(
+                &bare.clone().with_redundancy(RedundancyKind::None),
+                fabric,
+                &trace,
+            );
+            assert_eq!(lost, none, "{ctx}: None scheme not inert");
+        }
+    }
+
+    // (e) Redundancy-axis sweeps are pool-size-stable.
+    {
+        use venice::workloads::WorkloadAxis;
+        use venice_bench::sweep::{SweepGrid, WorkerPool};
+
+        let grid = SweepGrid::new("rebuild-determinism")
+            .config(SsdConfig::performance_optimized().with_mesh(4, 4))
+            .workload(WorkloadAxis::congested())
+            .fault_plans(&[FaultPlan::Chip])
+            .redundancy_kinds(&RedundancyKind::ALL)
+            .fabrics(&[venice::ssd::SystemKind::Baseline, venice::ssd::SystemKind::Venice])
+            .requests(150);
+        let serial = grid.run_on(&WorkerPool::new(1));
+        let pooled = grid.run_on(&WorkerPool::new(4));
+        assert_eq!(serial.records().len(), 4); // 2 schemes × 2 fabrics
+        for (a, b) in serial.records().iter().zip(pooled.records()) {
+            assert_eq!(a.point.label, b.point.label);
+            assert_eq!(
+                a.metrics, b.metrics,
+                "{}: rebuilt metrics differ across pool sizes",
                 a.point.label
             );
         }
